@@ -1,0 +1,106 @@
+// Ablation (§3.1, §7): context-model sensitivity. The paper reports that
+// region shape, location burstiness, and traffic heavy-tailedness move the
+// PoP-level statistics only slightly — a region must be "quite long and
+// thin" before networks change significantly, and even Pareto(10/9) traffic
+// raises CVND only a little (which is why the explicit k3 cost is needed).
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/ensemble.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+using namespace cold;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  ContextConfig context;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: context-model sensitivity",
+                "PoP-level stats are nearly invariant to region shape, "
+                "burstiness and traffic tail; only extreme shapes matter");
+
+  const std::size_t n = 30;
+  // k3 = 0: this is the regime in which the paper probed context
+  // sensitivity (§7 introduces k3 precisely because context changes could
+  // not raise CVND enough).
+  const CostParams costs{10.0, 1.0, 4e-4, 0.0};
+  const std::size_t sims = bench::trials(8, 100);
+
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.name = "baseline (unit square, uniform, exp traffic)";
+    v.context.num_pops = n;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "rectangle 4:1";
+    v.context.num_pops = n;
+    v.context.region = Rectangle::with_aspect_ratio(4.0);
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "rectangle 16:1 (long+thin)";
+    v.context.num_pops = n;
+    v.context.region = Rectangle::with_aspect_ratio(16.0);
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "bursty locations (5 clusters)";
+    v.context.num_pops = n;
+    v.context.point_process = std::make_shared<ClusteredProcess>(5, 0.05);
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "Pareto(1.5) traffic";
+    v.context.num_pops = n;
+    v.context.population_model = std::make_shared<ParetoPopulation>(1.5, 30.0);
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "Pareto(10/9) traffic (infinite variance)";
+    v.context.num_pops = n;
+    v.context.population_model =
+        std::make_shared<ParetoPopulation>(10.0 / 9.0, 30.0);
+    variants.push_back(v);
+  }
+
+  Table table({"context", "avg_degree", "diameter", "gcc", "cvnd", "hubs"});
+  for (const Variant& v : variants) {
+    SynthesisConfig cfg;
+    cfg.context = v.context;
+    cfg.costs = costs;
+    cfg.ga = bench::default_ga();
+    const Synthesizer synth(cfg);
+    std::vector<double> deg, diam, gcc, cvnd, hubs;
+    for (const TopologyMetrics& m : sweep_metrics(synth, sims)) {
+      deg.push_back(m.avg_degree);
+      diam.push_back(static_cast<double>(m.diameter));
+      gcc.push_back(m.global_clustering);
+      cvnd.push_back(m.degree_cv);
+      hubs.push_back(static_cast<double>(m.hubs));
+    }
+    table.add_row({v.name, summarize(deg).mean, summarize(diam).mean,
+                   summarize(gcc).mean, summarize(cvnd).mean,
+                   summarize(hubs).mean});
+    std::cerr << "  " << v.name << " done\n";
+  }
+  table.print_both(std::cout, "ablation_context");
+  std::cout << "Reading: rows should be close to the baseline except the "
+               "16:1 region; in particular no context variant lifts CVND "
+               "anywhere near the k3-driven values of Fig 8b.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation (§3.2.3): single-cost-dominant limiting topologies. The paper
+// derives: k0 dominant -> spanning trees; k1 dominant -> the minimum
+// spanning tree; k2 dominant -> clique; k3 dominant -> hub-and-spoke. We
+// push each cost to dominance and verify the synthesized topology.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/context.h"
+#include "core/synthesizer.h"
+#include "graph/algorithms.h"
+#include "graph/metrics.h"
+#include "util/csv.h"
+
+using namespace cold;
+
+int main() {
+  bench::banner("Ablation: single-cost limiting topologies",
+                "k0/k1 -> trees (k1 -> the MST), k2 -> clique, k3 -> "
+                "hub-and-spoke");
+
+  const std::size_t n = 12;
+  struct Case {
+    std::string name;
+    CostParams costs;
+    std::string expect;
+  };
+  const std::vector<Case> cases{
+      {"k0 dominant", {1e6, 1.0, 1e-9, 0.0}, "spanning tree (n-1 links)"},
+      {"k1 dominant", {0.0, 1e6, 1e-9, 0.0}, "the distance MST"},
+      {"k2 dominant", {1e-9, 1e-9, 1e6, 0.0}, "clique (n(n-1)/2 links)"},
+      {"k3 dominant", {1e-3, 1e-3, 1e-9, 1e9}, "hub-and-spoke (1 core node)"},
+  };
+  const std::size_t trials_per_case = bench::trials(3, 10);
+
+  Table table({"case", "expected", "trial", "links", "core_nodes",
+               "matches_prediction"});
+  for (const Case& c : cases) {
+    for (std::size_t t = 0; t < trials_per_case; ++t) {
+      SynthesisConfig cfg = bench::sweep_config(n, c.costs);
+      const Synthesizer synth(cfg);
+      const SynthesisResult r = synth.synthesize(t + 1);
+      const Topology& g = r.network.topology;
+      bool match = false;
+      if (c.name == "k0 dominant") {
+        match = g.num_edges() == n - 1;
+      } else if (c.name == "k1 dominant") {
+        match = g == minimum_spanning_tree(r.context.distances);
+      } else if (c.name == "k2 dominant") {
+        match = g.num_edges() == n * (n - 1) / 2;
+      } else {
+        match = g.num_core_nodes() == 1;
+      }
+      table.add_row({c.name, c.expect, static_cast<long long>(t),
+                     static_cast<long long>(g.num_edges()),
+                     static_cast<long long>(g.num_core_nodes()),
+                     std::string(match ? "yes" : "NO")});
+    }
+    std::cerr << "  " << c.name << " done\n";
+  }
+  table.print_both(std::cout, "ablation_cost_limits");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: redundancy as an emergent property. The paper's cost model
+// deliberately omits explicit redundancy constraints (§3.2); this ablation
+// measures how much redundancy COLD networks *end up with* anyway as k2/k3
+// vary — bridges, edge connectivity, and the traffic impact of worst-case
+// single-link failures (via the sim substrate).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/synthesizer.h"
+#include "graph/connectivity.h"
+#include "sim/failure.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+using namespace cold;
+
+int main() {
+  bench::banner("Ablation: emergent redundancy vs k2/k3",
+                "meshier networks (high k2) gain bridge-free cores; hub "
+                "networks (high k3) concentrate failure risk");
+
+  const std::size_t n = 20;
+  struct Cell {
+    double k2;
+    double k3;
+  };
+  const std::vector<Cell> cells{
+      {2.5e-5, 0.0}, {4e-4, 0.0},  {2e-3, 0.0},
+      {2.5e-5, 10.0}, {4e-4, 10.0}, {4e-4, 1000.0},
+  };
+  const std::size_t sims = bench::trials(5, 30);
+
+  Table table({"k2", "k3", "bridge_frac", "edge_conn", "disc_scenarios_frac",
+               "mean_rerouted", "worst_stretch"});
+  for (const Cell& cell : cells) {
+    std::vector<double> bridge_frac, edge_conn, disc_frac, rerouted, stretch;
+    SynthesisConfig cfg =
+        bench::sweep_config(n, CostParams{10.0, 1.0, cell.k2, cell.k3});
+    const Synthesizer synth(cfg);
+    for (std::size_t s = 0; s < sims; ++s) {
+      const Network net = synth.synthesize(300 + s).network;
+      const ResilienceReport rep = analyze_resilience(net.topology);
+      bridge_frac.push_back(rep.single_link_failure_disconnect_rate);
+      edge_conn.push_back(static_cast<double>(rep.edge_connectivity));
+      const auto sweep = single_link_failure_sweep(net);
+      const FailureSweepSummary sum = summarize_sweep(sweep);
+      disc_frac.push_back(static_cast<double>(sum.disconnecting) /
+                          static_cast<double>(sum.scenarios));
+      rerouted.push_back(sum.mean_rerouted_fraction);
+      stretch.push_back(sum.worst_stretch);
+    }
+    table.add_row({cell.k2, cell.k3, summarize(bridge_frac).mean,
+                   summarize(edge_conn).mean, summarize(disc_frac).mean,
+                   summarize(rerouted).mean, summarize(stretch).mean});
+    std::cerr << "  k2=" << cell.k2 << " k3=" << cell.k3 << " done\n";
+  }
+  table.print_both(std::cout, "ablation_resilience");
+  std::cout << "Reading: pure trees/stars (low k2 or high k3) have bridge "
+               "fraction 1 — every link failure strands traffic — while "
+               "high-k2 meshes develop 2-edge-connected cores for free.\n";
+  return 0;
+}

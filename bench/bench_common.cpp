@@ -1,0 +1,46 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cold::bench {
+
+bool full_mode() {
+  const char* v = std::getenv("COLD_BENCH_FULL");
+  return v != nullptr && std::string(v) == "1";
+}
+
+std::size_t trials(std::size_t fast, std::size_t full) {
+  return full_mode() ? full : fast;
+}
+
+GaConfig default_ga() {
+  GaConfig cfg;
+  if (full_mode()) {
+    cfg.population = 100;
+    cfg.generations = 100;
+  } else {
+    cfg.population = 48;
+    cfg.generations = 40;
+  }
+  return cfg;
+}
+
+SynthesisConfig sweep_config(std::size_t n, CostParams costs) {
+  SynthesisConfig cfg;
+  cfg.context.num_pops = n;
+  cfg.costs = costs;
+  cfg.ga = default_ga();
+  return cfg;
+}
+
+void banner(const std::string& figure, const std::string& claim) {
+  std::cout << "==============================================================\n";
+  std::cout << "COLD reproduction — " << figure << "\n";
+  std::cout << "Paper claim: " << claim << "\n";
+  std::cout << "Mode: " << (full_mode() ? "FULL (paper-scale)" : "fast")
+            << "  (set COLD_BENCH_FULL=1 for paper-scale runs)\n";
+  std::cout << "==============================================================\n\n";
+}
+
+}  // namespace cold::bench

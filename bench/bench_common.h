@@ -1,0 +1,36 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every binary prints the table/series of one paper figure or table. By
+// default the trial counts are reduced to keep a full `for b in bench/*`
+// sweep tractable on one core; set COLD_BENCH_FULL=1 to run at paper scale
+// (T = M = 100, paper trial counts). The curve *shapes* are stable across
+// both settings; EXPERIMENTS.md records both.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/synthesizer.h"
+#include "cost/cost_model.h"
+#include "ga/genetic.h"
+
+namespace cold::bench {
+
+/// True when COLD_BENCH_FULL=1 is set in the environment.
+bool full_mode();
+
+/// Picks the trial count for the current mode.
+std::size_t trials(std::size_t fast, std::size_t full);
+
+/// GA settings: (M=48, T=40) fast, (M=100, T=100) full — the paper's §5
+/// defaults.
+GaConfig default_ga();
+
+/// Standard sweep synthesizer config: n PoPs on the unit square,
+/// exponential populations, given costs, default GA for the current mode.
+SynthesisConfig sweep_config(std::size_t n, CostParams costs);
+
+/// Prints the bench banner: figure id, the paper's claim, current mode.
+void banner(const std::string& figure, const std::string& claim);
+
+}  // namespace cold::bench

@@ -1,0 +1,48 @@
+// Figure 1: the number of distinct dK-series parameters (degree-labeled
+// connected subgraph classes) versus network size, for d = 2, 3, 4. The
+// paper's message: the count grows rapidly with both n and d — by d = 3 it
+// can exceed the number of nodes or even edges, so the dK-series is a longer
+// description than the graph itself.
+//
+// Graph family: COLD-synthesized networks (mid-range costs), averaged over a
+// few seeds per size.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/synthesizer.h"
+#include "dk/dk_series.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+using namespace cold;
+
+int main() {
+  bench::banner("Figure 1 (dK parameter count vs n, d = 2, 3, 4)",
+                "parameter count explodes with n and d; by d=3 it rivals "
+                "the edge count itself");
+
+  const std::vector<std::size_t> sizes{10, 20, 30, 40, 50};
+  const std::size_t reps = bench::trials(3, 10);
+
+  Table table(
+      {"n", "edges", "d2_params", "d3_params", "d4_params", "d3_over_edges"});
+  for (std::size_t n : sizes) {
+    SynthesisConfig cfg =
+        bench::sweep_config(n, CostParams{10.0, 1.0, 4e-4, 0.0});
+    const Synthesizer synth(cfg);
+    double edges = 0.0, p2 = 0.0, p3 = 0.0, p4 = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) {
+      const Topology g = synth.synthesize(100 + r).network.topology;
+      edges += static_cast<double>(g.num_edges());
+      p2 += static_cast<double>(dk_parameter_count(g, 2));
+      p3 += static_cast<double>(dk_parameter_count(g, 3));
+      p4 += static_cast<double>(dk_parameter_count(g, 4));
+    }
+    const auto d = static_cast<double>(reps);
+    table.add_row({static_cast<long long>(n), edges / d, p2 / d, p3 / d,
+                   p4 / d, (p3 / d) / (edges / d)});
+    std::cerr << "  n=" << n << " done\n";
+  }
+  table.print_both(std::cout, "fig1_dk_params");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 2: (a) a small example network, (b) Erdős–Rényi graphs with the
+// same number of links — often disconnected, with long shortest paths —
+// and (c) graphs matching the example's 3K-distribution, every one of which
+// is isomorphic to the input: the 3K census over-constrains the graph.
+//
+// Part (c) is demonstrated two ways: exhaustively on a 6-node example
+// (every one of the 32768 graphs checked) and by randomized degree-
+// preserving rewiring on an 8-node example.
+#include <iostream>
+
+#include "baselines/erdos_renyi.h"
+#include "bench_common.h"
+#include "dk/dk_search.h"
+#include "graph/algorithms.h"
+#include "graph/metrics.h"
+#include "util/csv.h"
+
+using namespace cold;
+
+namespace {
+
+void print_edges(const Topology& g, const std::string& label) {
+  std::cout << label << ": ";
+  for (const Edge& e : g.edges()) {
+    std::cout << "(" << e.u << "," << e.v << ") ";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 2 (ER pathologies; 3K over-constrains)",
+                "ER copies of a real network are often disconnected or "
+                "stretched; all 3K matches are isomorphic to the input");
+
+  // (a) The example input: a 6-node dual-hub network (two hubs bridged,
+  // leaves split between them, one redundant cross link).
+  Topology example(6);
+  example.add_edge(0, 1);  // hub-hub bridge
+  example.add_edge(0, 2);
+  example.add_edge(0, 3);
+  example.add_edge(1, 4);
+  example.add_edge(1, 5);
+  example.add_edge(2, 3);  // local redundancy
+  print_edges(example, "(a) example network");
+  std::cout << "    connected=" << is_connected(example)
+            << " diameter=" << diameter(example) << "\n\n";
+
+  // (b) ER graphs with the same number of links.
+  Rng rng(7);
+  Table er_table({"sample", "connected", "diameter", "max_pairwise_hops"});
+  const std::size_t er_samples = bench::trials(8, 20);
+  std::size_t disconnected = 0;
+  for (std::size_t s = 0; s < er_samples; ++s) {
+    const Topology g = erdos_renyi_gnm(6, example.num_edges(), rng);
+    const bool conn = is_connected(g);
+    if (!conn) ++disconnected;
+    er_table.add_row({static_cast<long long>(s),
+                      std::string(conn ? "yes" : "NO"),
+                      static_cast<long long>(conn ? diameter(g) : -1),
+                      static_cast<long long>(conn ? diameter(g) : -1)});
+  }
+  er_table.print_both(std::cout, "fig2b_er_same_links");
+  std::cout << "(b) " << disconnected << "/" << er_samples
+            << " ER samples are disconnected (broken as data networks)\n\n";
+
+  // (c) Exhaustive 3K-matching on the 6-node example.
+  const DkMatchStats exact = find_dk_matches_exhaustive(example, 3);
+  std::cout << "(c) exhaustive search over " << exact.candidates
+            << " graphs on 6 nodes:\n"
+            << "    3K matches: " << exact.matches
+            << ", isomorphic to input: " << exact.isomorphic_matches << "\n"
+            << "    => every 3K match is isomorphic: "
+            << (exact.matches == exact.isomorphic_matches ? "YES" : "no")
+            << "\n\n";
+
+  // (c') Randomized check on a larger (8-node) input via 1K-preserving
+  // rewiring: any sampled graph matching the full 3K census must again be
+  // isomorphic to the input.
+  Topology larger(8);
+  larger.add_edge(0, 1);
+  larger.add_edge(0, 2);
+  larger.add_edge(0, 3);
+  larger.add_edge(1, 4);
+  larger.add_edge(1, 5);
+  larger.add_edge(2, 6);
+  larger.add_edge(3, 7);
+  larger.add_edge(2, 3);
+  Rng rng2(8);
+  const DkMatchStats sampled = find_dk_matches_rewiring(
+      larger, 3, bench::trials(300, 3000), rng2);
+  std::cout << "(c') rewiring search on an 8-node example: "
+            << sampled.candidates << " samples, " << sampled.matches
+            << " matched 3K, " << sampled.isomorphic_matches
+            << " isomorphic to input => "
+            << (sampled.matches == sampled.isomorphic_matches
+                    ? "all matches isomorphic (consistent with the paper)"
+                    : "found a non-isomorphic 3K match")
+            << "\n";
+  return 0;
+}

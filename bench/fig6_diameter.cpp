@@ -1,0 +1,40 @@
+// Figure 6: network (hop) diameter versus k2 for k3 in {0, 10, 100, 1000},
+// k0 = 10, k1 = 1, n = 30. The paper reports: high k3 -> centralized, low
+// diameter; high k2 -> meshy, low diameter; intermediate costs -> the
+// highest diameters.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ensemble.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+using namespace cold;
+
+int main() {
+  bench::banner("Figure 6 (diameter vs k2, by k3)",
+                "diameter peaks at intermediate costs; high k2 or high k3 "
+                "both shrink it");
+
+  const std::size_t n = 30;
+  const auto k2_grid = log_space(2.5e-5, 2e-3, 7);
+  const std::vector<double> k3_values{0.0, 10.0, 100.0, 1000.0};
+  const std::size_t sims = bench::trials(8, 200);
+
+  Table table({"k3", "k2", "diameter", "ci_lo", "ci_hi"});
+  for (double k3 : k3_values) {
+    for (double k2 : k2_grid) {
+      const Synthesizer synth(
+          bench::sweep_config(n, CostParams{10.0, 1.0, k2, k3}));
+      std::vector<double> values;
+      for (const TopologyMetrics& m : sweep_metrics(synth, sims)) {
+        values.push_back(static_cast<double>(m.diameter));
+      }
+      const ConfidenceInterval ci = bootstrap_mean_ci(values);
+      table.add_row({k3, k2, ci.mean, ci.lo, ci.hi});
+      std::cerr << "  k3=" << k3 << " k2=" << k2 << " done\n";
+    }
+  }
+  table.print_both(std::cout, "fig6_diameter");
+  return 0;
+}

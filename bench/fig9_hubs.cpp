@@ -1,0 +1,39 @@
+// Figure 9: number of core (hub) PoPs versus k3 for k2 in
+// {2.5e-5, 1e-4, 4e-4, 1.6e-3}, n = 30. For small k3 the hub count stays
+// large (~10-25); as k3 grows it collapses toward 1 (hub-and-spoke).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ensemble.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+using namespace cold;
+
+int main() {
+  bench::banner("Figure 9 (number of hub PoPs vs k3, by k2)",
+                "hub count is large for small k3 and collapses toward 1 as "
+                "k3 dominates");
+
+  const std::size_t n = 30;
+  const std::vector<double> k2_values{2.5e-5, 1e-4, 4e-4, 1.6e-3};
+  const auto k3_grid = log_space(0.1, 1000.0, 8);
+  const std::size_t sims = bench::trials(8, 200);
+
+  Table table({"k2", "k3", "hubs", "ci_lo", "ci_hi"});
+  for (double k2 : k2_values) {
+    for (double k3 : k3_grid) {
+      const Synthesizer synth(
+          bench::sweep_config(n, CostParams{10.0, 1.0, k2, k3}));
+      std::vector<double> values;
+      for (const TopologyMetrics& m : sweep_metrics(synth, sims)) {
+        values.push_back(static_cast<double>(m.hubs));
+      }
+      const ConfidenceInterval ci = bootstrap_mean_ci(values);
+      table.add_row({k2, k3, ci.mean, ci.lo, ci.hi});
+      std::cerr << "  k2=" << k2 << " k3=" << k3 << " done\n";
+    }
+  }
+  table.print_both(std::cout, "fig9_hubs");
+  return 0;
+}

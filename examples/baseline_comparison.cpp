@@ -1,0 +1,85 @@
+// Baseline shoot-out (paper §2's narrative made concrete): generate
+// same-size topologies from every generator in the library and compare the
+// properties a simulation consumer cares about. COLD is the only one that
+// is always connected AND ships capacities/routing; the structural
+// generators impose their shapes a priori; the random models miss basic
+// constraints.
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/erdos_renyi.h"
+#include "baselines/fkp.h"
+#include "baselines/plrg.h"
+#include "baselines/transit_stub.h"
+#include "baselines/waxman.h"
+#include "core/presets.h"
+#include "core/synthesizer.h"
+#include "geom/point_process.h"
+#include "graph/connectivity.h"
+#include "graph/metrics.h"
+
+namespace {
+
+void report(const std::string& name, const cold::Topology& g,
+            bool has_capacities) {
+  const cold::TopologyMetrics m = cold::compute_metrics(g);
+  const cold::ResilienceReport r = cold::analyze_resilience(g);
+  std::printf("%-14s %4zu %6zu  %-5s  %6.2f  %5.2f  %4d  %5.3f  %5zu  %s\n",
+              name.c_str(), m.nodes, m.edges,
+              m.connected ? "yes" : "NO", m.avg_degree, m.degree_cv,
+              m.diameter, m.global_clustering, r.bridges,
+              has_capacities ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 30;
+  cold::Rng rng(7);
+  const auto locations =
+      cold::UniformProcess().sample(n, cold::Rectangle(), rng);
+
+  std::cout << "One instance per generator, n ~ " << n << ":\n\n";
+  std::printf("%-14s %4s %6s  %-5s  %6s  %5s  %4s  %5s  %5s  %s\n",
+              "generator", "n", "links", "conn", "avgdeg", "cvnd", "diam",
+              "gcc", "bridg", "capacities");
+  std::cout << std::string(88, '-') << "\n";
+
+  report("ER", cold::erdos_renyi_gnp(n, 0.08, rng), false);
+  report("Waxman", cold::waxman(locations, cold::WaxmanParams{}, rng), false);
+  report("PLRG", cold::plrg(n, cold::PlrgParams{2.3, 1, 0}, rng), false);
+  report("FKP", cold::fkp(n, cold::FkpParams{6.0}, rng).topology, false);
+  {
+    cold::TransitStubParams ts;
+    ts.transit_domains = 2;
+    ts.transit_size = 3;
+    ts.stubs_per_transit = 1;
+    ts.stub_size = 4;
+    report("transit-stub", cold::transit_stub(ts, rng).topology, false);
+  }
+  for (cold::NetworkStyle style :
+       {cold::NetworkStyle::kHubAndSpoke, cold::NetworkStyle::kRegional,
+        cold::NetworkStyle::kMesh}) {
+    cold::SynthesisConfig cfg;
+    cfg.context.num_pops = n;
+    cfg.costs = cold::preset_costs(style);
+    cfg.ga.population = 32;
+    cfg.ga.generations = 24;
+    const cold::Synthesizer synth(cfg);
+    report("COLD " + cold::to_string(style),
+           synth.synthesize(1).network.topology, true);
+  }
+
+  std::cout << "\nReading guide (the paper's §2 in one table):\n"
+               "  * ER/PLRG frequently arrive disconnected — broken as data "
+               "networks;\n"
+               "  * Waxman respects geography but still has no capacity "
+               "notion;\n"
+               "  * FKP and transit-stub hard-code their structure (pure "
+               "tree / fixed hierarchy);\n"
+               "  * COLD spans hub-and-spoke to mesh with one knob set, "
+               "always connected,\n"
+               "    and is the only generator whose output carries "
+               "capacities and routing.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Capacity planning on a synthesized network: where the headroom runs out
+// as traffic grows, what protection paths exist for the busiest demand,
+// and what an upgrade costs under the same cost model the network was
+// designed with.
+#include <algorithm>
+#include <iostream>
+
+#include "core/presets.h"
+#include "core/synthesizer.h"
+#include "graph/k_shortest.h"
+#include "sim/capacity.h"
+
+int main() {
+  // A "regional" style network, provisioned with 25% headroom.
+  cold::SynthesisConfig cfg;
+  cfg.context.num_pops = 20;
+  cfg.costs = cold::preset_costs(cold::NetworkStyle::kRegional);
+  cfg.ga.population = 40;
+  cfg.ga.generations = 32;
+  cfg.overprovision = 1.25;
+  const cold::Synthesizer synth(cfg);
+  const cold::Network net = synth.synthesize(11).network;
+
+  std::cout << "Network: " << net.num_pops() << " PoPs, " << net.num_links()
+            << " links, overprovision " << net.overprovision << "\n\n";
+
+  // 1. How much growth fits?
+  const double headroom = cold::max_traffic_multiplier(net);
+  std::cout << "Max uniform traffic multiplier before overload: " << headroom
+            << " (equals the provisioning factor under shortest-path "
+               "routing)\n\n";
+
+  // 2. Which links bind first?
+  std::cout << "Most-constrained links:\n";
+  const auto ranking = cold::headroom_ranking(net);
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ranking.size()); ++i) {
+    const auto& h = ranking[i];
+    std::printf("  PoP%zu -- PoP%zu  load %.0f / cap %.0f  (util %.2f)\n",
+                h.edge.u, h.edge.v, h.load, h.capacity, h.utilization);
+  }
+
+  // 3. Protection paths for the demand crossing the busiest link.
+  const cold::Edge busiest = ranking.front().edge;
+  std::cout << "\nAlternate paths around the busiest link (PoP" << busiest.u
+            << " -- PoP" << busiest.v << "):\n";
+  const auto paths =
+      cold::k_shortest_paths(net.topology, net.lengths, busiest.u, busiest.v, 3);
+  for (const auto& p : paths) {
+    std::printf("  length %.3f: ", p.length);
+    for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+      std::printf("%sPoP%zu", i ? " -> " : "", p.nodes[i]);
+    }
+    std::printf("\n");
+  }
+  const auto pair =
+      cold::disjoint_path_pair(net.topology, net.lengths, busiest.u, busiest.v);
+  std::cout << "  link-disjoint protection pair available: "
+            << (pair.size() == 2 ? "yes" : "NO (upgrade needed)") << "\n";
+
+  // 4. Cost of provisioning for 2x growth, in the design cost model.
+  const auto need = cold::required_capacities(net, 2.0, net.overprovision);
+  double extra_bandwidth_cost = 0.0;
+  for (std::size_t i = 0; i < net.links.size(); ++i) {
+    const double delta = need[i] - net.links[i].capacity;
+    extra_bandwidth_cost += cfg.costs.k2 * net.links[i].length * delta;
+  }
+  std::cout << "\nUpgrading every link for 2x traffic adds "
+            << extra_bandwidth_cost
+            << " of k2-cost (same units as the synthesis objective), on top "
+               "of the current bandwidth cost.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// ISP planning scenario (paper §1): the same provider at three stages of
+// market maturity, expressed purely through the cost parameters.
+//
+//   startup   — connectivity as cheaply as possible: link existence and
+//               trenching dominate, PoP complexity is unaffordable.
+//   growth    — bandwidth demand rises: k2 matters, some hubs appear.
+//   mature    — performance-driven: bandwidth-distance cost dominates, the
+//               backbone densifies into a low-diameter mesh.
+//
+// The PoP locations and traffic matrix are held fixed (same market!), so
+// every difference between the three networks is attributable to the cost
+// trade-offs — exactly the tunability argument of §6.
+#include <iostream>
+
+#include "core/synthesizer.h"
+#include "graph/metrics.h"
+#include "io/dot.h"
+
+int main() {
+  const std::size_t n = 25;
+
+  struct Stage {
+    std::string name;
+    cold::CostParams costs;
+  };
+  const std::vector<Stage> stages{
+      {"startup (cheap connectivity)", {20.0, 1.0, 2e-5, 200.0}},
+      {"growth (balanced)", {5.0, 1.0, 6e-4, 1.0}},
+      {"mature (performance mesh)", {2.0, 1.0, 2e-3, 0.0}},
+  };
+
+  // One fixed market: same PoP locations and demands for all stages.
+  cold::SynthesisConfig base;
+  base.context.num_pops = n;
+  base.ga.population = 48;
+  base.ga.generations = 40;
+  cold::Rng ctx_rng(7);
+  const cold::Context market = cold::generate_context(base.context, ctx_rng);
+
+  std::cout << "One market (" << n << " PoPs), three cost regimes:\n\n";
+  std::cout << "stage                          links  avgdeg  diam  gcc    "
+               "cvnd  hubs  cost\n";
+  std::cout << "---------------------------------------------------------------"
+               "-------\n";
+  for (const Stage& stage : stages) {
+    cold::SynthesisConfig cfg = base;
+    cfg.costs = stage.costs;
+    const cold::Synthesizer synth(cfg);
+    const cold::SynthesisResult r = synth.synthesize_for_context(market, 1);
+    const cold::TopologyMetrics m = cold::compute_metrics(r.network.topology);
+    std::printf("%-30s %5zu  %5.2f  %4d  %5.3f  %4.2f  %4zu  %.1f\n",
+                stage.name.c_str(), m.edges, m.avg_degree, m.diameter,
+                m.global_clustering, m.degree_cv, m.hubs, r.cost.total());
+    const std::string file =
+        "isp_" + stage.name.substr(0, stage.name.find(' ')) + ".dot";
+    cold::write_dot_file(file, r.network);
+  }
+  std::cout << "\nExpected progression: links and average degree rise with "
+               "market maturity;\nthe startup network is hubby (high CVND, "
+               "few core PoPs), the mature one meshy.\n";
+  std::cout << "DOT files written for each stage (render with neato -n).\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Network evolution (paper §3: "networks are rarely designed from scratch —
+// they evolve"): take a synthesized network through three growth epochs,
+// adding PoPs and traffic while respecting the installed plant, and compare
+// against what a greenfield redesign would have built.
+#include <iostream>
+
+#include "core/synthesizer.h"
+#include "graph/connectivity.h"
+#include "graph/metrics.h"
+#include "growth/growth.h"
+
+namespace {
+
+void report(const std::string& label, const cold::Network& net) {
+  const cold::TopologyMetrics m = cold::compute_metrics(net.topology);
+  const cold::ResilienceReport r = cold::analyze_resilience(net.topology);
+  std::printf("%-28s %4zu PoPs  %4zu links  deg %.2f  diam %2d  hubs %2zu  "
+              "bridges %2zu\n",
+              label.c_str(), m.nodes, m.edges, m.avg_degree, m.diameter,
+              m.hubs, r.bridges);
+}
+
+}  // namespace
+
+int main() {
+  const cold::CostParams costs{8.0, 1.0, 5e-4, 5.0};
+
+  // Year 0: greenfield build, 12 PoPs.
+  cold::SynthesisConfig cfg;
+  cfg.context.num_pops = 12;
+  cfg.costs = costs;
+  cfg.ga.population = 40;
+  cfg.ga.generations = 32;
+  const cold::Synthesizer synth(cfg);
+  cold::Network net = synth.synthesize(2).network;
+  std::cout << "Three growth epochs (+5 PoPs, +25% traffic each):\n\n";
+  report("year 0 (greenfield)", net);
+
+  // Three brownfield epochs.
+  cold::GrowthConfig growth;
+  growth.new_pops = 5;
+  growth.population_growth = 1.25;
+  growth.decommission_factor = 1.0;  // removing plant costs its build price
+  growth.costs = costs;
+  growth.ga = cfg.ga;
+  std::size_t total_removed = 0;
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    const cold::GrowthResult r = cold::grow_network(net, growth, 100 + epoch);
+    total_removed += r.links_removed;
+    net = r.network;
+    report("year " + std::to_string(epoch) + " (evolved)", net);
+  }
+  std::cout << "installed links decommissioned across all epochs: "
+            << total_removed << "\n\n";
+
+  // Counterfactual: greenfield redesign at final size and demand.
+  cold::SynthesisConfig final_cfg = cfg;
+  final_cfg.context.num_pops = net.num_pops();
+  const cold::Synthesizer redesign(final_cfg);
+  const cold::Network fresh = redesign.synthesize(999).network;
+  report("greenfield counterfactual", fresh);
+
+  std::cout << "\nThe evolved network carries its history: plant installed "
+               "for early demand\npersists (decommissioning costs money), so "
+               "it drifts from what a from-scratch\ndesign would build — the "
+               "realism argument for modeling evolution explicitly.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Router-level expansion (the paper's layered-design step, §1/§8): optimize
+// the PoP level with COLD, then instantiate each PoP's internals from a
+// design template — redundant core routers for core PoPs, access routers
+// sized by offered traffic, dual-star intra-PoP wiring.
+#include <algorithm>
+#include <iostream>
+
+#include "core/synthesizer.h"
+#include "graph/metrics.h"
+#include "router/expansion.h"
+
+int main() {
+  // PoP-level synthesis.
+  cold::SynthesisConfig cfg;
+  cfg.context.num_pops = 15;
+  cfg.costs = cold::CostParams{10.0, 1.0, 4e-4, 50.0};
+  cfg.ga.population = 40;
+  cfg.ga.generations = 30;
+  const cold::Synthesizer synth(cfg);
+  const cold::SynthesisResult r = synth.synthesize(3);
+  const cold::Network& net = r.network;
+
+  std::cout << "PoP level: " << net.num_pops() << " PoPs, " << net.num_links()
+            << " inter-PoP links, "
+            << net.topology.num_core_nodes() << " core PoPs\n\n";
+
+  // Router-level expansion.
+  cold::ExpansionConfig expansion;
+  expansion.access_router_capacity = 2000.0;
+  const cold::RouterNetwork rn = cold::expand_to_router_level(net, expansion);
+  cold::validate_router_network(rn, net);
+
+  std::size_t cores = 0, access = 0, inter = 0, intra = 0;
+  for (const cold::Router& router : rn.routers) {
+    (router.role == cold::RouterRole::kCore ? cores : access) += 1;
+  }
+  for (const cold::RouterLink& link : rn.links) {
+    (link.inter_pop ? inter : intra) += 1;
+  }
+  std::cout << "Router level: " << rn.num_routers() << " routers (" << cores
+            << " core, " << access << " access), " << rn.links.size()
+            << " links (" << inter << " inter-PoP, " << intra
+            << " intra-PoP)\n\n";
+
+  std::cout << "Per-PoP template instantiation:\n";
+  std::cout << "  PoP  degree  core-rtrs  access-rtrs\n";
+  for (std::size_t p = 0; p < net.num_pops(); ++p) {
+    std::size_t pc = 0, pa = 0;
+    for (std::size_t rid : rn.routers_of_pop(p)) {
+      (rn.routers[rid].role == cold::RouterRole::kCore ? pc : pa) += 1;
+    }
+    std::printf("  %3zu  %6d  %9zu  %11zu\n", p, net.topology.degree(p), pc,
+                pa);
+  }
+
+  const cold::TopologyMetrics m = cold::compute_metrics(rn.graph);
+  std::cout << "\nRouter-level graph: diameter " << m.diameter
+            << " hops, avg degree " << m.avg_degree
+            << " (connected=" << (m.connected ? "yes" : "no") << ")\n";
+  std::cout << "\nNote the paper's design intuition made concrete: core PoPs "
+               "(degree > 1) get\nredundant core routers; leaf PoPs stay "
+               "single-router; access capacity follows\nthe gravity-model "
+               "offered load.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "baselines/erdos_renyi.h"
+
+#include <stdexcept>
+
+namespace cold {
+
+Topology erdos_renyi_gnp(std::size_t n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("erdos_renyi_gnp: p outside [0,1]");
+  }
+  Topology g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+Topology erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng) {
+  const std::size_t max_links = n * (n - 1) / 2;
+  if (m > max_links) {
+    throw std::invalid_argument("erdos_renyi_gnm: too many links requested");
+  }
+  // Partial Fisher-Yates over the flat pair index.
+  std::vector<std::size_t> idx(max_links);
+  for (std::size_t i = 0; i < max_links; ++i) idx[i] = i;
+  Topology g(n);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::swap(idx[k], idx[k + rng.uniform_index(max_links - k)]);
+    // Decode flat index -> (i, j), i < j.
+    std::size_t flat = idx[k];
+    NodeId i = 0;
+    std::size_t row_len = n - 1;
+    while (flat >= row_len) {
+      flat -= row_len;
+      --row_len;
+      ++i;
+    }
+    const NodeId j = i + 1 + flat;
+    g.add_edge(i, j);
+  }
+  return g;
+}
+
+}  // namespace cold

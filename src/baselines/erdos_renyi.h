@@ -1,0 +1,19 @@
+// Erdős–Rényi random graphs — the classical baseline the paper compares
+// against (§2, Table 1, Fig 2b). Provided in both the G(n,p) and G(n,m)
+// forms; the latter is what Fig 2b uses ("the same number of links ... in
+// random places").
+#pragma once
+
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace cold {
+
+/// G(n, p): each of the C(n,2) links present independently with prob. p.
+Topology erdos_renyi_gnp(std::size_t n, double p, Rng& rng);
+
+/// G(n, m): exactly m links, uniform over all C(C(n,2), m) link sets.
+/// Throws if m exceeds C(n,2).
+Topology erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+}  // namespace cold

@@ -1,0 +1,44 @@
+#include "baselines/fkp.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "geom/point_process.h"
+#include "geom/region.h"
+
+namespace cold {
+
+Topology fkp_over_locations(const std::vector<Point>& locations,
+                            const FkpParams& params) {
+  if (params.alpha < 0) {
+    throw std::invalid_argument("fkp: alpha must be >= 0");
+  }
+  const std::size_t n = locations.size();
+  if (n == 0) return Topology(0);
+  Topology g(n);
+  std::vector<int> hops(n, 0);  // hop distance to the root (node 0)
+  for (NodeId i = 1; i < n; ++i) {
+    NodeId best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (NodeId j = 0; j < i; ++j) {
+      const double score =
+          params.alpha * distance(locations[i], locations[j]) + hops[j];
+      if (score < best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    g.add_edge(i, best);
+    hops[i] = hops[best] + 1;
+  }
+  return g;
+}
+
+FkpResult fkp(std::size_t n, const FkpParams& params, Rng& rng) {
+  FkpResult result;
+  result.locations = UniformProcess().sample(n, Rectangle(), rng);
+  result.topology = fkp_over_locations(result.locations, params);
+  return result;
+}
+
+}  // namespace cold

@@ -1,0 +1,38 @@
+// The FKP "heuristically optimized trade-offs" model (Fabrikant,
+// Koutsoupias, Papadimitriou [17]; paper §3).
+//
+// Nodes arrive sequentially at random positions; each attaches to the
+// existing node minimizing  alpha * d(i, j) + h(j),  where d is Euclidean
+// distance and h(j) is j's hop count to the root. Tuning alpha sweeps the
+// output from a star (alpha ~ 0) through power-law-ish trees to dynamic
+// MST-like trees (alpha large). The paper cites this as a precedent for
+// optimization-driven synthesis whose cost function, unlike COLD's, has no
+// direct operational meaning — which is why it appears here as a baseline,
+// not a recommendation.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace cold {
+
+struct FkpParams {
+  double alpha = 4.0;  ///< distance-vs-centrality trade-off (>= 0)
+};
+
+struct FkpResult {
+  Topology topology;            ///< always a tree rooted at node 0
+  std::vector<Point> locations; ///< arrival positions (node 0 first)
+};
+
+/// Grows an n-node FKP tree on the unit square. Deterministic given `rng`.
+FkpResult fkp(std::size_t n, const FkpParams& params, Rng& rng);
+
+/// Variant over fixed, caller-supplied positions (first point is the root).
+Topology fkp_over_locations(const std::vector<Point>& locations,
+                            const FkpParams& params);
+
+}  // namespace cold

@@ -1,0 +1,59 @@
+#include "baselines/plrg.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cold {
+
+std::vector<int> plrg_degrees(std::size_t n, const PlrgParams& params,
+                              Rng& rng) {
+  if (params.exponent <= 1.0) {
+    throw std::invalid_argument("plrg: exponent must be > 1");
+  }
+  const int max_degree =
+      params.max_degree > 0 ? params.max_degree : static_cast<int>(n) - 1;
+  if (params.min_degree < 1 || params.min_degree > max_degree) {
+    throw std::invalid_argument("plrg: bad degree bounds");
+  }
+  // Discrete power-law pmf over [min_degree, max_degree].
+  std::vector<double> pmf;
+  for (int d = params.min_degree; d <= max_degree; ++d) {
+    pmf.push_back(std::pow(static_cast<double>(d), -params.exponent));
+  }
+  std::vector<int> degrees(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    degrees[i] = params.min_degree + static_cast<int>(rng.weighted_index(pmf));
+  }
+  // The configuration model needs an even stub count; bump one node.
+  int total = std::accumulate(degrees.begin(), degrees.end(), 0);
+  if (total % 2 != 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (degrees[i] < max_degree) {
+        ++degrees[i];
+        break;
+      }
+    }
+  }
+  return degrees;
+}
+
+Topology plrg(std::size_t n, const PlrgParams& params, Rng& rng) {
+  const std::vector<int> degrees = plrg_degrees(n, params, rng);
+  // Expand into stubs and pair uniformly.
+  std::vector<NodeId> stubs;
+  for (NodeId v = 0; v < n; ++v) {
+    for (int s = 0; s < degrees[v]; ++s) stubs.push_back(v);
+  }
+  rng.shuffle(stubs);
+  Topology g(n);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const NodeId a = stubs[i];
+    const NodeId b = stubs[i + 1];
+    if (a == b) continue;         // drop self-loops
+    g.add_edge(a, b);             // idempotent: drops multi-edges
+  }
+  return g;
+}
+
+}  // namespace cold

@@ -1,0 +1,27 @@
+// Power-Law Random Graphs (Aiello–Chung–Lu [11]; paper §2, Table 1).
+//
+// Degrees are drawn from a discrete power law P(d) ∝ d^(-exponent); nodes
+// are expanded into as many stubs as their degree and stubs are paired
+// uniformly at random (configuration model). Self-loops and multi-edges are
+// discarded, as is conventional when a simple graph is required — one of the
+// ways these models violate the constraints real networks satisfy.
+#pragma once
+
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace cold {
+
+struct PlrgParams {
+  double exponent = 2.5;  ///< power-law exponent (> 1)
+  int min_degree = 1;
+  int max_degree = 0;  ///< 0 means n - 1
+};
+
+Topology plrg(std::size_t n, const PlrgParams& params, Rng& rng);
+
+/// The degree sequence sampler, exposed for testing the distribution.
+std::vector<int> plrg_degrees(std::size_t n, const PlrgParams& params,
+                              Rng& rng);
+
+}  // namespace cold

@@ -1,0 +1,33 @@
+#include "baselines/waxman.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cold {
+
+Topology waxman(const std::vector<Point>& locations, const WaxmanParams& params,
+                Rng& rng) {
+  if (params.alpha <= 0.0 || params.alpha > 1.0 || params.beta <= 0.0 ||
+      params.beta > 1.0) {
+    throw std::invalid_argument("waxman: alpha, beta must be in (0, 1]");
+  }
+  const std::size_t n = locations.size();
+  double max_dist = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      max_dist = std::max(max_dist, distance(locations[i], locations[j]));
+    }
+  }
+  Topology g(n);
+  if (max_dist == 0.0) return g;  // coincident points: no meaningful decay
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double d = distance(locations[i], locations[j]);
+      const double p = params.beta * std::exp(-d / (params.alpha * max_dist));
+      if (rng.bernoulli(p)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+}  // namespace cold

@@ -1,0 +1,24 @@
+// Waxman random graphs (§2, Table 1): Erdős–Rényi with geographic decay.
+// Link {u,v} exists with probability beta * exp(-d(u,v) / (alpha * L)),
+// where L is the maximum node distance. Adds a notion of distance but, as
+// the paper notes, still guarantees neither connectivity nor capacities.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace cold {
+
+struct WaxmanParams {
+  double alpha = 0.4;  ///< distance-decay scale, in (0, 1]
+  double beta = 0.4;   ///< overall link density, in (0, 1]
+};
+
+/// Samples a Waxman graph over the given node locations.
+Topology waxman(const std::vector<Point>& locations, const WaxmanParams& params,
+                Rng& rng);
+
+}  // namespace cold

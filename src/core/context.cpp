@@ -1,0 +1,44 @@
+#include "core/context.h"
+
+#include <stdexcept>
+
+#include "geom/distance.h"
+
+namespace cold {
+
+Context generate_context(const ContextConfig& config, Rng& rng) {
+  if (config.num_pops < 2) {
+    throw std::invalid_argument("generate_context: need at least 2 PoPs");
+  }
+  static const UniformProcess kDefaultProcess;
+  static const ExponentialPopulation kDefaultPopulation(30.0);
+  const PointProcess& process =
+      config.point_process ? *config.point_process : kDefaultProcess;
+  const PopulationModel& populations =
+      config.population_model ? *config.population_model : kDefaultPopulation;
+
+  Context ctx;
+  ctx.locations = process.sample(config.num_pops, config.region, rng);
+  ctx.populations = populations.sample(config.num_pops, rng);
+  ctx.traffic = gravity_matrix(ctx.populations, config.gravity);
+  ctx.distances = distance_matrix(ctx.locations);
+  return ctx;
+}
+
+Context make_context(std::vector<Point> locations,
+                     std::vector<double> populations, Matrix<double> traffic) {
+  const std::size_t n = locations.size();
+  if (n < 2) throw std::invalid_argument("make_context: need at least 2 PoPs");
+  if (populations.size() != n || traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument("make_context: shape mismatch");
+  }
+  validate_traffic_matrix(traffic);
+  Context ctx;
+  ctx.locations = std::move(locations);
+  ctx.populations = std::move(populations);
+  ctx.traffic = std::move(traffic);
+  ctx.distances = distance_matrix(ctx.locations);
+  return ctx;
+}
+
+}  // namespace cold

@@ -1,0 +1,61 @@
+// The randomized context that drives COLD's synthesis (paper §3.1).
+//
+// COLD's optimization is deterministic; statistical variety comes from
+// randomizing the *context*: PoP locations (a point process on a region)
+// and the traffic matrix (gravity model over random populations).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/point_process.h"
+#include "geom/region.h"
+#include "traffic/gravity.h"
+#include "traffic/population.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace cold {
+
+/// A fully instantiated synthesis context.
+struct Context {
+  std::vector<Point> locations;
+  std::vector<double> populations;
+  Matrix<double> traffic;   ///< gravity demand matrix
+  Matrix<double> distances; ///< pairwise PoP distances
+
+  std::size_t num_pops() const { return locations.size(); }
+};
+
+/// Declarative recipe for generating contexts. Defaults mirror the paper:
+/// uniform locations on the unit square, exponential populations (mean 30),
+/// gravity traffic.
+struct ContextConfig {
+  std::size_t num_pops = 30;
+  Rectangle region;  ///< default: unit square
+
+  /// Location model; null means UniformProcess.
+  std::shared_ptr<const PointProcess> point_process;
+
+  /// Population model; null means ExponentialPopulation(30).
+  std::shared_ptr<const PopulationModel> population_model;
+
+  /// Traffic options. The default scale (10) calibrates the traffic units so
+  /// the paper's k2 axis (Figs 5-9, k2 in [2.5e-5, 2e-3] with k0 = 10,
+  /// k1 = 1, n = 30) reproduces the published metric ranges — e.g. average
+  /// degree rising from ~1.9 to ~3.2. The absolute unit is arbitrary (k2
+  /// multiplies traffic, so scale and k2 trade off exactly); see
+  /// EXPERIMENTS.md "Traffic-unit calibration".
+  GravityOptions gravity{.scale = 10.0};
+};
+
+/// Draws one context. Deterministic given `rng`.
+Context generate_context(const ContextConfig& config, Rng& rng);
+
+/// Builds a context from fixed user data (e.g. real PoP coordinates and a
+/// measured traffic matrix). Validates shapes and traffic invariants.
+Context make_context(std::vector<Point> locations,
+                     std::vector<double> populations, Matrix<double> traffic);
+
+}  // namespace cold

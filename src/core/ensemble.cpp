@@ -1,0 +1,71 @@
+#include "core/ensemble.h"
+
+#include <limits>
+
+namespace cold {
+
+namespace {
+
+ConfidenceInterval ci_of(const std::vector<double>& xs, double level) {
+  return bootstrap_mean_ci(xs, level);
+}
+
+}  // namespace
+
+EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
+                                 std::uint64_t base_seed, double ci_level) {
+  EnsembleResult result;
+  result.runs.reserve(count);
+  std::vector<double> deg, diam, clus, cv, hubs, assort;
+  for (std::size_t i = 0; i < count; ++i) {
+    result.runs.push_back(synth.synthesize(base_seed + i));
+    const TopologyMetrics m =
+        compute_metrics(result.runs.back().network.topology);
+    deg.push_back(m.avg_degree);
+    diam.push_back(static_cast<double>(m.diameter));
+    clus.push_back(m.global_clustering);
+    cv.push_back(m.degree_cv);
+    hubs.push_back(static_cast<double>(m.hubs));
+    assort.push_back(m.assortativity);
+  }
+  result.stats.avg_degree = ci_of(deg, ci_level);
+  result.stats.diameter = ci_of(diam, ci_level);
+  result.stats.clustering = ci_of(clus, ci_level);
+  result.stats.degree_cv = ci_of(cv, ci_level);
+  result.stats.hubs = ci_of(hubs, ci_level);
+  result.stats.assortativity = ci_of(assort, ci_level);
+
+  // Distinctness check (paper criterion 1): smallest pairwise edit distance
+  // plus a whole-network comparison (topology, locations, traffic).
+  std::size_t min_diff = std::numeric_limits<std::size_t>::max();
+  result.all_distinct = true;
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.runs.size(); ++j) {
+      const Network& a = result.runs[i].network;
+      const Network& b = result.runs[j].network;
+      const std::size_t diff =
+          Topology::edge_difference(a.topology, b.topology);
+      min_diff = std::min(min_diff, diff);
+      if (diff == 0 && a.locations == b.locations && a.traffic == b.traffic) {
+        result.all_distinct = false;
+      }
+    }
+  }
+  result.min_pairwise_edge_difference =
+      result.runs.size() < 2 ? 0 : min_diff;
+  return result;
+}
+
+std::vector<TopologyMetrics> sweep_metrics(const Synthesizer& synth,
+                                           std::size_t count,
+                                           std::uint64_t base_seed) {
+  std::vector<TopologyMetrics> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SynthesisResult run = synth.synthesize(base_seed + i);
+    out.push_back(compute_metrics(run.network.topology));
+  }
+  return out;
+}
+
+}  // namespace cold

@@ -1,0 +1,54 @@
+// Ensemble generation — the simulation use case the paper is built for:
+// "generate a potentially large number of network topologies that are
+// similar, but varied enough to perform statistical analysis of results"
+// (§1, challenge 1). Also provides the per-parameter-point sweep helper the
+// evaluation figures are built on (Figs 5-9).
+#pragma once
+
+#include <vector>
+
+#include "core/synthesizer.h"
+#include "graph/metrics.h"
+#include "util/stats.h"
+
+namespace cold {
+
+/// Statistics of one topology metric across an ensemble.
+struct MetricStats {
+  ConfidenceInterval avg_degree;
+  ConfidenceInterval diameter;
+  ConfidenceInterval clustering;
+  ConfidenceInterval degree_cv;
+  ConfidenceInterval hubs;
+  ConfidenceInterval assortativity;
+};
+
+struct EnsembleResult {
+  std::vector<SynthesisResult> runs;
+  MetricStats stats;
+  /// Minimum pairwise edge difference between generated topologies. Note a
+  /// 0 here does not mean two networks are identical: strongly hub-priced
+  /// ensembles can repeat a labeled star shape while differing in locations
+  /// and traffic.
+  std::size_t min_pairwise_edge_difference = 0;
+  /// The paper's "distinct by construction" claim, checked across the full
+  /// network (topology, PoP locations, traffic): true iff every pair of
+  /// generated networks differs somewhere.
+  bool all_distinct = false;
+};
+
+/// Synthesizes `count` networks with seeds base_seed, base_seed+1, ...
+/// (each seed yields a fresh random context) and aggregates their metrics
+/// with bootstrap CIs at the given level.
+EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
+                                 std::uint64_t base_seed = 1,
+                                 double ci_level = 0.95);
+
+/// Lightweight sweep record used by the figure benches: synthesizes `count`
+/// networks and returns just their TopologyMetrics (no Network retained —
+/// sweeping hundreds of runs would otherwise hold a lot of memory).
+std::vector<TopologyMetrics> sweep_metrics(const Synthesizer& synth,
+                                           std::size_t count,
+                                           std::uint64_t base_seed = 1);
+
+}  // namespace cold

@@ -1,0 +1,47 @@
+#include "core/synthesizer.h"
+
+#include <stdexcept>
+
+#include "cost/evaluator.h"
+
+namespace cold {
+
+Synthesizer::Synthesizer(SynthesisConfig config) : config_(std::move(config)) {
+  config_.costs.validate();
+  config_.ga = config_.ga.resolved();  // fail fast on bad GA settings
+  if (config_.overprovision < 1.0) {
+    throw std::invalid_argument("Synthesizer: overprovision must be >= 1");
+  }
+}
+
+SynthesisResult Synthesizer::synthesize(std::uint64_t seed) const {
+  Rng context_rng(seed, /*stream=*/0);
+  const Context ctx = generate_context(config_.context, context_rng);
+  return synthesize_for_context(ctx, seed);
+}
+
+SynthesisResult Synthesizer::synthesize_for_context(const Context& context,
+                                                    std::uint64_t seed) const {
+  Evaluator eval(context.distances, context.traffic, config_.costs);
+
+  SynthesisResult result;
+  result.context = context;
+
+  Rng opt_rng(seed, /*stream=*/1);
+  std::vector<Topology> seeds;
+  if (config_.seed_with_heuristics) {
+    result.heuristics =
+        run_all_heuristics(eval, opt_rng, config_.heuristic_options);
+    for (const HeuristicResult& h : result.heuristics) {
+      seeds.push_back(h.topology);
+    }
+  }
+  result.ga = run_ga(eval, config_.ga, opt_rng, seeds);
+  result.cost = eval.breakdown(result.ga.best);
+  result.network =
+      build_network(result.ga.best, context.locations, context.populations,
+                    context.traffic, config_.overprovision);
+  return result;
+}
+
+}  // namespace cold

@@ -1,0 +1,71 @@
+// cold::Synthesizer — the library's main entry point.
+//
+// Wires the whole pipeline together: generate a random context (or accept a
+// fixed one), optionally run the greedy hub heuristics, run the GA seeded
+// with their outputs (the paper's best-performing "initialized GA", Fig 3),
+// and assemble the winning topology into a full Network with capacities and
+// routing.
+//
+// Typical use:
+//   cold::SynthesisConfig cfg;
+//   cfg.context.num_pops = 30;
+//   cfg.costs = {.k0 = 10, .k1 = 1, .k2 = 4e-4, .k3 = 10};
+//   cold::Synthesizer synth(cfg);
+//   cold::Network net = synth.synthesize(/*seed=*/1).network;
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/context.h"
+#include "cost/cost_model.h"
+#include "ga/genetic.h"
+#include "heuristics/hub_heuristics.h"
+#include "net/network.h"
+
+namespace cold {
+
+struct SynthesisConfig {
+  ContextConfig context;
+  CostParams costs;
+  GaConfig ga;
+
+  /// Seed the GA with the greedy heuristics' solutions ("initialized GA").
+  /// On by default: it dominates both plain GA and every heuristic (§5).
+  bool seed_with_heuristics = true;
+
+  HubHeuristicOptions heuristic_options;
+
+  /// Capacity overprovisioning factor O (>= 1) applied when building the
+  /// final Network (paper eq. (1) discussion).
+  double overprovision = 1.0;
+};
+
+struct SynthesisResult {
+  Network network;       ///< the synthesized PoP-level network
+  Context context;       ///< the context it was optimized for
+  CostBreakdown cost;    ///< cost decomposition of the winning topology
+  GaResult ga;           ///< GA diagnostics (history, final population, ...)
+  std::vector<HeuristicResult> heuristics;  ///< seeds, if enabled
+};
+
+class Synthesizer {
+ public:
+  explicit Synthesizer(SynthesisConfig config);
+
+  const SynthesisConfig& config() const { return config_; }
+
+  /// Generates a random context from `seed` and optimizes a network for it.
+  SynthesisResult synthesize(std::uint64_t seed) const;
+
+  /// Optimizes a network for a caller-supplied context. `seed` drives only
+  /// the GA/heuristic randomness, enabling the paper's "multiple topologies,
+  /// one context" simulation mode (§3.3 point 3).
+  SynthesisResult synthesize_for_context(const Context& context,
+                                         std::uint64_t seed) const;
+
+ private:
+  SynthesisConfig config_;
+};
+
+}  // namespace cold

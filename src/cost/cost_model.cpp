@@ -1,0 +1,30 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace cold {
+
+void CostParams::validate() const {
+  for (double k : {k0, k1, k2, k3}) {
+    if (!(k >= 0.0) || !std::isfinite(k)) {
+      throw std::invalid_argument(
+          "CostParams: costs must be finite and non-negative");
+    }
+  }
+}
+
+std::string CostParams::to_string() const {
+  std::ostringstream os;
+  os << "k0=" << k0 << " k1=" << k1 << " k2=" << k2 << " k3=" << k3;
+  return os.str();
+}
+
+double CostBreakdown::total() const {
+  if (!feasible) return std::numeric_limits<double>::infinity();
+  return existence + length + bandwidth + node;
+}
+
+}  // namespace cold

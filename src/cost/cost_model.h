@@ -1,0 +1,42 @@
+// COLD's cost model (paper §3.2):
+//
+//   cost(G) = sum_{i in E} (k0 + k1*l_i + k2*l_i*w_i) + sum_{j: deg(j)>1} k3
+//
+// k0: per-link existence cost; k1: per-unit-length cost (trenching/conduit);
+// k2: bandwidth-distance cost; k3: complexity cost per core (non-leaf) PoP.
+// Costs are relative — the paper fixes k1 = 1 — leaving three degrees of
+// freedom that tune the output from trees (k0/k1 dominant) through
+// hub-and-spoke (k3 dominant) to cliques (k2 dominant).
+#pragma once
+
+#include <string>
+
+namespace cold {
+
+struct CostParams {
+  double k0 = 10.0;  ///< link existence cost
+  double k1 = 1.0;   ///< per-length cost (fixed to 1 in the paper)
+  double k2 = 1e-4;  ///< per-length-per-bandwidth cost
+  double k3 = 0.0;   ///< hub (core node) complexity cost
+
+  /// Throws std::invalid_argument if any cost is negative or non-finite.
+  void validate() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const CostParams&, const CostParams&) = default;
+};
+
+/// Per-component decomposition of a topology's cost.
+struct CostBreakdown {
+  double existence = 0.0;  ///< k0 * |E|
+  double length = 0.0;     ///< k1 * sum l_i
+  double bandwidth = 0.0;  ///< k2 * sum l_i w_i
+  double node = 0.0;       ///< k3 * #core nodes
+  bool feasible = false;   ///< false when the topology cannot carry traffic
+
+  /// Total cost; +infinity when infeasible.
+  double total() const;
+};
+
+}  // namespace cold

@@ -1,0 +1,56 @@
+#include "cost/evaluator.h"
+
+#include <stdexcept>
+
+#include "traffic/gravity.h"
+
+namespace cold {
+
+Evaluator::Evaluator(Matrix<double> lengths, Matrix<double> traffic,
+                     CostParams params)
+    : lengths_(std::move(lengths)),
+      traffic_(std::move(traffic)),
+      params_(params) {
+  params_.validate();
+  const std::size_t n = lengths_.rows();
+  if (lengths_.cols() != n) {
+    throw std::invalid_argument("Evaluator: lengths must be square");
+  }
+  validate_traffic_matrix(traffic_);
+  if (traffic_.rows() != n) {
+    throw std::invalid_argument("Evaluator: traffic/lengths size mismatch");
+  }
+  loads_ = Matrix<double>::square(n, 0.0);
+}
+
+CostBreakdown Evaluator::breakdown(const Topology& g) {
+  if (g.num_nodes() != num_nodes()) {
+    throw std::invalid_argument("Evaluator: topology size mismatch");
+  }
+  ++evaluations_;
+  CostBreakdown b;
+  if (!route_loads(g, lengths_, traffic_, loads_, ws_)) {
+    b.feasible = false;  // disconnected: cannot carry the traffic
+    return b;
+  }
+  b.feasible = true;
+  const std::size_t n = g.num_nodes();
+  double sum_len = 0.0, sum_bw_len = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    const std::uint8_t* r = g.row(i);
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (!r[j]) continue;
+      sum_len += lengths_(i, j);
+      sum_bw_len += lengths_(i, j) * loads_(i, j);
+    }
+  }
+  b.existence = params_.k0 * static_cast<double>(g.num_edges());
+  b.length = params_.k1 * sum_len;
+  b.bandwidth = params_.k2 * sum_bw_len;
+  b.node = params_.k3 * static_cast<double>(g.num_core_nodes());
+  return b;
+}
+
+double Evaluator::cost(const Topology& g) { return breakdown(g).total(); }
+
+}  // namespace cold

@@ -1,0 +1,50 @@
+// Topology cost evaluation — the objective function minimized by the GA and
+// the greedy heuristics (paper §3.2.3, eq. (2)).
+//
+// An Evaluator binds the optimization context (PoP distance matrix + traffic
+// matrix) and the cost parameters, and scores candidate topologies. It owns
+// reusable workspace, so repeated evaluation performs no allocation; one
+// Evaluator must not be shared across threads (clone per thread instead).
+#pragma once
+
+#include "cost/cost_model.h"
+#include "net/routing.h"
+#include "util/matrix.h"
+
+namespace cold {
+
+class Evaluator {
+ public:
+  /// `lengths`: symmetric PoP distance matrix. `traffic`: demand matrix
+  /// (ordered pairs, symmetric under the gravity model). Both n x n.
+  Evaluator(Matrix<double> lengths, Matrix<double> traffic, CostParams params);
+
+  /// Total cost of the topology; +infinity if it cannot carry the traffic
+  /// (i.e. is disconnected). The hot path of the whole system.
+  double cost(const Topology& g);
+
+  /// Full per-component breakdown (same feasibility semantics).
+  CostBreakdown breakdown(const Topology& g);
+
+  /// Link loads from the most recent cost()/breakdown() call on a feasible
+  /// topology; invalidated by subsequent calls.
+  const Matrix<double>& last_loads() const { return loads_; }
+
+  std::size_t num_nodes() const { return lengths_.rows(); }
+  const Matrix<double>& lengths() const { return lengths_; }
+  const Matrix<double>& traffic() const { return traffic_; }
+  const CostParams& params() const { return params_; }
+
+  /// Number of cost evaluations performed (for performance reporting).
+  std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  Matrix<double> lengths_;
+  Matrix<double> traffic_;
+  CostParams params_;
+  Matrix<double> loads_;
+  RoutingWorkspace ws_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace cold

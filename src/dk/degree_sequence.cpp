@@ -1,0 +1,72 @@
+#include "dk/degree_sequence.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "dk/dk_rewire.h"
+
+namespace cold {
+
+bool is_graphical(std::vector<int> degrees) {
+  const std::size_t n = degrees.size();
+  for (int d : degrees) {
+    if (d < 0 || static_cast<std::size_t>(d) >= std::max<std::size_t>(n, 1)) {
+      return false;
+    }
+  }
+  const long long sum = std::accumulate(degrees.begin(), degrees.end(), 0LL);
+  if (sum % 2 != 0) return false;
+  std::sort(degrees.begin(), degrees.end(), std::greater<int>());
+  // Erdős–Gallai: for each k, sum of the k largest degrees is bounded.
+  std::vector<long long> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + degrees[i];
+  for (std::size_t k = 1; k <= n; ++k) {
+    long long rhs = static_cast<long long>(k) * (k - 1);
+    for (std::size_t i = k; i < n; ++i) {
+      rhs += std::min<long long>(degrees[i], static_cast<long long>(k));
+    }
+    if (prefix[k] > rhs) return false;
+  }
+  return true;
+}
+
+Topology havel_hakimi(const std::vector<int>& degrees) {
+  if (!is_graphical(degrees)) {
+    throw std::invalid_argument("havel_hakimi: sequence is not graphical");
+  }
+  const std::size_t n = degrees.size();
+  Topology g(n);
+  // Residual degrees with node ids; repeatedly satisfy the largest.
+  std::vector<std::pair<int, NodeId>> residual;
+  for (NodeId v = 0; v < n; ++v) residual.push_back({degrees[v], v});
+  while (true) {
+    std::sort(residual.begin(), residual.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;  // deterministic tie-break
+              });
+    if (residual.front().first == 0) break;
+    auto [d, v] = residual.front();
+    residual.front().first = 0;
+    if (static_cast<std::size_t>(d) >= residual.size()) {
+      throw std::logic_error("havel_hakimi: internal inconsistency");
+    }
+    for (int i = 1; i <= d; ++i) {
+      auto& [rd, u] = residual[static_cast<std::size_t>(i)];
+      if (rd <= 0) {
+        throw std::logic_error("havel_hakimi: sequence became infeasible");
+      }
+      --rd;
+      g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+Topology sample_with_degrees(const std::vector<int>& degrees, Rng& rng) {
+  Topology g = havel_hakimi(degrees);
+  return sample_1k_random(g, rng);
+}
+
+}  // namespace cold

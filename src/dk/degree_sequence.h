@@ -1,0 +1,28 @@
+// Degree-sequence (1K) graph construction: Erdős–Gallai feasibility,
+// Havel–Hakimi realization, and uniform-ish sampling via rewiring.
+//
+// This completes the dK toolchain: given any 1K distribution — e.g. one
+// measured from a real network — construct a realization and randomize it,
+// which is exactly the "1K-random graph" generation step of Mahadevan et
+// al. that the paper compares against.
+#pragma once
+
+#include <vector>
+
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace cold {
+
+/// Erdős–Gallai test: can the sequence be realized by a simple graph?
+bool is_graphical(std::vector<int> degrees);
+
+/// Deterministic Havel–Hakimi realization. Throws std::invalid_argument if
+/// the sequence is not graphical.
+Topology havel_hakimi(const std::vector<int>& degrees);
+
+/// A randomized realization: Havel–Hakimi followed by ~10|E| accepted
+/// degree-preserving double edge swaps.
+Topology sample_with_degrees(const std::vector<int>& degrees, Rng& rng);
+
+}  // namespace cold

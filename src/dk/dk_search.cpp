@@ -1,0 +1,60 @@
+#include "dk/dk_search.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "dk/dk_rewire.h"
+#include "graph/algorithms.h"
+#include "graph/isomorphism.h"
+
+namespace cold {
+
+DkMatchStats find_dk_matches_exhaustive(const Topology& g, int d,
+                                        std::size_t max_examples) {
+  const std::size_t n = g.num_nodes();
+  if (n > 6) {
+    throw std::invalid_argument(
+        "find_dk_matches_exhaustive: n > 6 is infeasible; use the rewiring "
+        "search");
+  }
+  std::vector<Edge> pairs;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) pairs.push_back(Edge{i, j});
+  }
+  DkMatchStats stats;
+  const std::uint64_t limit = 1ULL << pairs.size();
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    ++stats.candidates;
+    if (static_cast<std::size_t>(std::popcount(mask)) != g.num_edges()) {
+      continue;  // 0K mismatch
+    }
+    Topology cand(n);
+    for (std::size_t b = 0; b < pairs.size(); ++b) {
+      if ((mask >> b) & 1ULL) cand.add_edge(pairs[b].u, pairs[b].v);
+    }
+    if (!is_connected(cand) || !dk_equal(g, cand, d)) continue;
+    ++stats.matches;
+    if (are_isomorphic(g, cand)) ++stats.isomorphic_matches;
+    if (stats.examples.size() < max_examples) {
+      stats.examples.push_back(std::move(cand));
+    }
+  }
+  return stats;
+}
+
+DkMatchStats find_dk_matches_rewiring(const Topology& g, int d,
+                                      std::size_t samples, Rng& rng,
+                                      std::size_t max_examples) {
+  DkMatchStats stats;
+  for (std::size_t s = 0; s < samples; ++s) {
+    ++stats.candidates;
+    const Topology cand = sample_1k_random(g, rng);
+    if (!is_connected(cand) || !dk_equal(g, cand, d)) continue;
+    ++stats.matches;
+    if (are_isomorphic(g, cand)) ++stats.isomorphic_matches;
+    if (stats.examples.size() < max_examples) stats.examples.push_back(cand);
+  }
+  return stats;
+}
+
+}  // namespace cold

@@ -1,0 +1,47 @@
+// Searching for dK-matching graphs (Fig 2's experiment).
+//
+// The paper's Fig 2 argues that the 3K-distribution can over-constrain a
+// graph: every graph matching the example's 3K-distribution is isomorphic to
+// it. This module provides (a) an exhaustive search over all graphs on small
+// node sets, and (b) a randomized rewiring-based search for larger graphs,
+// each reporting how many matches exist and how many are isomorphic to the
+// input.
+#pragma once
+
+#include <vector>
+
+#include "dk/dk_series.h"
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace cold {
+
+struct DkMatchStats {
+  std::size_t candidates = 0;          ///< graphs examined
+  std::size_t matches = 0;             ///< connected, equal dK(<= d) distributions
+  std::size_t isomorphic_matches = 0;  ///< matches isomorphic to the input
+  std::vector<Topology> examples;      ///< up to `max_examples` matches
+};
+
+// Note: both searches count only *connected* candidates as matches. The
+// dK-series is defined for connected graphs, and data networks must be
+// connected — without this filter e.g. C4 + C6 would "match" C10's 3K
+// census while being a broken network.
+
+/// Exhaustively enumerates all 2^(n(n-1)/2) graphs on g's node set and
+/// reports those matching g's dK-distributions up to level d. Gated to
+/// n <= 6 (32768 graphs at n = 6). Prunes by edge count (a dK(>=0) match
+/// must have the same number of edges).
+DkMatchStats find_dk_matches_exhaustive(const Topology& g, int d,
+                                        std::size_t max_examples = 8);
+
+/// Randomized search: samples `samples` 1K-preserving rewirings of g and
+/// reports how many match the full dK(<= d) distribution, and how many of
+/// those are isomorphic to g. (1K-preserving sampling explores the whole
+/// fixed-degree-sequence space; matches are then filtered by the stronger
+/// d-level census.)
+DkMatchStats find_dk_matches_rewiring(const Topology& g, int d,
+                                      std::size_t samples, Rng& rng,
+                                      std::size_t max_examples = 8);
+
+}  // namespace cold

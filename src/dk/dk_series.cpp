@@ -1,0 +1,163 @@
+#include "dk/dk_series.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cold {
+
+namespace {
+
+// Canonical signature of the induced subgraph on `subset`: the
+// lexicographically smallest encoding of (global degree labels, adjacency
+// bits) over all permutations of the subset. d <= 4 so the d! scan is cheap.
+std::vector<int> canonical_signature(const Topology& g,
+                                     std::vector<NodeId> subset) {
+  std::sort(subset.begin(), subset.end());
+  std::vector<int> best;
+  std::vector<std::size_t> perm(subset.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  do {
+    std::vector<int> sig;
+    sig.reserve(perm.size() + perm.size() * perm.size() / 2);
+    for (std::size_t i : perm) {
+      sig.push_back(g.degree(subset[i]));
+    }
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      for (std::size_t j = i + 1; j < perm.size(); ++j) {
+        sig.push_back(g.has_edge(subset[perm[i]], subset[perm[j]]) ? 1 : 0);
+      }
+    }
+    if (best.empty() || sig < best) best = std::move(sig);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+bool subset_connected(const Topology& g, const std::vector<NodeId>& subset) {
+  const std::size_t d = subset.size();
+  if (d == 0) return false;
+  std::vector<bool> seen(d, false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t u = 0; u < d; ++u) {
+      if (!seen[u] && g.has_edge(subset[v], subset[u])) {
+        seen[u] = true;
+        ++visited;
+        stack.push_back(u);
+      }
+    }
+  }
+  return visited == d;
+}
+
+// Visits all size-d node subsets whose induced subgraph is connected.
+template <typename Fn>
+void for_each_connected_subset(const Topology& g, std::size_t d, Fn&& fn) {
+  const std::size_t n = g.num_nodes();
+  if (d > n) return;
+  std::vector<NodeId> subset(d);
+  // Iterative combinations.
+  std::vector<std::size_t> idx(d);
+  for (std::size_t i = 0; i < d; ++i) idx[i] = i;
+  while (true) {
+    for (std::size_t i = 0; i < d; ++i) subset[i] = idx[i];
+    if (subset_connected(g, subset)) fn(subset);
+    // Advance combination.
+    std::size_t i = d;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - d) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < d; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (d == 0) return;
+  }
+}
+
+}  // namespace
+
+DkDistribution dk_distribution(const Topology& g, int d) {
+  DkDistribution dist;
+  dist.d = d;
+  const std::size_t n = g.num_nodes();
+  switch (d) {
+    case 0:
+      dist.counts[{}] = g.num_edges();
+      return dist;
+    case 1:
+      for (NodeId v = 0; v < n; ++v) ++dist.counts[{g.degree(v)}];
+      return dist;
+    case 2:
+      for (const Edge& e : g.edges()) {
+        int a = g.degree(e.u), b = g.degree(e.v);
+        if (a > b) std::swap(a, b);
+        ++dist.counts[{a, b}];
+      }
+      return dist;
+    case 3: {
+      // Wedges: for every centre c, every unordered neighbour pair.
+      for (NodeId c = 0; c < n; ++c) {
+        const auto nbrs = g.neighbors(c);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+            const NodeId a = nbrs[i], b = nbrs[j];
+            if (g.has_edge(a, b)) continue;  // triangles counted separately
+            int ka = g.degree(a), kb = g.degree(b);
+            if (ka > kb) std::swap(ka, kb);
+            ++dist.counts[{0, ka, g.degree(c), kb}];
+          }
+        }
+      }
+      // Triangles.
+      for (NodeId i = 0; i < n; ++i) {
+        for (NodeId j = i + 1; j < n; ++j) {
+          if (!g.has_edge(i, j)) continue;
+          for (NodeId k = j + 1; k < n; ++k) {
+            if (g.has_edge(i, k) && g.has_edge(j, k)) {
+              std::vector<int> label{1, g.degree(i), g.degree(j), g.degree(k)};
+              std::sort(label.begin() + 1, label.end());
+              ++dist.counts[label];
+            }
+          }
+        }
+      }
+      return dist;
+    }
+    default:
+      throw std::invalid_argument("dk_distribution: d must be in {0,1,2,3}");
+  }
+}
+
+bool dk_equal(const Topology& a, const Topology& b, int d) {
+  if (d < 0 || d > 3) throw std::invalid_argument("dk_equal: d in {0,..,3}");
+  if (a.num_nodes() != b.num_nodes()) return false;
+  for (int level = 0; level <= d; ++level) {
+    if (!(dk_distribution(a, level) == dk_distribution(b, level))) return false;
+  }
+  return true;
+}
+
+std::size_t dk_parameter_count(const Topology& g, int d) {
+  if (d < 1 || d > 4) {
+    throw std::invalid_argument("dk_parameter_count: d must be in {1,..,4}");
+  }
+  if (d == 1) {
+    // Distinct degrees present.
+    return dk_distribution(g, 1).counts.size();
+  }
+  std::map<std::vector<int>, std::size_t> classes;
+  for_each_connected_subset(
+      g, static_cast<std::size_t>(d),
+      [&](const std::vector<NodeId>& subset) {
+        ++classes[canonical_signature(g, subset)];
+      });
+  return classes.size();
+}
+
+}  // namespace cold

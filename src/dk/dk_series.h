@@ -1,0 +1,47 @@
+// dK-series machinery (Mahadevan et al. [14,15]; paper §2, Figs 1-2).
+//
+// The dK-distribution of a graph G is the census of degree-labeled connected
+// subgraphs of size d:
+//   d=0  average degree (encoded here as the edge count, with n known)
+//   d=1  degree distribution
+//   d=2  joint degree distribution over edges
+//   d=3  wedge/triangle census labeled by degrees
+//
+// The paper uses this machinery to argue that dK is not "simple": the number
+// of distinct parameters grows rapidly with n and d (Fig 1), and the series
+// can over-constrain a graph to the point of uniqueness (Fig 2).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace cold {
+
+/// A dK-distribution: canonical signature -> occurrence count.
+/// Signatures: d=0: {}; d=1: {k}; d=2: {k_u, k_v} sorted;
+/// d=3: {shape, ...} with shape 0 = wedge (label {0, k_end, k_centre, k_end}
+/// with ends sorted) and shape 1 = triangle (label {1, k, k, k} sorted).
+struct DkDistribution {
+  int d = 0;
+  std::map<std::vector<int>, std::size_t> counts;
+
+  friend bool operator==(const DkDistribution&, const DkDistribution&) = default;
+};
+
+/// Computes the dK-distribution for d in {0, 1, 2, 3}.
+DkDistribution dk_distribution(const Topology& g, int d);
+
+/// True iff the graphs agree on *all* dK-distributions for d' <= d (the
+/// series is inclusive: matching at d implies matching below, but comparing
+/// all levels is cheap and robust for graphs with tiny components).
+bool dk_equal(const Topology& a, const Topology& b, int d);
+
+/// Number of distinct parameters in the dK-distribution for d in {1,..,4}:
+/// the count of distinct degree-labeled isomorphism classes of connected
+/// induced subgraphs on d nodes (Fig 1's y-axis). d=4 enumerates all C(n,4)
+/// subsets; fine for n <= ~60.
+std::size_t dk_parameter_count(const Topology& g, int d);
+
+}  // namespace cold

@@ -1,0 +1,183 @@
+#include "ga/genetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "ga/operators.h"
+#include "ga/repair.h"
+#include "graph/algorithms.h"
+
+namespace cold {
+
+GaConfig GaConfig::resolved() const {
+  GaConfig c = *this;
+  if (c.population < 2) {
+    throw std::invalid_argument("GaConfig: population must be >= 2");
+  }
+  if (c.generations == 0) {
+    throw std::invalid_argument("GaConfig: generations must be >= 1");
+  }
+  if (c.num_saved == 0 && c.num_crossover == 0 && c.num_mutation == 0) {
+    c.num_saved = std::max<std::size_t>(1, c.population / 10);
+    c.num_mutation = 3 * c.population / 10;
+    c.num_crossover = c.population - c.num_saved - c.num_mutation;
+  }
+  if (c.num_saved + c.num_crossover + c.num_mutation != c.population) {
+    throw std::invalid_argument(
+        "GaConfig: saved + crossover + mutation must equal population");
+  }
+  if (c.num_saved == 0) {
+    throw std::invalid_argument("GaConfig: need num_saved >= 1 (elitism)");
+  }
+  if (c.parents_a < 1 || c.parents_a > c.tournament_b) {
+    throw std::invalid_argument("GaConfig: need 1 <= parents_a <= tournament_b");
+  }
+  c.tournament_b = std::min(c.tournament_b, c.population);
+  c.parents_a = std::min(c.parents_a, c.tournament_b);
+  if (c.node_mutation_prob < 0.0 || c.node_mutation_prob > 1.0) {
+    throw std::invalid_argument("GaConfig: node_mutation_prob outside [0,1]");
+  }
+  if (c.init_link_prob < 0.0 || c.init_link_prob > 1.0) {
+    throw std::invalid_argument("GaConfig: init_link_prob outside [0,1]");
+  }
+  return c;
+}
+
+namespace {
+
+std::vector<Topology> initial_population(Objective& eval, const GaConfig& cfg,
+                                         Rng& rng,
+                                         const std::vector<Topology>& seeds) {
+  const std::size_t n = eval.num_nodes();
+  std::vector<Topology> pop;
+  pop.reserve(cfg.population);
+  if (cfg.include_mst_seed) {
+    pop.push_back(minimum_spanning_tree(eval.lengths()));
+  }
+  if (cfg.include_clique_seed && pop.size() < cfg.population) {
+    pop.push_back(Topology::complete(n));
+  }
+  for (const Topology& s : seeds) {
+    if (pop.size() >= cfg.population) break;
+    if (s.num_nodes() != n) {
+      throw std::invalid_argument("run_ga: seed topology size mismatch");
+    }
+    pop.push_back(s);
+  }
+  const double p = cfg.init_link_prob > 0.0
+                       ? cfg.init_link_prob
+                       : std::min(1.0, 2.5 / static_cast<double>(n - 1));
+  while (pop.size() < cfg.population) {
+    Topology g(n);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        if (rng.bernoulli(p)) g.add_edge(i, j);
+      }
+    }
+    pop.push_back(std::move(g));
+  }
+  return pop;
+}
+
+}  // namespace
+
+GaResult run_ga(Objective& eval, const GaConfig& config, Rng& rng,
+                const std::vector<Topology>& seeds) {
+  const GaConfig cfg = config.resolved();
+  const std::size_t n = eval.num_nodes();
+  if (n < 2) throw std::invalid_argument("run_ga: need at least 2 PoPs");
+
+  GaResult result;
+
+  std::vector<Topology> pop = initial_population(eval, cfg, rng, seeds);
+  std::vector<double> costs(pop.size());
+  auto repair_and_score = [&](Topology& g) {
+    const std::size_t added = repair_connectivity(g, eval.lengths());
+    if (added > 0) {
+      ++result.repairs;
+      result.links_repaired += added;
+    }
+    ++result.evaluations;
+    return eval.cost(g);
+  };
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    costs[i] = repair_and_score(pop[i]);
+  }
+
+  std::vector<Topology> next;
+  std::vector<double> next_costs;
+  next.reserve(cfg.population);
+  next_costs.reserve(cfg.population);
+
+  for (std::size_t gen = 0; gen < cfg.generations; ++gen) {
+    // Rank current population by cost (stable: ties keep insertion order).
+    std::vector<std::size_t> rank(pop.size());
+    std::iota(rank.begin(), rank.end(), 0);
+    std::stable_sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+      return costs[a] < costs[b];
+    });
+    result.best_cost_history.push_back(costs[rank.front()]);
+
+    next.clear();
+    next_costs.clear();
+    // 1. Elites survive unchanged.
+    for (std::size_t i = 0; i < cfg.num_saved; ++i) {
+      next.push_back(pop[rank[i]]);
+      next_costs.push_back(costs[rank[i]]);
+    }
+    // 2. Crossover children.
+    for (std::size_t i = 0; i < cfg.num_crossover; ++i) {
+      const auto parent_idx =
+          select_parents(costs, cfg.parents_a, cfg.tournament_b, rng);
+      std::vector<const Topology*> parents;
+      std::vector<double> parent_costs;
+      for (std::size_t pi : parent_idx) {
+        parents.push_back(&pop[pi]);
+        parent_costs.push_back(costs[pi]);
+      }
+      Topology child = crossover(parents, parent_costs, rng);
+      const double c = repair_and_score(child);
+      next.push_back(std::move(child));
+      next_costs.push_back(c);
+    }
+    // 3. Mutants.
+    for (std::size_t i = 0; i < cfg.num_mutation; ++i) {
+      Topology mutant = pop[inverse_cost_index(costs, rng)];
+      if (rng.bernoulli(cfg.node_mutation_prob)) {
+        if (!node_mutation(mutant, eval.lengths(), rng)) {
+          link_mutation(mutant, rng);
+        }
+      } else {
+        link_mutation(mutant, rng);
+      }
+      const double c = repair_and_score(mutant);
+      next.push_back(std::move(mutant));
+      next_costs.push_back(c);
+    }
+    pop.swap(next);
+    costs.swap(next_costs);
+  }
+
+  // Final ranking; report best and the whole final generation.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pop.size(); ++i) {
+    if (costs[i] < costs[best]) best = i;
+  }
+  result.best = pop[best];
+  result.best_cost = costs[best];
+  result.best_cost_history.push_back(costs[best]);
+  result.final_population = std::move(pop);
+  result.final_costs = std::move(costs);
+  return result;
+}
+
+GaResult run_ga(Evaluator& eval, const GaConfig& config, Rng& rng,
+                const std::vector<Topology>& seeds) {
+  EvaluatorObjective objective(eval);
+  return run_ga(objective, config, rng, seeds);
+}
+
+}  // namespace cold

@@ -1,0 +1,38 @@
+// Objective abstraction for the GA.
+//
+// The standard objective is cost/Evaluator (the paper's eq. (2)), but
+// extensions add terms — e.g. the growth module charges for decommissioning
+// installed links. run_ga() optimizes any Objective.
+#pragma once
+
+#include "cost/evaluator.h"
+#include "graph/topology.h"
+#include "util/matrix.h"
+
+namespace cold {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// Cost of a candidate; +infinity when infeasible.
+  virtual double cost(const Topology& g) = 0;
+
+  /// Physical PoP distances (used for repair, MST seeding, node mutation).
+  virtual const Matrix<double>& lengths() const = 0;
+
+  std::size_t num_nodes() const { return lengths().rows(); }
+};
+
+/// Adapts the standard Evaluator (does not own it).
+class EvaluatorObjective final : public Objective {
+ public:
+  explicit EvaluatorObjective(Evaluator& eval) : eval_(&eval) {}
+  double cost(const Topology& g) override { return eval_->cost(g); }
+  const Matrix<double>& lengths() const override { return eval_->lengths(); }
+
+ private:
+  Evaluator* eval_;
+};
+
+}  // namespace cold

@@ -1,0 +1,11 @@
+#include "ga/repair.h"
+
+#include "graph/algorithms.h"
+
+namespace cold {
+
+std::size_t repair_connectivity(Topology& g, const Matrix<double>& lengths) {
+  return connect_components(g, lengths);
+}
+
+}  // namespace cold

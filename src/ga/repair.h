@@ -1,0 +1,17 @@
+// Connectedness repair for GA offspring (paper §4.1.3).
+//
+// Crossover and mutation can disconnect a candidate. COLD finds the
+// connected components, the shortest physical link between each pair of
+// components, and adds the minimum (distance) spanning tree over components.
+#pragma once
+
+#include "graph/topology.h"
+#include "util/matrix.h"
+
+namespace cold {
+
+/// Makes `g` connected by the paper's component-MST rule. Returns the number
+/// of links added (0 when already connected).
+std::size_t repair_connectivity(Topology& g, const Matrix<double>& lengths);
+
+}  // namespace cold

@@ -1,0 +1,38 @@
+#include "geom/distance.h"
+
+#include <stdexcept>
+
+namespace cold {
+
+Matrix<double> distance_matrix(const std::vector<Point>& points) {
+  const std::size_t n = points.size();
+  Matrix<double> d = Matrix<double>::square(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dist = distance(points[i], points[j]);
+      d(i, j) = dist;
+      d(j, i) = dist;
+    }
+  }
+  return d;
+}
+
+std::size_t nearest_point(const std::vector<Point>& points, const Point& from,
+                          const std::vector<bool>& excluded) {
+  if (excluded.size() != points.size()) {
+    throw std::invalid_argument("nearest_point: excluded mask size mismatch");
+  }
+  std::size_t best = points.size();
+  double best_dist = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (excluded[i]) continue;
+    const double d = distance(points[i], from);
+    if (best == points.size() || d < best_dist) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace cold

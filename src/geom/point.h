@@ -1,0 +1,20 @@
+// 2D points for PoP locations.
+#pragma once
+
+#include <cmath>
+
+namespace cold {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Euclidean distance between two PoP locations.
+inline double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace cold

@@ -1,0 +1,148 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "graph/algorithms.h"
+
+namespace cold {
+
+namespace {
+
+// Shared DFS state for Tarjan bridge/articulation discovery. Iterative
+// implementation (explicit stack) so deep trees cannot overflow the call
+// stack.
+struct LowLink {
+  std::vector<int> disc;
+  std::vector<int> low;
+  std::vector<NodeId> parent;
+  std::vector<Edge> bridges;
+  std::vector<bool> articulation;
+
+  explicit LowLink(const Topology& g)
+      : disc(g.num_nodes(), -1),
+        low(g.num_nodes(), 0),
+        parent(g.num_nodes(), g.num_nodes()),
+        articulation(g.num_nodes(), false) {
+    int timer = 0;
+    const std::size_t n = g.num_nodes();
+    for (NodeId root = 0; root < n; ++root) {
+      if (disc[root] != -1) continue;
+      // Frame: (node, next neighbour to scan).
+      std::vector<std::pair<NodeId, NodeId>> stack{{root, 0}};
+      disc[root] = low[root] = timer++;
+      std::size_t root_children = 0;
+      while (!stack.empty()) {
+        auto& [v, next] = stack.back();
+        if (next < n) {
+          const NodeId u = next++;
+          if (!g.has_edge(v, u)) continue;
+          if (disc[u] == -1) {
+            parent[u] = v;
+            if (v == root) ++root_children;
+            disc[u] = low[u] = timer++;
+            stack.push_back({u, 0});
+          } else if (u != parent[v]) {
+            low[v] = std::min(low[v], disc[u]);
+          }
+        } else {
+          stack.pop_back();
+          if (!stack.empty()) {
+            const NodeId p = stack.back().first;
+            low[p] = std::min(low[p], low[v]);
+            if (low[v] > disc[p]) bridges.push_back(make_edge(p, v));
+            if (p != root && low[v] >= disc[p]) articulation[p] = true;
+          }
+        }
+      }
+      if (root_children > 1) articulation[root] = true;
+    }
+  }
+};
+
+// Unit-capacity max flow (Edmonds–Karp) between s and t over g's edges.
+std::size_t unit_max_flow(const Topology& g, NodeId s, NodeId t) {
+  const std::size_t n = g.num_nodes();
+  // Residual capacities; each undirected link is 1 in both directions.
+  Matrix<int> residual = Matrix<int>::square(n, 0);
+  for (const Edge& e : g.edges()) {
+    residual(e.u, e.v) = 1;
+    residual(e.v, e.u) = 1;
+  }
+  std::size_t flow = 0;
+  while (true) {
+    // BFS for an augmenting path.
+    std::vector<NodeId> pred(n, n);
+    std::queue<NodeId> q;
+    q.push(s);
+    pred[s] = s;
+    while (!q.empty() && pred[t] == n) {
+      const NodeId v = q.front();
+      q.pop();
+      for (NodeId u = 0; u < n; ++u) {
+        if (pred[u] == n && residual(v, u) > 0) {
+          pred[u] = v;
+          q.push(u);
+        }
+      }
+    }
+    if (pred[t] == n) break;
+    for (NodeId v = t; v != s; v = pred[v]) {
+      --residual(pred[v], v);
+      ++residual(v, pred[v]);
+    }
+    ++flow;
+  }
+  return flow;
+}
+
+}  // namespace
+
+std::vector<Edge> find_bridges(const Topology& g) {
+  LowLink ll(g);
+  std::sort(ll.bridges.begin(), ll.bridges.end());
+  return ll.bridges;
+}
+
+std::vector<NodeId> find_articulation_points(const Topology& g) {
+  LowLink ll(g);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (ll.articulation[v]) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t edge_connectivity(const Topology& g) {
+  const std::size_t n = g.num_nodes();
+  if (n < 2 || !is_connected(g)) return 0;
+  // Menger: global edge connectivity = min over t != s of maxflow(s, t).
+  std::size_t best = g.num_edges();
+  for (NodeId t = 1; t < n; ++t) {
+    best = std::min(best, unit_max_flow(g, 0, t));
+    if (best == 1) break;  // cannot get lower for a connected graph
+  }
+  return best;
+}
+
+bool survives_failures(const Topology& g, const std::vector<Edge>& fail) {
+  Topology damaged = g;
+  for (const Edge& e : fail) damaged.remove_edge(e.u, e.v);
+  return is_connected(damaged);
+}
+
+ResilienceReport analyze_resilience(const Topology& g) {
+  ResilienceReport report;
+  const auto bridges = find_bridges(g);
+  report.bridges = bridges.size();
+  report.articulation_points = find_articulation_points(g).size();
+  report.edge_connectivity = edge_connectivity(g);
+  report.single_link_failure_disconnect_rate =
+      g.num_edges() == 0 ? 0.0
+                         : static_cast<double>(bridges.size()) /
+                               static_cast<double>(g.num_edges());
+  return report;
+}
+
+}  // namespace cold

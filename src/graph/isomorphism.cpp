@@ -1,0 +1,111 @@
+#include "graph/isomorphism.h"
+
+#include <algorithm>
+
+namespace cold {
+
+namespace {
+
+// Iterative-refinement colouring (1-WL): start from degrees, refine by
+// multiset of neighbour colours until stable. Nodes mapped to each other
+// must share a colour, which prunes the backtracking search hard.
+std::vector<int> wl_colours(const Topology& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<int> colour(n);
+  for (NodeId v = 0; v < n; ++v) colour[v] = g.degree(v);
+  for (std::size_t round = 0; round < n; ++round) {
+    // signature = (colour, sorted neighbour colours)
+    std::vector<std::pair<std::vector<int>, NodeId>> sigs(n);
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<int> sig{colour[v]};
+      for (NodeId u : g.neighbors(v)) sig.push_back(colour[u]);
+      std::sort(sig.begin() + 1, sig.end());
+      sigs[v] = {std::move(sig), v};
+    }
+    auto sorted = sigs;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> next(n);
+    int c = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0 && sorted[i].first != sorted[i - 1].first) ++c;
+      next[sorted[i].second] = c;
+    }
+    if (next == colour) break;
+    colour = std::move(next);
+  }
+  return colour;
+}
+
+struct Search {
+  const Topology& a;
+  const Topology& b;
+  std::vector<int> colour_a;
+  std::vector<int> colour_b;
+  std::vector<NodeId> map;      // a -> b
+  std::vector<bool> used;       // b-node already used
+
+  bool backtrack(std::size_t idx, const std::vector<NodeId>& order) {
+    if (idx == order.size()) return true;
+    const NodeId va = order[idx];
+    for (NodeId vb = 0; vb < b.num_nodes(); ++vb) {
+      if (used[vb] || colour_a[va] != colour_b[vb]) continue;
+      // Consistency with already-mapped nodes.
+      bool ok = true;
+      for (std::size_t k = 0; k < idx; ++k) {
+        const NodeId ua = order[k];
+        if (a.has_edge(va, ua) != b.has_edge(vb, map[ua])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      map[va] = vb;
+      used[vb] = true;
+      if (backtrack(idx + 1, order)) return true;
+      used[vb] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> find_isomorphism(const Topology& a,
+                                                    const Topology& b) {
+  const std::size_t n = a.num_nodes();
+  if (n != b.num_nodes() || a.num_edges() != b.num_edges()) return std::nullopt;
+  if (n == 0) return std::vector<NodeId>{};
+
+  std::vector<int> ca = wl_colours(a);
+  std::vector<int> cb = wl_colours(b);
+  // Colour class sizes must agree.
+  {
+    std::vector<int> sa = ca, sb = cb;
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    if (sa != sb) return std::nullopt;
+  }
+
+  // Map rarest-colour nodes first to cut the branching factor.
+  std::vector<std::size_t> colour_count(n + 1, 0);
+  for (int c : ca) ++colour_count[static_cast<std::size_t>(c)];
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId x, NodeId y) {
+    const auto cx = colour_count[static_cast<std::size_t>(ca[x])];
+    const auto cy = colour_count[static_cast<std::size_t>(ca[y])];
+    if (cx != cy) return cx < cy;
+    return x < y;
+  });
+
+  Search s{a, b, std::move(ca), std::move(cb),
+           std::vector<NodeId>(n, 0), std::vector<bool>(n, false)};
+  if (s.backtrack(0, order)) return s.map;
+  return std::nullopt;
+}
+
+bool are_isomorphic(const Topology& a, const Topology& b) {
+  return find_isomorphism(a, b).has_value();
+}
+
+}  // namespace cold

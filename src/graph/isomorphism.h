@@ -1,0 +1,25 @@
+// Graph isomorphism testing for small graphs.
+//
+// Needed by the dK-series analysis (Fig 2): the paper's point is that the
+// 3K-distribution can constrain a graph so tightly that every matching graph
+// is isomorphic to the input — something you can only demonstrate with an
+// isomorphism test. Backtracking with degree-based pruning; intended for
+// n <= ~16 (the Fig 2 example has 8 nodes).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace cold {
+
+/// True iff the graphs are isomorphic. Both must have the same node count;
+/// different counts return false.
+bool are_isomorphic(const Topology& a, const Topology& b);
+
+/// If isomorphic, returns a mapping m with m[node of a] = node of b.
+std::optional<std::vector<NodeId>> find_isomorphism(const Topology& a,
+                                                    const Topology& b);
+
+}  // namespace cold

@@ -1,0 +1,38 @@
+// K shortest loopless paths (Yen's algorithm) by physical length.
+//
+// Simulation consumers of COLD networks routinely need backup paths —
+// protection routing, multipath spreading, what-if rerouting. Yen's
+// algorithm on top of the deterministic Dijkstra gives the K shortest
+// simple paths between a PoP pair, ordered by length with the same
+// tie-breaking as the router.
+#pragma once
+
+#include <vector>
+
+#include "graph/topology.h"
+#include "util/matrix.h"
+
+namespace cold {
+
+struct WeightedPath {
+  std::vector<NodeId> nodes;  ///< s..t inclusive
+  double length = 0.0;
+};
+
+/// Up to k shortest simple paths from s to t (fewer if the graph has
+/// fewer). Paths are ordered by (length, hop count, lexicographic nodes).
+/// Throws on invalid endpoints or k == 0. O(k * n * n^2) with the dense
+/// Dijkstra — fine at PoP scale.
+std::vector<WeightedPath> k_shortest_paths(const Topology& g,
+                                           const Matrix<double>& lengths,
+                                           NodeId s, NodeId t, std::size_t k);
+
+/// Two link-disjoint paths s->t if they exist (shortest pair by total
+/// length, via successive Dijkstra with edge removal — a simple 2-disjoint
+/// heuristic adequate for protection-path studies; empty second path if the
+/// graph has no disjoint pair). First element is always the shortest path.
+std::vector<WeightedPath> disjoint_path_pair(const Topology& g,
+                                             const Matrix<double>& lengths,
+                                             NodeId s, NodeId t);
+
+}  // namespace cold

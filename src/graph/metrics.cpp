@@ -1,0 +1,277 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stack>
+
+#include "graph/algorithms.h"
+#include "graph/shortest_paths.h"
+
+namespace cold {
+
+double average_degree(const Topology& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) /
+         static_cast<double>(g.num_nodes());
+}
+
+double degree_cv(const Topology& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  double mean = 0.0;
+  for (NodeId v = 0; v < n; ++v) mean += g.degree(v);
+  mean /= static_cast<double>(n);
+  if (mean == 0.0) return 0.0;
+  double ss = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const double d = g.degree(v) - mean;
+    ss += d * d;
+  }
+  // Population standard deviation, as used for CVND in [16].
+  return std::sqrt(ss / static_cast<double>(n)) / mean;
+}
+
+int diameter(const Topology& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return -1;
+  int diam = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (int h : bfs_hops(g, s)) {
+      if (h < 0) return -1;  // disconnected
+      diam = std::max(diam, h);
+    }
+  }
+  return diam;
+}
+
+double average_path_length(const Topology& g) {
+  const std::size_t n = g.num_nodes();
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (int h : bfs_hops(g, s)) {
+      if (h > 0) {
+        total += h;
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+std::size_t count_triangles(const Topology& g) {
+  const std::size_t n = g.num_nodes();
+  std::size_t triangles = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    const std::uint8_t* ri = g.row(i);
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (!ri[j]) continue;
+      const std::uint8_t* rj = g.row(j);
+      for (NodeId k = j + 1; k < n; ++k) {
+        if (ri[k] && rj[k]) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+double global_clustering(const Topology& g) {
+  // #connected triples (paths of length 2, centre counted) = sum_v C(d_v, 2).
+  double triples = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double d = g.degree(v);
+    triples += d * (d - 1) / 2.0;
+  }
+  if (triples == 0.0) return 0.0;
+  return 3.0 * static_cast<double>(count_triangles(g)) / triples;
+}
+
+double average_local_clustering(const Topology& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const int d = g.degree(v);
+    if (d < 2) continue;
+    const auto nbrs = g.neighbors(v);
+    std::size_t links = 0;
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        if (g.has_edge(nbrs[a], nbrs[b])) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) /
+             (static_cast<double>(d) * (d - 1));
+  }
+  return total / static_cast<double>(n);
+}
+
+double assortativity(const Topology& g) {
+  // Newman's formula via sums over edges.
+  const auto edges = g.edges();
+  if (edges.empty()) return 0.0;
+  const double m = static_cast<double>(edges.size());
+  double s_prod = 0.0, s_sum = 0.0, s_sq = 0.0;
+  for (const Edge& e : edges) {
+    const double du = g.degree(e.u);
+    const double dv = g.degree(e.v);
+    s_prod += du * dv;
+    s_sum += 0.5 * (du + dv);
+    s_sq += 0.5 * (du * du + dv * dv);
+  }
+  const double num = s_prod / m - (s_sum / m) * (s_sum / m);
+  const double den = s_sq / m - (s_sum / m) * (s_sum / m);
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+double smax_ratio(const Topology& g) {
+  const auto edges = g.edges();
+  if (edges.empty()) return 0.0;
+  double s = 0.0;
+  for (const Edge& e : edges) {
+    s += static_cast<double>(g.degree(e.u)) * g.degree(e.v);
+  }
+  // Greedy upper bound on s_max: pair the largest degree products first.
+  // (Exact s_max requires searching graphs with the same degree sequence;
+  // the standard greedy bound is tight enough to order graphs, which is all
+  // the entropy comparison in [1] needs.)
+  std::vector<int> deg(g.degrees());
+  std::sort(deg.begin(), deg.end(), std::greater<int>());
+  // Build the multiset of the |E| largest degree-pair products d_i * d_j
+  // over i < j (greedy): iterate pairs in decreasing product order via a
+  // priority queue.
+  using Item = std::pair<double, std::pair<std::size_t, std::size_t>>;
+  std::priority_queue<Item> pq;
+  const std::size_t n = deg.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    pq.push({static_cast<double>(deg[i]) * deg[i + 1], {i, i + 1}});
+  }
+  double smax = 0.0;
+  std::size_t taken = 0;
+  while (taken < edges.size() && !pq.empty()) {
+    const auto [prod, ij] = pq.top();
+    pq.pop();
+    smax += prod;
+    ++taken;
+    const auto [i, j] = ij;
+    if (j + 1 < n) {
+      pq.push({static_cast<double>(deg[i]) * deg[j + 1], {i, j + 1}});
+    }
+  }
+  return smax == 0.0 ? 0.0 : s / smax;
+}
+
+namespace {
+
+// Brandes' betweenness; accumulates node and/or edge scores.
+void brandes(const Topology& g, std::vector<double>* node_score,
+             std::vector<double>* edge_score,
+             const std::vector<Edge>* edges) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<std::size_t>> edge_index;
+  if (edge_score != nullptr) {
+    edge_index.assign(n, std::vector<std::size_t>(n, 0));
+    for (std::size_t i = 0; i < edges->size(); ++i) {
+      const Edge& e = (*edges)[i];
+      edge_index[e.u][e.v] = i;
+      edge_index[e.v][e.u] = i;
+    }
+  }
+  std::vector<double> sigma(n), delta(n);
+  std::vector<int> dist(n);
+  std::vector<std::vector<NodeId>> preds(n);
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    std::fill(dist.begin(), dist.end(), -1);
+    for (auto& p : preds) p.clear();
+    std::vector<NodeId> stack;
+    std::queue<NodeId> q;
+    sigma[s] = 1.0;
+    dist[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      stack.push_back(v);
+      const std::uint8_t* r = g.row(v);
+      for (NodeId w = 0; w < n; ++w) {
+        if (!r[w]) continue;
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          q.push(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          preds[w].push_back(v);
+        }
+      }
+    }
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      const NodeId w = *it;
+      for (NodeId v : preds[w]) {
+        const double share = sigma[v] / sigma[w] * (1.0 + delta[w]);
+        delta[v] += share;
+        if (edge_score != nullptr) {
+          (*edge_score)[edge_index[v][w]] += share;
+        }
+      }
+      if (w != s && node_score != nullptr) (*node_score)[w] += delta[w];
+    }
+  }
+  // Each undirected pair was counted from both endpoints; halve.
+  if (node_score != nullptr) {
+    for (double& x : *node_score) x /= 2.0;
+  }
+  if (edge_score != nullptr) {
+    for (double& x : *edge_score) x /= 2.0;
+  }
+}
+
+}  // namespace
+
+std::vector<double> node_betweenness(const Topology& g) {
+  std::vector<double> score(g.num_nodes(), 0.0);
+  brandes(g, &score, nullptr, nullptr);
+  return score;
+}
+
+std::vector<double> edge_betweenness(const Topology& g) {
+  const auto edges = g.edges();
+  std::vector<double> score(edges.size(), 0.0);
+  brandes(g, nullptr, &score, &edges);
+  return score;
+}
+
+std::vector<std::size_t> degree_histogram(const Topology& g) {
+  int max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  std::vector<std::size_t> hist(static_cast<std::size_t>(max_deg) + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++hist[static_cast<std::size_t>(g.degree(v))];
+  }
+  return hist;
+}
+
+TopologyMetrics compute_metrics(const Topology& g) {
+  TopologyMetrics m;
+  m.nodes = g.num_nodes();
+  m.edges = g.num_edges();
+  m.avg_degree = average_degree(g);
+  m.degree_cv = degree_cv(g);
+  m.connected = is_connected(g);
+  m.diameter = m.connected ? diameter(g) : -1;
+  m.avg_path_length = average_path_length(g);
+  m.global_clustering = global_clustering(g);
+  m.assortativity = assortativity(g);
+  m.hubs = g.num_core_nodes();
+  m.leaves = g.num_leaf_nodes();
+  return m;
+}
+
+}  // namespace cold

@@ -1,0 +1,135 @@
+#include "graph/shortest_paths.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+
+namespace cold {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void ShortestPathTree::resize(std::size_t n) {
+  dist.assign(n, kInf);
+  hops.assign(n, -1);
+  parent.assign(n, 0);
+  order.clear();
+  order.reserve(n);
+}
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  if (target >= dist.size() || dist[target] == kInf) return {};
+  std::vector<NodeId> path;
+  NodeId v = target;
+  path.push_back(v);
+  while (v != source) {
+    v = parent[v];
+    path.push_back(v);
+    if (path.size() > dist.size()) {
+      throw std::logic_error("path_to: parent cycle");  // defensive
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void shortest_path_tree(const Topology& g, const Matrix<double>& lengths,
+                        NodeId source, ShortestPathTree& out) {
+  const std::size_t n = g.num_nodes();
+  if (lengths.rows() != n || lengths.cols() != n) {
+    throw std::invalid_argument("shortest_path_tree: length shape mismatch");
+  }
+  if (source >= n) {
+    throw std::out_of_range("shortest_path_tree: source out of range");
+  }
+  out.source = source;
+  out.resize(n);
+  out.dist[source] = 0.0;
+  out.hops[source] = 0;
+  out.parent[source] = source;
+
+  // O(n^2) Dijkstra: repeatedly settle the unsettled node with the smallest
+  // (dist, hops, parent) key. The composite key is the deterministic
+  // tie-break documented in DESIGN.md.
+  std::vector<std::uint8_t> settled(n, 0);
+  for (std::size_t round = 0; round < n; ++round) {
+    NodeId best = n;
+    for (NodeId v = 0; v < n; ++v) {
+      if (settled[v] || out.dist[v] == kInf) continue;
+      if (best == n || out.dist[v] < out.dist[best] ||
+          (out.dist[v] == out.dist[best] &&
+           (out.hops[v] < out.hops[best] ||
+            (out.hops[v] == out.hops[best] && v < best)))) {
+        best = v;
+      }
+    }
+    if (best == n) break;  // remaining nodes unreachable
+    settled[best] = 1;
+    out.order.push_back(best);
+    const std::uint8_t* r = g.row(best);
+    for (NodeId u = 0; u < n; ++u) {
+      if (!r[u] || settled[u]) continue;
+      const double cand = out.dist[best] + lengths(best, u);
+      const int cand_hops = out.hops[best] + 1;
+      const bool better =
+          cand < out.dist[u] ||
+          (cand == out.dist[u] &&
+           (cand_hops < out.hops[u] ||
+            (cand_hops == out.hops[u] && out.dist[u] != kInf &&
+             best < out.parent[u])));
+      if (better) {
+        out.dist[u] = cand;
+        out.hops[u] = cand_hops;
+        out.parent[u] = best;
+      }
+    }
+  }
+}
+
+ShortestPathTree shortest_path_tree(const Topology& g,
+                                    const Matrix<double>& lengths,
+                                    NodeId source) {
+  ShortestPathTree tree;
+  shortest_path_tree(g, lengths, source, tree);
+  return tree;
+}
+
+Matrix<double> floyd_warshall(const Topology& g, const Matrix<double>& lengths) {
+  const std::size_t n = g.num_nodes();
+  if (lengths.rows() != n || lengths.cols() != n) {
+    throw std::invalid_argument("floyd_warshall: length shape mismatch");
+  }
+  Matrix<double> d = Matrix<double>::square(n, kInf);
+  for (NodeId i = 0; i < n; ++i) {
+    d(i, i) = 0.0;
+    const std::uint8_t* r = g.row(i);
+    for (NodeId j = 0; j < n; ++j) {
+      if (r[j]) d(i, j) = lengths(i, j);
+    }
+  }
+  for (NodeId k = 0; k < n; ++k) {
+    for (NodeId i = 0; i < n; ++i) {
+      if (d(i, k) == kInf) continue;
+      for (NodeId j = 0; j < n; ++j) {
+        const double via = d(i, k) + d(k, j);
+        if (via < d(i, j)) d(i, j) = via;
+      }
+    }
+  }
+  return d;
+}
+
+Matrix<int> all_pairs_hops(const Topology& g) {
+  const std::size_t n = g.num_nodes();
+  Matrix<int> hops(n, n, -1);
+  for (NodeId s = 0; s < n; ++s) {
+    const std::vector<int> h = bfs_hops(g, s);
+    for (NodeId t = 0; t < n; ++t) hops(s, t) = h[t];
+  }
+  return hops;
+}
+
+}  // namespace cold

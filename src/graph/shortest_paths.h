@@ -1,0 +1,50 @@
+// Shortest paths by physical length — the evaluator's hot path.
+//
+// COLD routes all traffic on shortest (physical-length) paths (§3.2.1), so
+// each cost evaluation runs one single-source shortest-path computation per
+// node. PoP graphs are small and dense-ish, so we use the O(n^2) Dijkstra
+// variant: no heap, no allocation (with a reused tree object), and fully
+// deterministic tie-breaking.
+#pragma once
+
+#include <vector>
+
+#include "graph/topology.h"
+#include "util/matrix.h"
+
+namespace cold {
+
+/// Single-source shortest-path tree.
+struct ShortestPathTree {
+  NodeId source = 0;
+  std::vector<double> dist;    ///< physical length; +inf if unreachable
+  std::vector<int> hops;       ///< hop count along the chosen path; -1 unreachable
+  std::vector<NodeId> parent;  ///< predecessor; parent[source] == source
+  std::vector<NodeId> order;   ///< reachable nodes in settling (increasing dist) order
+
+  void resize(std::size_t n);
+
+  /// Reconstructs the path source -> target (inclusive). Empty if unreachable.
+  std::vector<NodeId> path_to(NodeId target) const;
+};
+
+/// Dijkstra from `source` over the edges of `g` weighted by `lengths`.
+/// Ties are broken deterministically by (distance, hops, predecessor id),
+/// which makes routing — and therefore link loads and cost — reproducible.
+/// `out` is reused across calls to avoid allocation.
+void shortest_path_tree(const Topology& g, const Matrix<double>& lengths,
+                        NodeId source, ShortestPathTree& out);
+
+/// Convenience allocating wrapper.
+ShortestPathTree shortest_path_tree(const Topology& g,
+                                    const Matrix<double>& lengths,
+                                    NodeId source);
+
+/// All-pairs shortest path lengths via Floyd–Warshall. O(n^3); used for
+/// cross-checking Dijkstra and for small-instance analysis.
+Matrix<double> floyd_warshall(const Topology& g, const Matrix<double>& lengths);
+
+/// All-pairs hop counts via BFS; -1 where unreachable.
+Matrix<int> all_pairs_hops(const Topology& g);
+
+}  // namespace cold

@@ -1,0 +1,105 @@
+#include "graph/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace cold {
+
+namespace {
+
+// y = (c*I - L) x  where L = D - A is the Laplacian. All eigenvalues of
+// c*I - L are in [c - lambda_max, c]; with c >= lambda_max they are
+// non-negative, so power iteration converges to the top of the shifted
+// spectrum. Deflating the constant vector (the lambda = 0 eigenvector)
+// makes that top c - lambda_2.
+void apply_shifted(const Topology& g, double c, const std::vector<double>& x,
+                   std::vector<double>& y) {
+  const std::size_t n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    double acc = (c - g.degree(v)) * x[v];
+    const std::uint8_t* row = g.row(v);
+    for (NodeId u = 0; u < n; ++u) {
+      if (row[u]) acc += x[u];
+    }
+    y[v] = acc;
+  }
+}
+
+void remove_constant_component(std::vector<double>& x) {
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+double norm(const std::vector<double>& x) {
+  double ss = 0.0;
+  for (double v : x) ss += v * v;
+  return std::sqrt(ss);
+}
+
+}  // namespace
+
+SpectralResult algebraic_connectivity(const Topology& g,
+                                      const SpectralOptions& options) {
+  SpectralResult result;
+  const std::size_t n = g.num_nodes();
+  if (n < 2 || !is_connected(g)) {
+    result.fiedler.assign(n, 0.0);
+    result.converged = true;  // lambda_2 = 0 is exact here
+    return result;
+  }
+  int max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) max_degree = std::max(max_degree, g.degree(v));
+  const double c = 2.0 * max_degree + 1.0;  // >= lambda_max(L) + margin
+
+  Rng rng(options.seed, 0x57ec);  // fixed stream
+  std::vector<double> x(n), y(n);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  remove_constant_component(x);
+  double x_norm = norm(x);
+  if (x_norm == 0.0) {
+    x[0] = 1.0;
+    remove_constant_component(x);
+    x_norm = norm(x);
+  }
+  for (double& v : x) v /= x_norm;
+
+  double prev_mu = 0.0;
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    apply_shifted(g, c, x, y);
+    remove_constant_component(y);
+    const double mu = norm(y);  // Rayleigh-ish estimate of c - lambda_2
+    if (mu == 0.0) break;       // x in the nullspace; lambda_2 = c
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / mu;
+    if (result.iterations > 0 &&
+        std::abs(mu - prev_mu) <= options.tolerance * std::max(1.0, mu)) {
+      result.converged = true;
+      prev_mu = mu;
+      ++result.iterations;
+      break;
+    }
+    prev_mu = mu;
+  }
+  result.algebraic_connectivity = std::max(0.0, c - prev_mu);
+  result.fiedler = x;
+  return result;
+}
+
+std::vector<bool> spectral_partition(const Topology& g,
+                                     const SpectralOptions& options) {
+  if (!is_connected(g) || g.num_nodes() < 2) {
+    throw std::invalid_argument("spectral_partition: need a connected graph");
+  }
+  const SpectralResult r = algebraic_connectivity(g, options);
+  std::vector<bool> side(g.num_nodes());
+  for (std::size_t v = 0; v < side.size(); ++v) side[v] = r.fiedler[v] >= 0.0;
+  return side;
+}
+
+}  // namespace cold

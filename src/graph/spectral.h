@@ -1,0 +1,40 @@
+// Spectral graph measures: algebraic connectivity (Fiedler value) and the
+// Fiedler vector, via deflated power iteration on the Laplacian.
+//
+// Algebraic connectivity is a continuous robustness/partitionability score
+// that complements the combinatorial resilience metrics: lambda_2 = 0 iff
+// disconnected, small lambda_2 means a sparse cut exists (the Fiedler vector
+// signs expose it). Used by the resilience tooling and available to bench
+// consumers.
+#pragma once
+
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace cold {
+
+struct SpectralResult {
+  double algebraic_connectivity = 0.0;  ///< lambda_2 of the Laplacian
+  std::vector<double> fiedler;          ///< corresponding eigenvector
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+struct SpectralOptions {
+  std::size_t max_iterations = 5000;
+  double tolerance = 1e-9;
+  std::uint64_t seed = 1;  ///< start-vector randomization (deterministic)
+};
+
+/// Computes lambda_2 and the Fiedler vector. Returns
+/// algebraic_connectivity == 0 (exactly) for disconnected or trivial graphs.
+SpectralResult algebraic_connectivity(const Topology& g,
+                                      const SpectralOptions& options = {});
+
+/// The spectral bisection implied by the Fiedler vector's signs: nodes with
+/// non-negative entries on one side. Throws for disconnected input.
+std::vector<bool> spectral_partition(const Topology& g,
+                                     const SpectralOptions& options = {});
+
+}  // namespace cold

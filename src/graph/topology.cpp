@@ -1,0 +1,134 @@
+#include "graph/topology.h"
+
+#include <stdexcept>
+
+namespace cold {
+
+Edge make_edge(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("make_edge: self-loop");
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+Topology::Topology(std::size_t n)
+    : n_(n), adj_(n * n, 0), degree_(n, 0) {}
+
+Topology Topology::complete(std::size_t n) {
+  Topology t(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) t.add_edge(i, j);
+  }
+  return t;
+}
+
+Topology Topology::from_edges(std::size_t n, const std::vector<Edge>& edges) {
+  Topology t(n);
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      throw std::invalid_argument("Topology::from_edges: node out of range");
+    }
+    t.add_edge(e.u, e.v);
+  }
+  return t;
+}
+
+Topology Topology::star(std::size_t n, NodeId centre) {
+  if (centre >= n) throw std::invalid_argument("Topology::star: bad centre");
+  Topology t(n);
+  for (NodeId i = 0; i < n; ++i) {
+    if (i != centre) t.add_edge(centre, i);
+  }
+  return t;
+}
+
+bool Topology::add_edge(NodeId a, NodeId b) {
+  if (a >= n_ || b >= n_) throw std::out_of_range("add_edge: node out of range");
+  if (a == b) throw std::invalid_argument("add_edge: self-loop");
+  if (adj_[a * n_ + b]) return false;
+  adj_[a * n_ + b] = 1;
+  adj_[b * n_ + a] = 1;
+  ++degree_[a];
+  ++degree_[b];
+  ++num_edges_;
+  return true;
+}
+
+bool Topology::remove_edge(NodeId a, NodeId b) {
+  if (a >= n_ || b >= n_) {
+    throw std::out_of_range("remove_edge: node out of range");
+  }
+  if (a == b || !adj_[a * n_ + b]) return false;
+  adj_[a * n_ + b] = 0;
+  adj_[b * n_ + a] = 0;
+  --degree_[a];
+  --degree_[b];
+  --num_edges_;
+  return true;
+}
+
+void Topology::set_edge(NodeId a, NodeId b, bool present) {
+  if (present) {
+    add_edge(a, b);
+  } else {
+    remove_edge(a, b);
+  }
+}
+
+std::vector<Edge> Topology::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (NodeId i = 0; i < n_; ++i) {
+    const std::uint8_t* r = row(i);
+    for (NodeId j = i + 1; j < n_; ++j) {
+      if (r[j]) out.push_back(Edge{i, j});
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId v) const {
+  if (v >= n_) throw std::out_of_range("neighbors: node out of range");
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(degree_[v]));
+  const std::uint8_t* r = row(v);
+  for (NodeId j = 0; j < n_; ++j) {
+    if (r[j]) out.push_back(j);
+  }
+  return out;
+}
+
+std::size_t Topology::num_core_nodes() const {
+  std::size_t count = 0;
+  for (int d : degree_) {
+    if (d > 1) ++count;
+  }
+  return count;
+}
+
+std::size_t Topology::num_leaf_nodes() const {
+  std::size_t count = 0;
+  for (int d : degree_) {
+    if (d == 1) ++count;
+  }
+  return count;
+}
+
+void Topology::clear_edges() {
+  std::fill(adj_.begin(), adj_.end(), 0);
+  std::fill(degree_.begin(), degree_.end(), 0);
+  num_edges_ = 0;
+}
+
+std::size_t Topology::edge_difference(const Topology& a, const Topology& b) {
+  if (a.n_ != b.n_) {
+    throw std::invalid_argument("edge_difference: size mismatch");
+  }
+  std::size_t diff = 0;
+  for (NodeId i = 0; i < a.n_; ++i) {
+    for (NodeId j = i + 1; j < a.n_; ++j) {
+      if (a.adj_[i * a.n_ + j] != b.adj_[i * b.n_ + j]) ++diff;
+    }
+  }
+  return diff;
+}
+
+}  // namespace cold

@@ -1,0 +1,96 @@
+// Undirected simple graph over a fixed node set.
+//
+// This is the GA chromosome (paper §4: "each candidate topology ... is
+// stored as an n by n adjacency matrix"). PoP-level networks are small
+// (n rarely exceeds ~100, §5), so a dense symmetric byte matrix gives O(1)
+// edge tests, O(n) neighbour scans and O(n^2) crossover with tiny constants.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cold {
+
+/// Node index type. Nodes are 0..n-1.
+using NodeId = std::size_t;
+
+/// An undirected edge as an ordered pair (u < v).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Canonicalizes an edge so u < v. Throws on self-loops.
+Edge make_edge(NodeId a, NodeId b);
+
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Graph with n nodes and no edges.
+  explicit Topology(std::size_t n);
+
+  /// Complete graph on n nodes.
+  static Topology complete(std::size_t n);
+
+  /// Graph from an explicit edge list (duplicates are idempotent).
+  static Topology from_edges(std::size_t n, const std::vector<Edge>& edges);
+
+  /// Star with the given centre (every other node is a leaf of it).
+  static Topology star(std::size_t n, NodeId centre);
+
+  std::size_t num_nodes() const { return n_; }
+  std::size_t num_edges() const { return num_edges_; }
+
+  bool has_edge(NodeId a, NodeId b) const { return adj_[a * n_ + b] != 0; }
+
+  /// Adds the edge if absent; returns true if the graph changed.
+  bool add_edge(NodeId a, NodeId b);
+
+  /// Removes the edge if present; returns true if the graph changed.
+  bool remove_edge(NodeId a, NodeId b);
+
+  void set_edge(NodeId a, NodeId b, bool present);
+
+  int degree(NodeId v) const { return degree_[v]; }
+
+  /// Degrees of all nodes.
+  const std::vector<int>& degrees() const { return degree_; }
+
+  /// All edges as canonical (u < v) pairs in lexicographic order.
+  std::vector<Edge> edges() const;
+
+  /// Neighbours of v in increasing id order.
+  std::vector<NodeId> neighbors(NodeId v) const;
+
+  /// Nodes with degree > 1 — the paper's "core" PoPs, which pay the k3 cost.
+  std::size_t num_core_nodes() const;
+
+  /// Nodes with degree exactly 1 — leaf PoPs.
+  std::size_t num_leaf_nodes() const;
+
+  /// Removes all edges.
+  void clear_edges();
+
+  /// Raw row for hot loops: row(v)[u] != 0 iff edge (v,u) exists.
+  const std::uint8_t* row(NodeId v) const { return adj_.data() + v * n_; }
+
+  /// Number of edges differing between two same-size graphs (graph edit
+  /// distance restricted to edge flips).
+  static std::size_t edge_difference(const Topology& a, const Topology& b);
+
+  friend bool operator==(const Topology& a, const Topology& b) {
+    return a.n_ == b.n_ && a.adj_ == b.adj_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t num_edges_ = 0;
+  std::vector<std::uint8_t> adj_;  // n*n symmetric, zero diagonal
+  std::vector<int> degree_;
+};
+
+}  // namespace cold

@@ -1,0 +1,56 @@
+#include "heuristics/brute_force.h"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace cold {
+
+BruteForceResult brute_force_optimum(Evaluator& eval, std::size_t max_nodes) {
+  const std::size_t n = eval.num_nodes();
+  if (n < 2) throw std::invalid_argument("brute_force_optimum: n must be >= 2");
+  if (n > max_nodes || max_nodes > 8) {
+    throw std::invalid_argument(
+        "brute_force_optimum: n too large for exhaustive enumeration");
+  }
+  // Enumerate edge subsets as bitmasks over the n(n-1)/2 node pairs.
+  std::vector<Edge> pairs;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) pairs.push_back(Edge{i, j});
+  }
+  const std::size_t bits = pairs.size();
+  const std::uint64_t limit = 1ULL << bits;
+
+  BruteForceResult result;
+  result.cost = std::numeric_limits<double>::infinity();
+  Topology g(n);
+  std::uint64_t prev = 0;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    ++result.total;
+    // Flip only the bits that changed vs the previous mask (Gray-style
+    // incremental update keeps enumeration O(popcount of delta)).
+    std::uint64_t delta = mask ^ prev;
+    while (delta != 0) {
+      const int b = std::countr_zero(delta);
+      delta &= delta - 1;
+      const Edge& e = pairs[static_cast<std::size_t>(b)];
+      g.set_edge(e.u, e.v, (mask >> b) & 1ULL);
+    }
+    prev = mask;
+    // A connected graph needs at least n-1 edges.
+    if (static_cast<std::size_t>(std::popcount(mask)) + 1 < n) continue;
+    const double cost = eval.cost(g);
+    if (cost == std::numeric_limits<double>::infinity()) continue;
+    ++result.feasible;
+    if (cost < result.cost) {
+      result.cost = cost;
+      result.best = g;
+      result.optima = 1;
+    } else if (cost == result.cost) {
+      ++result.optima;
+    }
+  }
+  return result;
+}
+
+}  // namespace cold

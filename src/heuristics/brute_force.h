@@ -1,0 +1,28 @@
+// Exhaustive enumeration of all topologies on small node sets (paper §5).
+//
+// The paper validates the GA by checking that "for networks of up to 8 PoPs
+// the GA always finds the real optimal solution". This module provides the
+// ground truth: enumerate every graph on n nodes, score the feasible
+// (connected) ones, return the optimum. The count is 2^(n(n-1)/2), so this
+// is gated to n <= 8 (and even that takes a while; tests use n <= 6).
+#pragma once
+
+#include "cost/evaluator.h"
+#include "graph/topology.h"
+
+namespace cold {
+
+struct BruteForceResult {
+  Topology best;                   ///< a minimum-cost topology
+  double cost = 0.0;               ///< its cost
+  std::size_t total = 0;           ///< topologies enumerated
+  std::size_t feasible = 0;        ///< connected (finite-cost) topologies
+  std::size_t optima = 1;          ///< number of topologies attaining the optimum
+};
+
+/// Enumerates all 2^(n(n-1)/2) graphs and returns the global optimum.
+/// Throws std::invalid_argument for n < 2 or n > max_nodes (default 8).
+BruteForceResult brute_force_optimum(Evaluator& eval,
+                                     std::size_t max_nodes = 8);
+
+}  // namespace cold

@@ -1,0 +1,67 @@
+// Greedy hub-growth heuristics (paper §5).
+//
+// Each heuristic starts from the best single-hub star (every other PoP a
+// leaf of the hub) and converts leaves to hubs one at a time while doing so
+// reduces network cost; remaining leaves always attach to their closest hub.
+// The variants differ in how a new hub is wired to the existing hubs:
+//
+//   RandomGreedy      iterate PoPs in random permutations; greedy links
+//   Complete          try every candidate; hubs form a clique
+//   Mst               try every candidate; hubs connected by an MST
+//   GreedyAttachment  try every candidate; greedy links per new hub
+//
+// These serve two roles, exactly as in the paper: (a) competitors used to
+// validate the GA (Fig 3), and (b) seed topologies for the "initialized GA",
+// which is then guaranteed to be at least as good as every heuristic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/evaluator.h"
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace cold {
+
+enum class HubStrategy {
+  kRandomGreedy,
+  kComplete,
+  kMst,
+  kGreedyAttachment,
+};
+
+/// All strategies, in a stable order (for sweeps and reporting).
+std::vector<HubStrategy> all_hub_strategies();
+
+std::string to_string(HubStrategy s);
+
+struct HubHeuristicOptions {
+  /// Number of random permutations tried by RandomGreedy.
+  std::size_t num_permutations = 10;
+};
+
+struct HeuristicResult {
+  Topology topology;
+  double cost = 0.0;
+  std::string name;
+};
+
+/// Runs one heuristic against the evaluator's context. The returned
+/// topology is always connected; its cost is finite.
+HeuristicResult run_hub_heuristic(Evaluator& eval, HubStrategy strategy,
+                                  Rng& rng,
+                                  const HubHeuristicOptions& options = {});
+
+/// Runs every heuristic; results are in all_hub_strategies() order.
+std::vector<HeuristicResult> run_all_heuristics(
+    Evaluator& eval, Rng& rng, const HubHeuristicOptions& options = {});
+
+/// Builds the "hub set" topology used by all heuristics: the given hubs are
+/// wired with `hub_edges` (edges between hub node ids) and every non-hub
+/// attaches to its closest hub by distance. Exposed for testing.
+Topology build_hub_topology(std::size_t n, const std::vector<NodeId>& hubs,
+                            const std::vector<Edge>& hub_edges,
+                            const Matrix<double>& lengths);
+
+}  // namespace cold

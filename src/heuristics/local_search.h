@@ -1,0 +1,60 @@
+// Alternative optimization heuristics: hill climbing and simulated
+// annealing over the link-flip neighbourhood.
+//
+// The paper chooses a GA (§3.3) for flexibility, competitiveness, and its
+// population output, but explicitly frames it as one heuristic among many —
+// "network engineers ... do so heuristically". These optimizers provide the
+// comparison points: the ablation bench (ablation_optimizers) measures how
+// the GA's solution quality and evaluation budget compare against plain
+// local search and annealing on identical contexts, which is precisely the
+// kind of evidence §3.3's choice rests on.
+//
+// Both optimizers work on any Objective and preserve connectivity through
+// the same repair rule as the GA.
+#pragma once
+
+#include "ga/objective.h"
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace cold {
+
+struct LocalSearchResult {
+  Topology best;
+  double best_cost = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t moves_accepted = 0;
+};
+
+struct HillClimbConfig {
+  /// Starting point; if empty (0 nodes), the distance-MST is used.
+  Topology initial;
+  /// Maximum full neighbourhood passes (each pass evaluates every possible
+  /// link flip once).
+  std::size_t max_passes = 50;
+  /// Steepest-descent (scan all flips, take the best) vs first-improvement.
+  bool steepest = true;
+};
+
+/// Deterministic hill climbing over single link flips. Terminates at a local
+/// optimum or after max_passes.
+LocalSearchResult hill_climb(Objective& objective,
+                             const HillClimbConfig& config);
+
+struct AnnealingConfig {
+  Topology initial;           ///< empty -> distance-MST
+  std::size_t iterations = 20000;
+  double initial_temperature = 0.0;  ///< 0 -> auto-calibrated from sampling
+  double cooling = 0.9995;           ///< geometric cooling per iteration
+  /// Probability a move is a node-to-leaf collapse rather than a link flip
+  /// (mirrors the GA's node mutation; helps in high-k3 regimes).
+  double node_move_prob = 0.2;
+};
+
+/// Simulated annealing with link-flip and node-collapse moves. Infeasible
+/// (disconnected) proposals are repaired before evaluation, exactly like GA
+/// offspring. Deterministic given `rng`.
+LocalSearchResult simulated_annealing(Objective& objective,
+                                      const AnnealingConfig& config, Rng& rng);
+
+}  // namespace cold

@@ -1,0 +1,30 @@
+// JSON serialization of synthesized networks.
+//
+// The schema captures everything a simulator downstream needs: PoP
+// coordinates and populations, links with length/load/capacity, the traffic
+// matrix, and the overprovisioning factor. Round-trips: read(write(net))
+// reproduces the network (routing is recomputed on load — it is derived
+// state).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/network.h"
+
+namespace cold {
+
+/// Writes a network as a single JSON object.
+void write_network_json(std::ostream& os, const Network& net);
+
+/// Serializes to a string.
+std::string network_to_json(const Network& net);
+
+/// Parses a network from JSON produced by write_network_json. Throws
+/// std::runtime_error with a position-annotated message on malformed input,
+/// and std::invalid_argument when the document is valid JSON but violates
+/// network invariants (via build_network's checks).
+Network read_network_json(std::istream& is);
+Network network_from_json(const std::string& json);
+
+}  // namespace cold

@@ -1,0 +1,111 @@
+#include "net/network.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/distance.h"
+#include "graph/algorithms.h"
+#include "net/routing.h"
+
+namespace cold {
+
+double Network::link_capacity(NodeId a, NodeId b) const {
+  const Edge e = make_edge(a, b);
+  for (const Link& l : links) {
+    if (l.edge == e) return l.capacity;
+  }
+  throw std::invalid_argument("link_capacity: no such link");
+}
+
+double Network::max_utilization() const {
+  double worst = 0.0;
+  for (const Link& l : links) {
+    if (l.capacity > 0.0) worst = std::max(worst, l.load / l.capacity);
+  }
+  return worst;
+}
+
+Network build_network(const Topology& topology,
+                      const std::vector<Point>& locations,
+                      const std::vector<double>& populations,
+                      const Matrix<double>& traffic, double overprovision) {
+  const std::size_t n = topology.num_nodes();
+  if (locations.size() != n || populations.size() != n ||
+      traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument("build_network: shape mismatch");
+  }
+  if (!is_connected(topology)) {
+    throw std::invalid_argument("build_network: topology is disconnected");
+  }
+  if (overprovision < 1.0) {
+    throw std::invalid_argument("build_network: overprovision must be >= 1");
+  }
+
+  Network net;
+  net.topology = topology;
+  net.locations = locations;
+  net.populations = populations;
+  net.traffic = traffic;
+  net.lengths = distance_matrix(locations);
+  net.overprovision = overprovision;
+
+  Matrix<double> loads;
+  RoutingWorkspace ws;
+  if (!route_loads(topology, net.lengths, traffic, loads, ws)) {
+    throw std::logic_error("build_network: routing failed on connected graph");
+  }
+  for (const Edge& e : topology.edges()) {
+    Link link;
+    link.edge = e;
+    link.length = net.lengths(e.u, e.v);
+    link.load = loads(e.u, e.v);
+    link.capacity = overprovision * link.load;
+    net.links.push_back(link);
+  }
+  net.routing = routing_matrix(topology, net.lengths);
+  return net;
+}
+
+void validate_network(const Network& net) {
+  const std::size_t n = net.topology.num_nodes();
+  if (net.locations.size() != n) throw std::logic_error("locations size");
+  if (net.populations.size() != n) throw std::logic_error("populations size");
+  if (net.traffic.rows() != n || net.traffic.cols() != n) {
+    throw std::logic_error("traffic shape");
+  }
+  if (net.lengths.rows() != n || net.lengths.cols() != n) {
+    throw std::logic_error("lengths shape");
+  }
+  if (!is_connected(net.topology)) throw std::logic_error("disconnected");
+  const auto edges = net.topology.edges();
+  if (edges.size() != net.links.size()) throw std::logic_error("link count");
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Link& l = net.links[i];
+    if (l.edge != edges[i]) throw std::logic_error("link order");
+    if (std::abs(l.length - net.lengths(l.edge.u, l.edge.v)) > 1e-12) {
+      throw std::logic_error("link length");
+    }
+    if (l.load < 0) throw std::logic_error("negative load");
+    const double want = net.overprovision * l.load;
+    if (std::abs(l.capacity - want) > 1e-9 * std::max(1.0, want)) {
+      throw std::logic_error("capacity != overprovision * load");
+    }
+  }
+  // Routing must deliver every demand over existing links.
+  if (net.routing.rows() != n || net.routing.cols() != n) {
+    throw std::logic_error("routing shape");
+  }
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const auto path = route_path(net.routing, s, t);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (!net.topology.has_edge(path[i], path[i + 1])) {
+          throw std::logic_error("route uses a non-existent link");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cold

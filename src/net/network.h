@@ -1,0 +1,61 @@
+// The Network product type — COLD's output is "a network, not just an
+// abstract graph" (paper criterion 5): topology plus PoP coordinates, link
+// lengths, link capacities sized from routed traffic, and the routing
+// matrix.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/topology.h"
+#include "util/matrix.h"
+
+namespace cold {
+
+/// One inter-PoP link with its synthesis-produced attributes.
+struct Link {
+  Edge edge;             ///< canonical endpoints (u < v)
+  double length = 0.0;   ///< physical length
+  double load = 0.0;     ///< w_i: bandwidth required by routed traffic
+  double capacity = 0.0; ///< provisioned capacity = overprovision * load
+};
+
+/// A synthesized PoP-level network.
+struct Network {
+  Topology topology;
+  std::vector<Point> locations;        ///< PoP coordinates
+  std::vector<double> populations;     ///< gravity-model populations
+  Matrix<double> traffic;              ///< demand matrix used in synthesis
+  Matrix<double> lengths;              ///< full PoP distance matrix
+  std::vector<Link> links;             ///< aligned with topology.edges()
+  Matrix<NodeId> routing;              ///< next-hop matrix
+  double overprovision = 1.0;          ///< the paper's capacity factor O
+
+  std::size_t num_pops() const { return topology.num_nodes(); }
+  std::size_t num_links() const { return links.size(); }
+
+  /// Capacity of link {a, b}; throws if the link does not exist.
+  double link_capacity(NodeId a, NodeId b) const;
+
+  /// Maximum link utilization (load / capacity) over all links; 0 if there
+  /// are no links or all capacities are 0.
+  double max_utilization() const;
+};
+
+/// Assembles a Network from a connected topology, locations and traffic:
+/// computes lengths, routes all demands, sizes capacities with the given
+/// overprovisioning factor, and fills the routing matrix. Throws
+/// std::invalid_argument if the topology is disconnected or shapes mismatch.
+Network build_network(const Topology& topology,
+                      const std::vector<Point>& locations,
+                      const std::vector<double>& populations,
+                      const Matrix<double>& traffic,
+                      double overprovision = 1.0);
+
+/// Validates internal consistency (shapes, link alignment, capacity =
+/// overprovision * load, routing delivers every demand). Throws
+/// std::logic_error with a description on failure. Used in tests and after
+/// deserialization.
+void validate_network(const Network& net);
+
+}  // namespace cold

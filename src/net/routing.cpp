@@ -1,0 +1,91 @@
+#include "net/routing.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cold {
+
+bool route_loads(const Topology& g, const Matrix<double>& lengths,
+                 const Matrix<double>& traffic, Matrix<double>& loads,
+                 RoutingWorkspace& ws) {
+  const std::size_t n = g.num_nodes();
+  if (traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument("route_loads: traffic shape mismatch");
+  }
+  if (loads.rows() != n || loads.cols() != n) {
+    loads = Matrix<double>::square(n, 0.0);
+  } else {
+    loads.fill(0.0);
+  }
+  ws.aggregate.assign(n, 0.0);
+
+  for (NodeId s = 0; s < n; ++s) {
+    shortest_path_tree(g, lengths, s, ws.tree);
+    if (ws.tree.order.size() != n) return false;  // disconnected
+    // Push demands down the shortest-path tree: walking nodes in
+    // decreasing-distance order, each node hands its subtree demand to its
+    // parent edge. O(n) per source.
+    for (NodeId t = 0; t < n; ++t) ws.aggregate[t] = traffic(s, t);
+    for (std::size_t i = n; i-- > 1;) {  // skip the source (order[0])
+      const NodeId t = ws.tree.order[i];
+      const NodeId p = ws.tree.parent[t];
+      loads(p, t) += ws.aggregate[t];
+      loads(t, p) += ws.aggregate[t];
+      ws.aggregate[p] += ws.aggregate[t];
+    }
+  }
+  return true;
+}
+
+double total_demand_weighted_length(const Topology& g,
+                                    const Matrix<double>& lengths,
+                                    const Matrix<double>& traffic) {
+  const std::size_t n = g.num_nodes();
+  ShortestPathTree tree;
+  double total = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    shortest_path_tree(g, lengths, s, tree);
+    if (tree.order.size() != n) {
+      return std::numeric_limits<double>::infinity();
+    }
+    for (NodeId t = 0; t < n; ++t) total += traffic(s, t) * tree.dist[t];
+  }
+  return total;
+}
+
+Matrix<NodeId> routing_matrix(const Topology& g, const Matrix<double>& lengths) {
+  const std::size_t n = g.num_nodes();
+  Matrix<NodeId> next_hop = Matrix<NodeId>::square(n, 0);
+  ShortestPathTree tree;
+  for (NodeId s = 0; s < n; ++s) {
+    shortest_path_tree(g, lengths, s, tree);
+    if (tree.order.size() != n) {
+      throw std::invalid_argument("routing_matrix: graph is disconnected");
+    }
+    next_hop(s, s) = s;
+    // Nodes settle in increasing-distance order, so a node's parent has
+    // already had its next hop assigned.
+    for (std::size_t i = 1; i < tree.order.size(); ++i) {
+      const NodeId t = tree.order[i];
+      const NodeId p = tree.parent[t];
+      next_hop(s, t) = (p == s) ? t : next_hop(s, p);
+    }
+  }
+  return next_hop;
+}
+
+std::vector<NodeId> route_path(const Matrix<NodeId>& next_hop, NodeId s,
+                               NodeId t) {
+  const std::size_t n = next_hop.rows();
+  if (s >= n || t >= n) throw std::out_of_range("route_path: node out of range");
+  std::vector<NodeId> path{s};
+  NodeId v = s;
+  while (v != t) {
+    v = next_hop(v, t);
+    path.push_back(v);
+    if (path.size() > n) throw std::logic_error("route_path: routing loop");
+  }
+  return path;
+}
+
+}  // namespace cold

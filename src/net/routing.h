@@ -1,0 +1,57 @@
+// Shortest-path routing and link-load computation (paper §3.2.1).
+//
+// COLD routes every demand on its shortest physical path; the bandwidth a
+// link must carry (w_i) is the sum of all demands routed across it. This is
+// the dominant cost of evaluating a candidate topology, so the hot entry
+// point (`route_loads`) reuses caller-provided workspace and does no
+// allocation in the steady state.
+//
+// Direction convention: the traffic matrix is interpreted as ordered-pair
+// demands; an undirected link's load is the sum over both directions
+// traversing it. With the (symmetric) gravity matrices used by COLD this
+// simply counts each unordered demand twice, uniformly for all topologies,
+// so relative costs are unaffected.
+#pragma once
+
+#include <vector>
+
+#include "graph/shortest_paths.h"
+#include "graph/topology.h"
+#include "util/matrix.h"
+
+namespace cold {
+
+/// Reusable scratch space for routing computations.
+struct RoutingWorkspace {
+  ShortestPathTree tree;
+  std::vector<double> aggregate;  ///< per-node downstream demand sums
+};
+
+/// Computes per-link loads under shortest-path routing of `traffic` over the
+/// edges of `g` (weighted by `lengths`). `loads` is resized/zeroed; entry
+/// (u,v) = (v,u) = total demand crossing link {u,v}. Returns false if `g`
+/// is disconnected (some demand is unroutable; loads are then partial and
+/// must not be used).
+///
+/// Complexity: O(n * (n^2)) — one O(n^2) Dijkstra plus an O(n) aggregation
+/// per source.
+bool route_loads(const Topology& g, const Matrix<double>& lengths,
+                 const Matrix<double>& traffic, Matrix<double>& loads,
+                 RoutingWorkspace& ws);
+
+/// Sum over routes of demand * route physical length (the paper's
+/// sum_r t_r L_r from eq. (1)). Returns infinity if disconnected.
+double total_demand_weighted_length(const Topology& g,
+                                    const Matrix<double>& lengths,
+                                    const Matrix<double>& traffic);
+
+/// Full next-hop routing matrix: next_hop(s, t) is the neighbour of s on the
+/// chosen shortest path toward t; next_hop(s, s) == s. Throws if `g` is
+/// disconnected.
+Matrix<NodeId> routing_matrix(const Topology& g, const Matrix<double>& lengths);
+
+/// Extracts the node sequence s -> t implied by a next-hop matrix.
+std::vector<NodeId> route_path(const Matrix<NodeId>& next_hop, NodeId s,
+                               NodeId t);
+
+}  // namespace cold

@@ -1,0 +1,107 @@
+#include "router/graph_products.h"
+
+#include <stdexcept>
+
+namespace cold {
+
+Topology graph_product(const Topology& g, const Topology& h,
+                       ProductKind kind) {
+  const std::size_t ng = g.num_nodes();
+  const std::size_t nh = h.num_nodes();
+  if (ng == 0 || nh == 0) {
+    throw std::invalid_argument("graph_product: factors must be non-empty");
+  }
+  Topology out(ng * nh);
+  for (NodeId g1 = 0; g1 < ng; ++g1) {
+    for (NodeId h1 = 0; h1 < nh; ++h1) {
+      const NodeId a = product_node(g1, h1, nh);
+      for (NodeId g2 = 0; g2 < ng; ++g2) {
+        for (NodeId h2 = 0; h2 < nh; ++h2) {
+          const NodeId b = product_node(g2, h2, nh);
+          if (b <= a) continue;
+          const bool g_adj = g.has_edge(g1, g2);
+          const bool h_adj = h.has_edge(h1, h2);
+          const bool g_eq = g1 == g2;
+          const bool h_eq = h1 == h2;
+          bool link = false;
+          switch (kind) {
+            case ProductKind::kCartesian:
+              link = (g_eq && h_adj) || (h_eq && g_adj);
+              break;
+            case ProductKind::kTensor:
+              link = g_adj && h_adj;
+              break;
+            case ProductKind::kStrong:
+              link = (g_eq && h_adj) || (h_eq && g_adj) || (g_adj && h_adj);
+              break;
+            case ProductKind::kLexicographic:
+              link = g_adj || (g_eq && h_adj);
+              break;
+          }
+          if (link) out.add_edge(a, b);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+GeneralizedProductResult generalized_product(
+    const Topology& backbone, const GeneralizedProductSpec& spec) {
+  const std::size_t n = backbone.num_nodes();
+  if (spec.templates.size() != n) {
+    throw std::invalid_argument(
+        "generalized_product: one template per backbone node required");
+  }
+  if (!spec.gateway) {
+    throw std::invalid_argument("generalized_product: gateway rule required");
+  }
+  GeneralizedProductResult result;
+  result.block_start.resize(n);
+  std::size_t total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (spec.templates[v].num_nodes() == 0) {
+      throw std::invalid_argument(
+          "generalized_product: templates must be non-empty");
+    }
+    result.block_start[v] = total;
+    total += spec.templates[v].num_nodes();
+  }
+  result.graph = Topology(total);
+  result.origin.reserve(total);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId t = 0; t < spec.templates[v].num_nodes(); ++t) {
+      result.origin.emplace_back(v, t);
+    }
+    // Intra-block template edges.
+    for (const Edge& e : spec.templates[v].edges()) {
+      result.graph.add_edge(result.block_start[v] + e.u,
+                            result.block_start[v] + e.v);
+    }
+  }
+  // Backbone edges: join the gateway sets.
+  for (const Edge& e : backbone.edges()) {
+    const std::vector<NodeId> gu = spec.gateway(e.u, e);
+    const std::vector<NodeId> gv = spec.gateway(e.v, e);
+    if (gu.empty() || gv.empty()) {
+      throw std::invalid_argument(
+          "generalized_product: gateway sets must be non-empty");
+    }
+    for (NodeId a : gu) {
+      if (a >= spec.templates[e.u].num_nodes()) {
+        throw std::invalid_argument("generalized_product: bad gateway index");
+      }
+      for (NodeId b : gv) {
+        if (b >= spec.templates[e.v].num_nodes()) {
+          throw std::invalid_argument(
+              "generalized_product: bad gateway index");
+        }
+        result.graph.add_edge(result.block_start[e.u] + a,
+                              result.block_start[e.v] + b);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cold

@@ -1,0 +1,66 @@
+// Generalized graph products for structured network design (Parsonage et
+// al. [6, 25]; the machinery the paper names for router-level generation:
+// "the PoP-level design rules can be exploited to perform router-level
+// network generation ... which can be expressed through graph products").
+//
+// The classical products combine a "backbone" graph G with a "template"
+// graph H into a graph on V(G) x V(H):
+//
+//   Cartesian   (g,h)~(g',h')  iff  (g=g' and h~h') or (h=h' and g~g')
+//   Tensor      (g,h)~(g',h')  iff  g~g' and h~h'
+//   Strong      Cartesian ∪ Tensor
+//   Lexicographic (g,h)~(g',h') iff g~g' or (g=g' and h~h')
+//
+// The *generalized* product of [6] drops the uniform template: each
+// backbone node carries its own template graph, and a connection rule
+// decides which template nodes terminate inter-backbone links. That is
+// exactly the PoP -> router expansion: backbone = PoP graph, per-PoP
+// template = internal router design, rule = "inter-PoP links land on
+// gateway routers". expand_to_router_level() is one instance; this header
+// exposes the general machinery.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace cold {
+
+enum class ProductKind { kCartesian, kTensor, kStrong, kLexicographic };
+
+/// Classical product of G and H on V(G) x V(H); node (g, h) has index
+/// g * |V(H)| + h. Throws if either factor is empty.
+Topology graph_product(const Topology& g, const Topology& h,
+                       ProductKind kind);
+
+/// Index helper for product graphs.
+inline NodeId product_node(NodeId g, NodeId h, std::size_t h_size) {
+  return g * h_size + h;
+}
+
+/// Generalized product: per-backbone-node templates plus a gateway rule.
+struct GeneralizedProductSpec {
+  /// templates[v] is the internal graph of backbone node v (>= 1 node each).
+  std::vector<Topology> templates;
+  /// gateway(v, e) returns the local template-node indices of backbone node
+  /// v that terminate backbone edge e (must be non-empty, indices valid).
+  std::function<std::vector<NodeId>(NodeId v, const Edge& e)> gateway;
+};
+
+struct GeneralizedProductResult {
+  Topology graph;
+  /// Maps each product node to (backbone node, local template index).
+  std::vector<std::pair<NodeId, NodeId>> origin;
+  /// First product index of each backbone node's block.
+  std::vector<NodeId> block_start;
+};
+
+/// Builds the generalized product of `backbone` with the given spec: each
+/// backbone node is replaced by its template; every backbone edge becomes
+/// the complete bipartite join of the two endpoints' gateway sets. Throws
+/// std::invalid_argument on malformed specs.
+GeneralizedProductResult generalized_product(const Topology& backbone,
+                                             const GeneralizedProductSpec& spec);
+
+}  // namespace cold

@@ -1,0 +1,56 @@
+#include "sim/capacity.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cold {
+
+double max_traffic_multiplier(const Network& net) {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const Link& l : net.links) {
+    if (l.load <= 0.0) continue;
+    worst = std::min(worst, l.capacity / l.load);
+  }
+  return worst;
+}
+
+std::vector<LinkHeadroom> headroom_ranking(const Network& net) {
+  std::vector<LinkHeadroom> out;
+  out.reserve(net.links.size());
+  for (const Link& l : net.links) {
+    LinkHeadroom h;
+    h.edge = l.edge;
+    h.load = l.load;
+    h.capacity = l.capacity;
+    h.utilization = l.capacity > 0.0
+                        ? l.load / l.capacity
+                        : (l.load > 0.0
+                               ? std::numeric_limits<double>::infinity()
+                               : 0.0);
+    out.push_back(h);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LinkHeadroom& a, const LinkHeadroom& b) {
+                     return a.utilization > b.utilization;
+                   });
+  return out;
+}
+
+std::vector<double> required_capacities(const Network& net, double multiplier,
+                                        double overprovision) {
+  if (multiplier < 0.0) {
+    throw std::invalid_argument("required_capacities: multiplier must be >= 0");
+  }
+  if (overprovision < 1.0) {
+    throw std::invalid_argument("required_capacities: overprovision >= 1");
+  }
+  std::vector<double> out;
+  out.reserve(net.links.size());
+  for (const Link& l : net.links) {
+    out.push_back(overprovision * multiplier * l.load);
+  }
+  return out;
+}
+
+}  // namespace cold

@@ -1,0 +1,41 @@
+// Capacity planning over synthesized networks: how much traffic growth a
+// provisioned network absorbs, and where it runs out.
+//
+// COLD sizes capacities as overprovision * routed load (paper eq. (1)'s
+// factor O). These helpers answer the operator-side questions that factor
+// exists for: the maximum uniform demand multiplier the network carries
+// without overload, and the per-link headroom ranking that tells a planner
+// what to upgrade first.
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace cold {
+
+/// Largest multiplier f such that routing f * traffic keeps every link's
+/// load within capacity. With shortest-path routing and uniform scaling,
+/// loads scale linearly, so this is exact (no search needed):
+/// f = min over links of capacity / load. Returns +infinity if all loads
+/// are zero; 0 if some loaded link has zero capacity.
+double max_traffic_multiplier(const Network& net);
+
+struct LinkHeadroom {
+  Edge edge;
+  double load = 0.0;
+  double capacity = 0.0;
+  double utilization = 0.0;  ///< load / capacity (inf if capacity == 0)
+};
+
+/// Per-link utilization, sorted most-constrained first. The first entry is
+/// the binding constraint of max_traffic_multiplier().
+std::vector<LinkHeadroom> headroom_ranking(const Network& net);
+
+/// Capacity needed on every link to carry `multiplier` x the current
+/// traffic with the given overprovisioning; aligned with net.links. Useful
+/// for costing an upgrade under the paper's cost model.
+std::vector<double> required_capacities(const Network& net, double multiplier,
+                                        double overprovision = 1.0);
+
+}  // namespace cold

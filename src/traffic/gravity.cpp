@@ -1,0 +1,66 @@
+#include "traffic/gravity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cold {
+
+TrafficMatrix gravity_matrix(const std::vector<double>& populations,
+                             const GravityOptions& options) {
+  const std::size_t n = populations.size();
+  for (double p : populations) {
+    if (!(p > 0.0)) {
+      throw std::invalid_argument("gravity_matrix: populations must be > 0");
+    }
+  }
+  TrafficMatrix tm = TrafficMatrix::square(n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double t = options.scale * populations[i] * populations[j];
+      tm(i, j) = t;
+      tm(j, i) = t;
+      total += 2.0 * t;
+    }
+  }
+  if (options.normalize_total > 0.0 && total > 0.0) {
+    const double f = options.normalize_total / total;
+    for (double& x : tm.data()) x *= f;
+  }
+  return tm;
+}
+
+double total_traffic(const TrafficMatrix& tm) {
+  double total = 0.0;
+  for (double x : tm.data()) total += x;
+  return total;
+}
+
+std::vector<double> traffic_per_pop(const TrafficMatrix& tm) {
+  std::vector<double> row_sums(tm.rows(), 0.0);
+  for (std::size_t i = 0; i < tm.rows(); ++i) {
+    for (std::size_t j = 0; j < tm.cols(); ++j) row_sums[i] += tm(i, j);
+  }
+  return row_sums;
+}
+
+void validate_traffic_matrix(const TrafficMatrix& tm) {
+  if (tm.rows() != tm.cols()) {
+    throw std::invalid_argument("traffic matrix must be square");
+  }
+  for (std::size_t i = 0; i < tm.rows(); ++i) {
+    if (tm(i, i) != 0.0) {
+      throw std::invalid_argument("traffic matrix must have zero diagonal");
+    }
+    for (std::size_t j = 0; j < tm.cols(); ++j) {
+      if (!(tm(i, j) >= 0.0) || !std::isfinite(tm(i, j))) {
+        throw std::invalid_argument("traffic matrix entries must be finite, >= 0");
+      }
+      if (tm(i, j) != tm(j, i)) {
+        throw std::invalid_argument("traffic matrix must be symmetric");
+      }
+    }
+  }
+}
+
+}  // namespace cold

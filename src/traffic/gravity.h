@@ -1,0 +1,43 @@
+// Gravity-model traffic matrices (paper §3.1, refs [18-22]).
+//
+// Demand between PoPs i and j is proportional to the product of their
+// populations: T(i,j) = scale * p_i * p_j for i != j, T(i,i) = 0. This is
+// the maximum-entropy traffic model given per-PoP totals, and the paper's
+// (sole) traffic model; randomness enters through the populations.
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace cold {
+
+/// Traffic demand matrix. Symmetric, zero diagonal, non-negative.
+using TrafficMatrix = Matrix<double>;
+
+struct GravityOptions {
+  /// Overall scaling applied to every entry. With populations of mean m and
+  /// scale s, the expected total offered load is ~ s * m^2 * n * (n-1).
+  double scale = 1.0;
+  /// If > 0, rescale the whole matrix so its total (sum over ordered pairs)
+  /// equals this value; overrides `scale`.
+  double normalize_total = 0.0;
+};
+
+/// Builds the gravity matrix from per-PoP populations (all must be > 0).
+TrafficMatrix gravity_matrix(const std::vector<double>& populations,
+                             const GravityOptions& options = {});
+
+/// Sum over all ordered pairs (total offered traffic).
+double total_traffic(const TrafficMatrix& tm);
+
+/// Per-PoP total traffic (row sums); proportional to population under the
+/// gravity model.
+std::vector<double> traffic_per_pop(const TrafficMatrix& tm);
+
+/// Validates gravity-matrix invariants (symmetry, zero diagonal,
+/// non-negativity); throws std::invalid_argument on violation. Used by
+/// consumers that accept externally supplied matrices.
+void validate_traffic_matrix(const TrafficMatrix& tm);
+
+}  // namespace cold

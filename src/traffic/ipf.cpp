@@ -1,0 +1,114 @@
+#include "traffic/ipf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cold {
+
+IpfResult ipf_fit(const Matrix<double>& seed,
+                  const std::vector<double>& row_targets,
+                  const std::vector<double>& col_targets,
+                  const IpfOptions& options) {
+  const std::size_t n = seed.rows();
+  if (seed.cols() != n || row_targets.size() != n || col_targets.size() != n) {
+    throw std::invalid_argument("ipf_fit: shape mismatch");
+  }
+  double row_total = 0.0, col_total = 0.0;
+  for (double t : row_targets) {
+    if (!(t > 0)) throw std::invalid_argument("ipf_fit: targets must be > 0");
+    row_total += t;
+  }
+  for (double t : col_targets) {
+    if (!(t > 0)) throw std::invalid_argument("ipf_fit: targets must be > 0");
+    col_total += t;
+  }
+  if (std::abs(row_total - col_total) > 1e-6 * row_total) {
+    throw std::invalid_argument("ipf_fit: row/col target totals differ");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seed(i, i) != 0.0) {
+      throw std::invalid_argument("ipf_fit: seed diagonal must be zero");
+    }
+    // Each row needs at least one positive off-diagonal entry to be
+    // scalable to a positive target.
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (seed(i, j) < 0) {
+        throw std::invalid_argument("ipf_fit: seed must be non-negative");
+      }
+      row_sum += seed(i, j);
+    }
+    if (row_sum <= 0) {
+      throw std::invalid_argument("ipf_fit: seed has an all-zero row");
+    }
+  }
+
+  IpfResult result;
+  result.matrix = seed;
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    // Row scaling.
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) sum += result.matrix(i, j);
+      const double f = row_targets[i] / sum;
+      for (std::size_t j = 0; j < n; ++j) result.matrix(i, j) *= f;
+    }
+    // Column scaling.
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) sum += result.matrix(i, j);
+      const double f = col_targets[j] / sum;
+      for (std::size_t i = 0; i < n; ++i) result.matrix(i, j) *= f;
+    }
+    // Convergence: max relative marginal error.
+    result.max_error = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double row_sum = 0.0, col_sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        row_sum += result.matrix(i, j);
+        col_sum += result.matrix(j, i);
+      }
+      result.max_error = std::max(
+          result.max_error, std::abs(row_sum - row_targets[i]) / row_targets[i]);
+      result.max_error = std::max(
+          result.max_error, std::abs(col_sum - col_targets[i]) / col_targets[i]);
+    }
+    if (result.max_error <= options.tolerance) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+  return result;
+}
+
+IpfResult ipf_traffic_matrix(const std::vector<double>& per_pop_totals,
+                             const IpfOptions& options) {
+  const std::size_t n = per_pop_totals.size();
+  if (n < 2) throw std::invalid_argument("ipf_traffic_matrix: need n >= 2");
+  // Gravity seed from the targets themselves (max-entropy prior).
+  Matrix<double> seed = Matrix<double>::square(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(per_pop_totals[i] > 0)) {
+      throw std::invalid_argument("ipf_traffic_matrix: totals must be > 0");
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) seed(i, j) = per_pop_totals[i] * per_pop_totals[j];
+    }
+  }
+  IpfResult result = ipf_fit(seed, per_pop_totals, per_pop_totals, options);
+  // Equal row/col targets with a symmetric seed have a symmetric solution;
+  // the finite iteration stops a hair off it, so symmetrize explicitly
+  // (averaging preserves both marginals because they coincide).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (result.matrix(i, j) + result.matrix(j, i));
+      result.matrix(i, j) = avg;
+      result.matrix(j, i) = avg;
+    }
+  }
+  return result;
+}
+
+}  // namespace cold

@@ -1,0 +1,46 @@
+// Iterative proportional fitting (IPF) for traffic matrices.
+//
+// The gravity model is the maximum-entropy prior for a traffic matrix
+// (paper §3.1, refs [20, 22]); when per-PoP totals are *known* (e.g. from
+// interface counters), the maximum-entropy matrix consistent with them is
+// obtained by IPF-scaling a seed matrix to the target marginals. This lets
+// users synthesize networks against measured per-PoP volumes instead of
+// random populations.
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace cold {
+
+struct IpfOptions {
+  std::size_t max_iterations = 5000;
+  double tolerance = 1e-9;  ///< max relative marginal error at convergence
+};
+
+struct IpfResult {
+  Matrix<double> matrix;
+  std::size_t iterations = 0;
+  double max_error = 0.0;  ///< final max relative marginal error
+  bool converged = false;
+};
+
+/// Scales `seed` (non-negative, zero diagonal) so its row sums match
+/// `row_targets` and column sums match `col_targets`. Target vectors must
+/// be positive and their sums equal (within tolerance). Throws
+/// std::invalid_argument on inconsistent input. The classic RAS algorithm;
+/// symmetry of the seed plus equal row/col targets yields a symmetric
+/// result.
+IpfResult ipf_fit(const Matrix<double>& seed,
+                  const std::vector<double>& row_targets,
+                  const std::vector<double>& col_targets,
+                  const IpfOptions& options = {});
+
+/// Convenience for the symmetric traffic-matrix case: gravity seed from the
+/// targets themselves, fitted so every PoP's total traffic equals its
+/// target.
+IpfResult ipf_traffic_matrix(const std::vector<double>& per_pop_totals,
+                             const IpfOptions& options = {});
+
+}  // namespace cold

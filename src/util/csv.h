@@ -1,0 +1,43 @@
+// Aligned console tables and CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints (a) a human-readable aligned table mirroring the
+// paper's figure/table, and (b) a machine-readable CSV block for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cold {
+
+/// A cell is a string, an integer, or a double (formatted with %.6g).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Writes an aligned, human-readable table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+  /// Convenience: aligned table, then a "# CSV" block, to `os`.
+  void print_both(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Formats a Cell for display.
+std::string format_cell(const Cell& cell);
+
+}  // namespace cold

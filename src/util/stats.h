@@ -1,0 +1,63 @@
+// Summary statistics and bootstrap confidence intervals.
+//
+// The paper reports 95% bootstrap confidence intervals for the mean on every
+// sweep figure (Figs 3, 5-9); this module provides exactly that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cold {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Mean/stddev/min/max of a sample. Returns a zeroed Summary for empty input.
+Summary summarize(const std::vector<double>& xs);
+
+/// q-th quantile (0 <= q <= 1) by linear interpolation between order
+/// statistics. Throws on empty input.
+double quantile(std::vector<double> xs, double q);
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile-bootstrap CI for the mean (the method used in the paper's
+/// error bars). `level` is the two-sided coverage, e.g. 0.95.
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& xs,
+                                     double level = 0.95,
+                                     int resamples = 1000,
+                                     std::uint64_t seed = 12345);
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Coefficient of variation (stddev / mean); 0 if the mean is 0.
+double coefficient_of_variation(const std::vector<double>& xs);
+
+/// Shannon entropy (nats) of a discrete empirical distribution given by
+/// non-negative weights; 0 for degenerate input.
+double entropy(const std::vector<double>& weights);
+
+/// Histogram with `bins` equal-width bins over [lo, hi]. Values outside the
+/// range are clamped into the first/last bin. Returns per-bin counts.
+std::vector<std::size_t> histogram(const std::vector<double>& xs, double lo,
+                                   double hi, std::size_t bins);
+
+/// Log-spaced grid of `count` points from lo to hi inclusive (lo, hi > 0).
+std::vector<double> log_space(double lo, double hi, std::size_t count);
+
+/// Linearly spaced grid of `count` points from lo to hi inclusive.
+std::vector<double> lin_space(double lo, double hi, std::size_t count);
+
+}  // namespace cold

@@ -1,0 +1,86 @@
+#include "heuristics/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/context.h"
+#include "geom/distance.h"
+#include "graph/algorithms.h"
+#include "traffic/gravity.h"
+
+namespace cold {
+namespace {
+
+Evaluator make_evaluator(std::size_t n, CostParams params,
+                         std::uint64_t seed = 1) {
+  ContextConfig cfg;
+  cfg.num_pops = n;
+  Rng rng(seed);
+  const Context ctx = generate_context(cfg, rng);
+  return Evaluator(ctx.distances, ctx.traffic, params);
+}
+
+TEST(BruteForce, TwoNodesOnlyOneFeasibleGraph) {
+  const std::vector<Point> pts{{0, 0}, {1, 0}};
+  Evaluator eval(distance_matrix(pts), gravity_matrix({1.0, 1.0}),
+                 CostParams{10, 1, 0.1, 0});
+  const BruteForceResult r = brute_force_optimum(eval);
+  EXPECT_EQ(r.total, 2u);
+  EXPECT_EQ(r.feasible, 1u);
+  EXPECT_EQ(r.best.num_edges(), 1u);
+  // Cost: k0 + k1*1 + k2*1*2 (two unit demands traverse).
+  EXPECT_NEAR(r.cost, 10.0 + 1.0 + 0.1 * 2.0, 1e-12);
+}
+
+TEST(BruteForce, DominantLengthCostGivesMst) {
+  // With k1 huge and everything else tiny, the optimum is the MST.
+  Evaluator eval = make_evaluator(5, CostParams{0.0, 100.0, 1e-9, 0.0}, 3);
+  const BruteForceResult r = brute_force_optimum(eval);
+  const Topology mst = minimum_spanning_tree(eval.lengths());
+  EXPECT_EQ(r.best, mst);
+}
+
+TEST(BruteForce, DominantBandwidthCostGivesClique) {
+  Evaluator eval = make_evaluator(5, CostParams{1e-9, 1e-9, 100.0, 0.0}, 4);
+  const BruteForceResult r = brute_force_optimum(eval);
+  EXPECT_EQ(r.best.num_edges(), 10u);  // complete graph on 5 nodes
+}
+
+TEST(BruteForce, DominantHubCostGivesStar) {
+  Evaluator eval = make_evaluator(5, CostParams{1e-6, 1e-6, 1e-9, 1e6}, 5);
+  const BruteForceResult r = brute_force_optimum(eval);
+  EXPECT_EQ(r.best.num_core_nodes(), 1u);
+  EXPECT_EQ(r.best.num_edges(), 4u);
+}
+
+TEST(BruteForce, FeasibleCountMatchesConnectedGraphCount) {
+  // The number of connected labeled graphs on 4 nodes is 38 (OEIS A001187).
+  Evaluator eval = make_evaluator(4, CostParams{}, 6);
+  const BruteForceResult r = brute_force_optimum(eval);
+  EXPECT_EQ(r.total, 64u);
+  EXPECT_EQ(r.feasible, 38u);
+}
+
+TEST(BruteForce, OptimumNeverWorseThanAnyHandTopology) {
+  Evaluator eval = make_evaluator(6, CostParams{10, 1, 1e-3, 5}, 7);
+  const BruteForceResult r = brute_force_optimum(eval);
+  EXPECT_LE(r.cost, eval.cost(minimum_spanning_tree(eval.lengths())) + 1e-12);
+  EXPECT_LE(r.cost, eval.cost(Topology::complete(6)) + 1e-12);
+  for (NodeId c = 0; c < 6; ++c) {
+    EXPECT_LE(r.cost, eval.cost(Topology::star(6, c)) + 1e-12);
+  }
+  EXPECT_TRUE(std::isfinite(r.cost));
+  EXPECT_GE(r.optima, 1u);
+}
+
+TEST(BruteForce, GuardsAgainstLargeInstances) {
+  Evaluator eval = make_evaluator(9, CostParams{}, 8);
+  EXPECT_THROW(brute_force_optimum(eval), std::invalid_argument);
+  Evaluator small = make_evaluator(5, CostParams{}, 8);
+  EXPECT_THROW(brute_force_optimum(small, /*max_nodes=*/4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,173 @@
+// Tests for capacity planning (sim/capacity) and k-shortest paths
+// (graph/k_shortest).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "graph/k_shortest.h"
+#include "sim/capacity.h"
+#include "traffic/gravity.h"
+
+namespace cold {
+namespace {
+
+Network square_network(double overprovision = 2.0) {
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const std::vector<double> pops{10, 10, 10, 10};
+  return build_network(g, pts, pops, gravity_matrix(pops), overprovision);
+}
+
+TEST(Capacity, MultiplierEqualsOverprovision) {
+  // Uniform scaling: capacity = O * load on every link, so the max
+  // multiplier is exactly O.
+  for (double o : {1.0, 1.5, 3.0}) {
+    const Network net = square_network(o);
+    EXPECT_NEAR(max_traffic_multiplier(net), o, 1e-9);
+  }
+}
+
+TEST(Capacity, HeadroomSortedWorstFirst) {
+  Network net = square_network(2.0);
+  net.links[2].capacity *= 0.5;  // tighten one link by hand
+  const auto ranking = headroom_ranking(net);
+  ASSERT_EQ(ranking.size(), 4u);
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].utilization, ranking[i].utilization);
+  }
+  EXPECT_EQ(ranking.front().edge, net.links[2].edge);
+}
+
+TEST(Capacity, ZeroCapacityLoadedLinkIsInfinitelyConstrained) {
+  Network net = square_network(1.0);
+  net.links[0].capacity = 0.0;
+  const auto ranking = headroom_ranking(net);
+  EXPECT_TRUE(std::isinf(ranking.front().utilization));
+}
+
+TEST(Capacity, RequiredCapacitiesScaleLinearly) {
+  const Network net = square_network(1.0);
+  const auto need = required_capacities(net, 3.0, 1.5);
+  ASSERT_EQ(need.size(), net.links.size());
+  for (std::size_t i = 0; i < need.size(); ++i) {
+    EXPECT_NEAR(need[i], 4.5 * net.links[i].load, 1e-9);
+  }
+  EXPECT_THROW(required_capacities(net, -1.0), std::invalid_argument);
+  EXPECT_THROW(required_capacities(net, 1.0, 0.5), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+
+Matrix<double> unit_lengths(std::size_t n) {
+  Matrix<double> len = Matrix<double>::square(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) len(i, i) = 0.0;
+  return len;
+}
+
+TEST(KShortest, RingHasExactlyTwoSimplePaths) {
+  Topology ring(4);
+  ring.add_edge(0, 1);
+  ring.add_edge(1, 2);
+  ring.add_edge(2, 3);
+  ring.add_edge(3, 0);
+  const auto paths = k_shortest_paths(ring, unit_lengths(4), 0, 2, 5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].length, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].length, 2.0);
+  EXPECT_NE(paths[0].nodes, paths[1].nodes);
+}
+
+TEST(KShortest, OrderedByLength) {
+  // Square plus diagonal: 0-2 direct (1.2), around (2.0 each way).
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.add_edge(0, 2);
+  Matrix<double> len = unit_lengths(4);
+  len(0, 2) = len(2, 0) = 1.2;
+  const auto paths = k_shortest_paths(g, len, 0, 2, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].length, 1.2);
+  ASSERT_EQ(paths[0].nodes.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[1].length, 2.0);
+  EXPECT_DOUBLE_EQ(paths[2].length, 2.0);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.nodes.front(), 0u);
+    EXPECT_EQ(p.nodes.back(), 2u);
+  }
+}
+
+TEST(KShortest, PathsAreSimple) {
+  Topology g = Topology::complete(6);
+  Matrix<double> len = unit_lengths(6);
+  const auto paths = k_shortest_paths(g, len, 0, 5, 10);
+  EXPECT_EQ(paths.size(), 10u);
+  for (const auto& p : paths) {
+    std::set<NodeId> seen(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(seen.size(), p.nodes.size()) << "loop in path";
+  }
+  // Lengths non-decreasing.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].length, paths[i - 1].length - 1e-12);
+  }
+}
+
+TEST(KShortest, UnreachableAndValidation) {
+  Topology g(3);
+  g.add_edge(0, 1);
+  const auto paths = k_shortest_paths(g, unit_lengths(3), 0, 2, 3);
+  EXPECT_TRUE(paths.empty());
+  EXPECT_THROW(k_shortest_paths(g, unit_lengths(3), 0, 0, 3),
+               std::invalid_argument);
+  EXPECT_THROW(k_shortest_paths(g, unit_lengths(3), 0, 2, 0),
+               std::invalid_argument);
+  EXPECT_THROW(k_shortest_paths(g, unit_lengths(3), 0, 9, 1),
+               std::out_of_range);
+}
+
+TEST(KShortest, KLargerThanPathCount) {
+  Topology path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  const auto paths = k_shortest_paths(path, unit_lengths(3), 0, 2, 10);
+  EXPECT_EQ(paths.size(), 1u);  // only one simple path exists
+}
+
+TEST(DisjointPair, RingYieldsBothSides) {
+  Topology ring(4);
+  ring.add_edge(0, 1);
+  ring.add_edge(1, 2);
+  ring.add_edge(2, 3);
+  ring.add_edge(3, 0);
+  const auto pair = disjoint_path_pair(ring, unit_lengths(4), 0, 2);
+  ASSERT_EQ(pair.size(), 2u);
+  // Paths must be link-disjoint.
+  std::set<Edge> first_links;
+  for (std::size_t i = 0; i + 1 < pair[0].nodes.size(); ++i) {
+    first_links.insert(make_edge(pair[0].nodes[i], pair[0].nodes[i + 1]));
+  }
+  for (std::size_t i = 0; i + 1 < pair[1].nodes.size(); ++i) {
+    EXPECT_EQ(first_links.count(make_edge(pair[1].nodes[i],
+                                          pair[1].nodes[i + 1])),
+              0u);
+  }
+}
+
+TEST(DisjointPair, TreeHasNoSecondPath) {
+  Topology path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  const auto pair = disjoint_path_pair(path, unit_lengths(3), 0, 2);
+  EXPECT_EQ(pair.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cold

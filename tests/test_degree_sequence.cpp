@@ -1,0 +1,97 @@
+#include "dk/degree_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "dk/dk_series.h"
+#include "util/rng.h"
+
+namespace cold {
+namespace {
+
+TEST(IsGraphical, KnownSequences) {
+  EXPECT_TRUE(is_graphical({1, 1}));
+  EXPECT_TRUE(is_graphical({2, 2, 2}));          // triangle
+  EXPECT_TRUE(is_graphical({3, 3, 3, 3}));       // K4
+  EXPECT_TRUE(is_graphical({4, 1, 1, 1, 1}));    // star
+  EXPECT_TRUE(is_graphical({}));                 // empty
+  EXPECT_TRUE(is_graphical({0, 0, 0}));          // edgeless
+}
+
+TEST(IsGraphical, RejectsBadSequences) {
+  EXPECT_FALSE(is_graphical({1}));               // odd sum
+  EXPECT_FALSE(is_graphical({3, 1}));            // degree >= n
+  EXPECT_FALSE(is_graphical({-1, 1}));           // negative
+  EXPECT_FALSE(is_graphical({3, 3, 1, 1}));      // fails Erdos-Gallai
+  EXPECT_FALSE(is_graphical({2, 2, 1}));         // odd sum
+}
+
+TEST(HavelHakimi, RealizesExactDegrees) {
+  const std::vector<int> degrees{3, 2, 2, 2, 1};
+  const Topology g = havel_hakimi(degrees);
+  for (std::size_t v = 0; v < degrees.size(); ++v) {
+    EXPECT_EQ(g.degree(v), degrees[v]);
+  }
+}
+
+TEST(HavelHakimi, StarAndClique) {
+  const Topology star = havel_hakimi({4, 1, 1, 1, 1});
+  EXPECT_EQ(star.degree(0), 4);
+  const Topology k4 = havel_hakimi({3, 3, 3, 3});
+  EXPECT_EQ(k4.num_edges(), 6u);
+}
+
+TEST(HavelHakimi, ThrowsOnNonGraphical) {
+  EXPECT_THROW(havel_hakimi({3, 1}), std::invalid_argument);
+  EXPECT_THROW(havel_hakimi({1, 1, 1}), std::invalid_argument);
+}
+
+TEST(HavelHakimi, EdgelessSequence) {
+  const Topology g = havel_hakimi({0, 0, 0, 0});
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+}
+
+TEST(SampleWithDegrees, PreservesOneK) {
+  Rng rng(1);
+  const std::vector<int> degrees{4, 3, 3, 2, 2, 2, 1, 1};
+  const Topology reference = havel_hakimi(degrees);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Topology g = sample_with_degrees(degrees, rng);
+    EXPECT_TRUE(dk_distribution(reference, 1) == dk_distribution(g, 1));
+    for (std::size_t v = 0; v < degrees.size(); ++v) {
+      EXPECT_EQ(g.degree(v), degrees[v]);
+    }
+  }
+}
+
+TEST(SampleWithDegrees, ProducesVariety) {
+  Rng rng(2);
+  const std::vector<int> degrees{2, 2, 2, 2, 2, 2, 2, 2, 2, 2};
+  const Topology a = sample_with_degrees(degrees, rng);
+  const Topology b = sample_with_degrees(degrees, rng);
+  // Two samples of a 2-regular sequence on 10 nodes almost surely differ.
+  EXPECT_GT(Topology::edge_difference(a, b), 0u);
+}
+
+TEST(SampleWithDegrees, RandomGraphicalSequencesRoundTrip) {
+  // Fuzz: degrees harvested from random graphs are graphical by
+  // construction and must realize exactly.
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Topology g(12);
+    for (NodeId i = 0; i < 12; ++i) {
+      for (NodeId j = i + 1; j < 12; ++j) {
+        if (rng.bernoulli(0.3)) g.add_edge(i, j);
+      }
+    }
+    std::vector<int> degrees = g.degrees();
+    ASSERT_TRUE(is_graphical(degrees));
+    const Topology h = havel_hakimi(degrees);
+    for (std::size_t v = 0; v < degrees.size(); ++v) {
+      EXPECT_EQ(h.degree(v), degrees[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cold

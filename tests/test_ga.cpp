@@ -1,0 +1,200 @@
+#include "ga/genetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/context.h"
+#include "ga/repair.h"
+#include "graph/algorithms.h"
+#include "graph/metrics.h"
+#include "heuristics/brute_force.h"
+#include "heuristics/hub_heuristics.h"
+
+namespace cold {
+namespace {
+
+Evaluator make_evaluator(std::size_t n, CostParams params,
+                         std::uint64_t seed = 1) {
+  ContextConfig cfg;
+  cfg.num_pops = n;
+  Rng rng(seed);
+  const Context ctx = generate_context(cfg, rng);
+  return Evaluator(ctx.distances, ctx.traffic, params);
+}
+
+GaConfig small_ga() {
+  GaConfig cfg;
+  cfg.population = 30;
+  cfg.generations = 30;
+  return cfg;
+}
+
+TEST(GaConfig, DerivesComposition) {
+  GaConfig cfg;
+  cfg.population = 100;
+  const GaConfig r = cfg.resolved();
+  EXPECT_EQ(r.num_saved, 10u);
+  EXPECT_EQ(r.num_mutation, 30u);
+  EXPECT_EQ(r.num_crossover, 60u);
+  EXPECT_EQ(r.num_saved + r.num_crossover + r.num_mutation, r.population);
+}
+
+TEST(GaConfig, ValidatesComposition) {
+  GaConfig cfg;
+  cfg.population = 10;
+  cfg.num_saved = 5;
+  cfg.num_crossover = 3;
+  cfg.num_mutation = 3;  // sums to 11 != 10
+  EXPECT_THROW(cfg.resolved(), std::invalid_argument);
+  cfg.num_mutation = 2;
+  EXPECT_NO_THROW(cfg.resolved());
+}
+
+TEST(GaConfig, ValidatesRanges) {
+  GaConfig cfg;
+  cfg.population = 1;
+  EXPECT_THROW(cfg.resolved(), std::invalid_argument);
+  cfg = GaConfig{};
+  cfg.generations = 0;
+  EXPECT_THROW(cfg.resolved(), std::invalid_argument);
+  cfg = GaConfig{};
+  cfg.node_mutation_prob = 1.5;
+  EXPECT_THROW(cfg.resolved(), std::invalid_argument);
+  cfg = GaConfig{};
+  cfg.parents_a = 11;
+  cfg.tournament_b = 10;
+  EXPECT_THROW(cfg.resolved(), std::invalid_argument);
+}
+
+TEST(RunGa, ProducesConnectedFiniteBest) {
+  Evaluator eval = make_evaluator(15, CostParams{10, 1, 4e-4, 10});
+  Rng rng(1);
+  const GaResult r = run_ga(eval, small_ga(), rng);
+  EXPECT_TRUE(is_connected(r.best));
+  EXPECT_TRUE(std::isfinite(r.best_cost));
+  EXPECT_NEAR(r.best_cost, eval.cost(r.best), 1e-9);
+}
+
+TEST(RunGa, DeterministicGivenSeed) {
+  Evaluator eval1 = make_evaluator(12, CostParams{10, 1, 1e-4, 0});
+  Evaluator eval2 = make_evaluator(12, CostParams{10, 1, 1e-4, 0});
+  Rng rng1(7), rng2(7);
+  const GaResult a = run_ga(eval1, small_ga(), rng1);
+  const GaResult b = run_ga(eval2, small_ga(), rng2);
+  EXPECT_TRUE(a.best == b.best);
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+}
+
+TEST(RunGa, BestCostMonotoneOverGenerations) {
+  // Elitism guarantees the running best never regresses.
+  Evaluator eval = make_evaluator(15, CostParams{10, 1, 4e-4, 10});
+  Rng rng(2);
+  const GaResult r = run_ga(eval, small_ga(), rng);
+  for (std::size_t g = 1; g < r.best_cost_history.size(); ++g) {
+    EXPECT_LE(r.best_cost_history[g], r.best_cost_history[g - 1] + 1e-12);
+  }
+}
+
+TEST(RunGa, NeverWorseThanSeeds) {
+  // The "initialized GA" guarantee (paper §3.3): seeding with heuristic
+  // outputs bounds the result by the best seed.
+  Evaluator eval = make_evaluator(15, CostParams{10, 1, 4e-4, 10});
+  Rng hrng(3);
+  const auto heuristics = run_all_heuristics(eval, hrng);
+  std::vector<Topology> seeds;
+  double best_seed_cost = std::numeric_limits<double>::infinity();
+  for (const auto& h : heuristics) {
+    seeds.push_back(h.topology);
+    best_seed_cost = std::min(best_seed_cost, h.cost);
+  }
+  Rng rng(3);
+  const GaResult r = run_ga(eval, small_ga(), rng, seeds);
+  EXPECT_LE(r.best_cost, best_seed_cost + 1e-9);
+}
+
+TEST(RunGa, NeverWorseThanMstAndClique) {
+  Evaluator eval = make_evaluator(12, CostParams{10, 1, 1e-3, 0});
+  Rng rng(4);
+  const GaResult r = run_ga(eval, small_ga(), rng);
+  EXPECT_LE(r.best_cost,
+            eval.cost(minimum_spanning_tree(eval.lengths())) + 1e-9);
+  EXPECT_LE(r.best_cost, eval.cost(Topology::complete(12)) + 1e-9);
+}
+
+TEST(RunGa, FindsExactOptimumOnSmallInstances) {
+  // The paper's §5 check: the (initialized) GA finds the brute-force
+  // optimum for small n.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Evaluator eval = make_evaluator(5, CostParams{10, 1, 1e-3, 5}, seed);
+    const BruteForceResult exact = brute_force_optimum(eval);
+    Rng hrng(seed);
+    std::vector<Topology> seeds;
+    for (const auto& h : run_all_heuristics(eval, hrng)) {
+      seeds.push_back(h.topology);
+    }
+    Rng rng(seed);
+    GaConfig cfg;
+    cfg.population = 48;
+    cfg.generations = 48;
+    const GaResult r = run_ga(eval, cfg, rng, seeds);
+    EXPECT_NEAR(r.best_cost, exact.cost, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(RunGa, FinalPopulationConsistent) {
+  Evaluator eval = make_evaluator(10, CostParams{10, 1, 1e-4, 0});
+  Rng rng(5);
+  GaConfig cfg = small_ga();
+  const GaResult r = run_ga(eval, cfg, rng);
+  EXPECT_EQ(r.final_population.size(), cfg.population);
+  EXPECT_EQ(r.final_costs.size(), cfg.population);
+  for (std::size_t i = 0; i < r.final_population.size(); ++i) {
+    EXPECT_TRUE(is_connected(r.final_population[i]));
+    EXPECT_GE(r.final_costs[i], r.best_cost - 1e-12);
+  }
+  // History: one entry per generation plus the final state.
+  EXPECT_EQ(r.best_cost_history.size(), cfg.generations + 1);
+  EXPECT_GT(r.evaluations, cfg.population);
+}
+
+TEST(RunGa, SeedSizeMismatchThrows) {
+  Evaluator eval = make_evaluator(10, CostParams{});
+  Rng rng(6);
+  EXPECT_THROW(run_ga(eval, small_ga(), rng, {Topology(5)}),
+               std::invalid_argument);
+}
+
+TEST(RunGa, HighHubCostProducesHubbyNetworks) {
+  // The plain GA is weak in the hub regime (the paper's Fig 3 observation);
+  // seeded with the heuristics — the recommended configuration — it must
+  // find a strongly hub-centric network.
+  Evaluator eval = make_evaluator(15, CostParams{10, 1, 1e-4, 1000});
+  Rng hrng(8);
+  std::vector<Topology> seeds;
+  for (const auto& h : run_all_heuristics(eval, hrng)) {
+    seeds.push_back(h.topology);
+  }
+  Rng rng(8);
+  const GaResult r = run_ga(eval, small_ga(), rng, seeds);
+  EXPECT_LE(r.best.num_core_nodes(), 3u);
+}
+
+TEST(RunGa, HighBandwidthCostProducesMeshyNetworks) {
+  Evaluator eval = make_evaluator(12, CostParams{1, 1, 1.0, 0});
+  Rng rng(9);
+  const GaResult r = run_ga(eval, small_ga(), rng);
+  // k2 dominant: approaching a clique (avg degree near n-1).
+  EXPECT_GT(average_degree(r.best), 8.0);
+}
+
+TEST(RepairConnectivity, CountsAddedLinks) {
+  Evaluator eval = make_evaluator(8, CostParams{});
+  Topology g(8);  // fully disconnected
+  const std::size_t added = repair_connectivity(g, eval.lengths());
+  EXPECT_EQ(added, 7u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,130 @@
+#include "router/graph_products.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/metrics.h"
+
+namespace cold {
+namespace {
+
+Topology path_graph(std::size_t n) {
+  Topology g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(GraphProduct, CartesianOfPathsIsGrid) {
+  // P3 box P4 = 3x4 grid: 3*4 nodes, 3*3 + 2*4 = 17 edges.
+  const Topology grid =
+      graph_product(path_graph(3), path_graph(4), ProductKind::kCartesian);
+  EXPECT_EQ(grid.num_nodes(), 12u);
+  EXPECT_EQ(grid.num_edges(), 17u);
+  EXPECT_TRUE(is_connected(grid));
+  // Corner degree 2, centre degree 4.
+  EXPECT_EQ(grid.degree(product_node(0, 0, 4)), 2);
+  EXPECT_EQ(grid.degree(product_node(1, 1, 4)), 4);
+}
+
+TEST(GraphProduct, EdgeCountFormulas) {
+  // |E(G x H)|: Cartesian = nG*eH + nH*eG; Tensor = 2*eG*eH;
+  // Strong = Cartesian + Tensor; Lexicographic = nH^2*eG + nG*eH.
+  const Topology g = path_graph(4);   // nG=4, eG=3
+  const Topology h = Topology::complete(3);  // nH=3, eH=3
+  EXPECT_EQ(graph_product(g, h, ProductKind::kCartesian).num_edges(),
+            4u * 3u + 3u * 3u);
+  EXPECT_EQ(graph_product(g, h, ProductKind::kTensor).num_edges(),
+            2u * 3u * 3u);
+  EXPECT_EQ(graph_product(g, h, ProductKind::kStrong).num_edges(),
+            4u * 3u + 3u * 3u + 2u * 3u * 3u);
+  EXPECT_EQ(graph_product(g, h, ProductKind::kLexicographic).num_edges(),
+            3u * 3u * 3u + 4u * 3u);
+}
+
+TEST(GraphProduct, TensorOfBipartiteIsDisconnected) {
+  // Tensor product of two bipartite graphs (paths) is disconnected —
+  // a classical fact (Weichsel).
+  const Topology t =
+      graph_product(path_graph(3), path_graph(3), ProductKind::kTensor);
+  EXPECT_FALSE(is_connected(t));
+}
+
+TEST(GraphProduct, Validates) {
+  EXPECT_THROW(graph_product(Topology(0), path_graph(2),
+                             ProductKind::kCartesian),
+               std::invalid_argument);
+}
+
+TEST(GeneralizedProduct, UniformTemplatesMatchStructure) {
+  // Backbone P3, every node a 2-node template, gateways = {0}: the product
+  // has per-block template edges plus single links between blocks.
+  GeneralizedProductSpec spec;
+  Topology pair(2);
+  pair.add_edge(0, 1);
+  spec.templates = {pair, pair, pair};
+  spec.gateway = [](NodeId, const Edge&) { return std::vector<NodeId>{0}; };
+  const auto r = generalized_product(path_graph(3), spec);
+  EXPECT_EQ(r.graph.num_nodes(), 6u);
+  EXPECT_EQ(r.graph.num_edges(), 3u + 2u);  // 3 intra + 2 inter
+  EXPECT_TRUE(is_connected(r.graph));
+  EXPECT_EQ(r.origin[3].first, 1u);   // node 3 = block 1, local 1
+  EXPECT_EQ(r.origin[3].second, 1u);
+  EXPECT_EQ(r.block_start[2], 4u);
+}
+
+TEST(GeneralizedProduct, HeterogeneousTemplates) {
+  // The PoP-design use case: a big PoP (triangle) and two small ones
+  // (single routers); all gateways are local node 0.
+  GeneralizedProductSpec spec;
+  spec.templates = {Topology::complete(3), Topology(1), Topology(1)};
+  spec.gateway = [](NodeId, const Edge&) { return std::vector<NodeId>{0}; };
+  Topology backbone(3);
+  backbone.add_edge(0, 1);
+  backbone.add_edge(0, 2);
+  const auto r = generalized_product(backbone, spec);
+  EXPECT_EQ(r.graph.num_nodes(), 5u);
+  EXPECT_EQ(r.graph.num_edges(), 3u + 2u);
+  EXPECT_TRUE(is_connected(r.graph));
+}
+
+TEST(GeneralizedProduct, MultiGatewayMakesParallelPaths) {
+  // Dual-gateway blocks: each backbone edge becomes a K2,2 join, giving a
+  // 2-edge-connected product from a 1-edge-connected backbone.
+  GeneralizedProductSpec spec;
+  Topology pair(2);
+  pair.add_edge(0, 1);
+  spec.templates = {pair, pair};
+  spec.gateway = [](NodeId, const Edge&) { return std::vector<NodeId>{0, 1}; };
+  Topology backbone(2);
+  backbone.add_edge(0, 1);
+  const auto r = generalized_product(backbone, spec);
+  EXPECT_EQ(r.graph.num_edges(), 2u + 4u);
+  // Removing any single inter-block link leaves it connected.
+  Topology damaged = r.graph;
+  damaged.remove_edge(0, 2);
+  EXPECT_TRUE(is_connected(damaged));
+}
+
+TEST(GeneralizedProduct, Validates) {
+  GeneralizedProductSpec spec;
+  spec.templates = {Topology(1)};
+  spec.gateway = [](NodeId, const Edge&) { return std::vector<NodeId>{0}; };
+  EXPECT_THROW(generalized_product(path_graph(2), spec),
+               std::invalid_argument);  // template count mismatch
+
+  GeneralizedProductSpec no_rule;
+  no_rule.templates = {Topology(1), Topology(1)};
+  EXPECT_THROW(generalized_product(path_graph(2), no_rule),
+               std::invalid_argument);
+
+  GeneralizedProductSpec bad_gateway;
+  bad_gateway.templates = {Topology(1), Topology(1)};
+  bad_gateway.gateway = [](NodeId, const Edge&) {
+    return std::vector<NodeId>{5};
+  };
+  EXPECT_THROW(generalized_product(path_graph(2), bad_gateway),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cold

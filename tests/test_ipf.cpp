@@ -1,0 +1,102 @@
+#include "traffic/ipf.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/gravity.h"
+
+namespace cold {
+namespace {
+
+TEST(IpfFit, MatchesMarginals) {
+  Matrix<double> seed = Matrix<double>::square(3, 0.0);
+  seed(0, 1) = seed(1, 0) = 1.0;
+  seed(0, 2) = seed(2, 0) = 2.0;
+  seed(1, 2) = seed(2, 1) = 3.0;
+  // Targets strictly inside the feasible cone (a zero-diagonal matrix needs
+  // T_i < sum_{j != i} T_j; boundary targets converge only asymptotically).
+  const std::vector<double> targets{10.0, 12.0, 14.0};
+  const IpfResult r = ipf_fit(seed, targets, targets);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) row += r.matrix(i, j);
+    EXPECT_NEAR(row, targets[i], 1e-6 * targets[i]);
+  }
+}
+
+TEST(IpfFit, SymmetricSeedEqualTargetsStaysSymmetric) {
+  const TrafficMatrix seed = gravity_matrix({1.0, 2.0, 3.0, 4.0});
+  const std::vector<double> targets{5.0, 6.0, 7.0, 8.0};
+  const IpfResult r = ipf_fit(seed, targets, targets);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(r.matrix(i, j), r.matrix(j, i), 1e-6);
+    }
+    EXPECT_DOUBLE_EQ(r.matrix(i, i), 0.0);
+  }
+}
+
+TEST(IpfFit, PreservesZeros) {
+  // IPF scales entries multiplicatively: structural zeros stay zero.
+  Matrix<double> seed = Matrix<double>::square(3, 0.0);
+  seed(0, 1) = seed(1, 0) = 1.0;
+  seed(1, 2) = seed(2, 1) = 1.0;  // (0,2) stays 0
+  const std::vector<double> targets{1.0, 2.0, 1.0};
+  const IpfResult r = ipf_fit(seed, targets, targets);
+  EXPECT_DOUBLE_EQ(r.matrix(0, 2), 0.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(IpfFit, Validates) {
+  Matrix<double> seed = Matrix<double>::square(2, 0.0);
+  seed(0, 1) = seed(1, 0) = 1.0;
+  EXPECT_THROW(ipf_fit(seed, {1.0}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(ipf_fit(seed, {1.0, -1.0}, {1.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ipf_fit(seed, {1.0, 1.0}, {3.0, 3.0}), std::invalid_argument);
+
+  Matrix<double> diag = seed;
+  diag(0, 0) = 1.0;
+  EXPECT_THROW(ipf_fit(diag, {1.0, 1.0}, {1.0, 1.0}), std::invalid_argument);
+
+  Matrix<double> zero_row = Matrix<double>::square(2, 0.0);
+  EXPECT_THROW(ipf_fit(zero_row, {1.0, 1.0}, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(IpfTrafficMatrix, HitsPerPopTotals) {
+  const std::vector<double> totals{100.0, 50.0, 25.0, 75.0, 10.0};
+  const IpfResult r = ipf_traffic_matrix(totals);
+  ASSERT_TRUE(r.converged);
+  const auto per_pop = traffic_per_pop(r.matrix);
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    EXPECT_NEAR(per_pop[i], totals[i], 1e-6 * totals[i]);
+  }
+  EXPECT_NO_THROW(validate_traffic_matrix(r.matrix));
+}
+
+TEST(IpfTrafficMatrix, TwoPopExact) {
+  // n = 2: whole traffic must flow between the two PoPs.
+  const IpfResult r = ipf_traffic_matrix({8.0, 8.0});
+  EXPECT_NEAR(r.matrix(0, 1), 8.0, 1e-9);
+  EXPECT_THROW(ipf_traffic_matrix({1.0}), std::invalid_argument);
+  EXPECT_THROW(ipf_traffic_matrix({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(IpfTrafficMatrix, GravityFixedPointUnchanged) {
+  // If totals already come from a gravity matrix, IPF should return (a
+  // scaled version of) the same matrix after one pass.
+  const TrafficMatrix g = gravity_matrix({2.0, 3.0, 4.0});
+  const auto totals = traffic_per_pop(g);
+  const IpfResult r = ipf_traffic_matrix(totals);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(r.matrix(i, j), g(i, j), 1e-5 * (g(i, j) + 1.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,115 @@
+#include "graph/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cold {
+namespace {
+
+Topology relabel(const Topology& g, const std::vector<NodeId>& perm) {
+  Topology out(g.num_nodes());
+  for (const Edge& e : g.edges()) out.add_edge(perm[e.u], perm[e.v]);
+  return out;
+}
+
+TEST(Isomorphism, IdenticalGraphs) {
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(are_isomorphic(g, g));
+}
+
+TEST(Isomorphism, RelabeledGraphIsIsomorphic) {
+  Rng rng(1);
+  Topology g(8);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(6, 7);
+  g.add_edge(2, 7);
+  std::vector<NodeId> perm(8);
+  for (NodeId v = 0; v < 8; ++v) perm[v] = v;
+  rng.shuffle(perm);
+  const Topology h = relabel(g, perm);
+  const auto mapping = find_isomorphism(g, h);
+  ASSERT_TRUE(mapping.has_value());
+  // Verify the mapping is a genuine isomorphism.
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) {
+      EXPECT_EQ(g.has_edge(i, j), h.has_edge((*mapping)[i], (*mapping)[j]));
+    }
+  }
+}
+
+TEST(Isomorphism, DifferentEdgeCountsRejectedFast) {
+  Topology a(3), b(3);
+  a.add_edge(0, 1);
+  EXPECT_FALSE(are_isomorphic(a, b));
+}
+
+TEST(Isomorphism, DifferentDegreeSequences) {
+  // Path 0-1-2-3 vs star: same edge count, different degrees.
+  Topology path(4), star = Topology::star(4, 0);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.add_edge(2, 3);
+  EXPECT_FALSE(are_isomorphic(path, star));
+}
+
+TEST(Isomorphism, SameDegreeSequenceDifferentStructure) {
+  // Classic: C6 vs two triangles — both 2-regular on 6 nodes.
+  Topology c6(6);
+  for (NodeId v = 0; v < 6; ++v) c6.add_edge(v, (v + 1) % 6);
+  Topology triangles(6);
+  triangles.add_edge(0, 1);
+  triangles.add_edge(1, 2);
+  triangles.add_edge(0, 2);
+  triangles.add_edge(3, 4);
+  triangles.add_edge(4, 5);
+  triangles.add_edge(3, 5);
+  EXPECT_FALSE(are_isomorphic(c6, triangles));
+}
+
+TEST(Isomorphism, SizeMismatch) {
+  EXPECT_FALSE(are_isomorphic(Topology(3), Topology(4)));
+}
+
+TEST(Isomorphism, EmptyGraphs) {
+  EXPECT_TRUE(are_isomorphic(Topology(0), Topology(0)));
+  EXPECT_TRUE(are_isomorphic(Topology(5), Topology(5)));
+}
+
+TEST(Isomorphism, RegularGraphsNeedBacktracking) {
+  // Both 3-regular on 6 nodes: K_{3,3} vs the prism (two triangles joined by
+  // a perfect matching). WL colouring cannot separate nodes; structure must.
+  Topology k33(6);
+  for (NodeId i = 0; i < 3; ++i) {
+    for (NodeId j = 3; j < 6; ++j) k33.add_edge(i, j);
+  }
+  Topology prism(6);
+  prism.add_edge(0, 1);
+  prism.add_edge(1, 2);
+  prism.add_edge(0, 2);
+  prism.add_edge(3, 4);
+  prism.add_edge(4, 5);
+  prism.add_edge(3, 5);
+  prism.add_edge(0, 3);
+  prism.add_edge(1, 4);
+  prism.add_edge(2, 5);
+  EXPECT_FALSE(are_isomorphic(k33, prism));  // prism has triangles, K33 none
+  // And each is isomorphic to a shuffled copy of itself.
+  Rng rng(2);
+  std::vector<NodeId> perm(6);
+  for (NodeId v = 0; v < 6; ++v) perm[v] = v;
+  rng.shuffle(perm);
+  EXPECT_TRUE(are_isomorphic(prism, relabel(prism, perm)));
+  EXPECT_TRUE(are_isomorphic(k33, relabel(k33, perm)));
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/matrix.h"
+
+namespace cold {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix<int> m(2, 3, 7);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 7);
+  m(0, 1) = 42;
+  EXPECT_EQ(m.at(0, 1), 42);
+}
+
+TEST(Matrix, AtBoundsChecks) {
+  Matrix<double> m = Matrix<double>::square(2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, FillAndEquality) {
+  Matrix<double> a = Matrix<double>::square(3, 1.0);
+  Matrix<double> b = Matrix<double>::square(3, 2.0);
+  EXPECT_FALSE(a == b);
+  b.fill(1.0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Table, AlignedPrint) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), static_cast<long long>(42)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"k"});
+  t.add_row({std::string("a,b")});
+  t.add_row({std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowWidthValidation) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FormatCellVariants) {
+  EXPECT_EQ(format_cell(std::string("x")), "x");
+  EXPECT_EQ(format_cell(static_cast<long long>(-3)), "-3");
+  EXPECT_EQ(format_cell(2.5), "2.5");
+}
+
+}  // namespace
+}  // namespace cold

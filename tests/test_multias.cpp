@@ -1,0 +1,144 @@
+#include "multias/multias.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "net/network.h"
+
+namespace cold {
+namespace {
+
+MultiAsConfig small_config() {
+  MultiAsConfig cfg;
+  cfg.num_cities = 20;
+  cfg.num_ases = 3;
+  cfg.presence_probability = 0.6;
+  cfg.min_presence = 4;
+  cfg.costs = CostParams{10, 1, 4e-4, 10};
+  cfg.ga.population = 20;
+  cfg.ga.generations = 15;
+  return cfg;
+}
+
+TEST(ChoosePeering, SingleCheapPointWhenInterconnectExpensive) {
+  // Two shared cities; demand concentrated near city 0. With a huge
+  // interconnect cost, only the best single point is chosen.
+  const std::vector<Point> cities{{0, 0}, {1, 0}, {0.1, 0}};
+  const std::vector<std::size_t> shared{0, 1};
+  const std::vector<std::pair<std::size_t, double>> demand{{2, 100.0}};
+  const auto peers = choose_peering_cities(cities, shared, demand, 1e9, 1.0);
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers.front(), 0u);
+}
+
+TEST(ChoosePeering, CheapInterconnectsSpread) {
+  // Demand at both ends; free interconnects -> take both shared cities.
+  const std::vector<Point> cities{{0, 0}, {10, 0}};
+  const std::vector<std::size_t> shared{0, 1};
+  const std::vector<std::pair<std::size_t, double>> demand{{0, 50.0},
+                                                           {1, 50.0}};
+  const auto peers = choose_peering_cities(cities, shared, demand, 0.0, 1.0);
+  EXPECT_EQ(peers.size(), 2u);
+}
+
+TEST(ChoosePeering, EmptySharedReturnsEmpty) {
+  EXPECT_TRUE(choose_peering_cities({{0, 0}}, {}, {{0, 1.0}}, 1.0, 1.0).empty());
+}
+
+TEST(ChoosePeering, HigherK4FewerPeers) {
+  // Spread demand over several cities; raising the interconnect cost can
+  // only shrink the chosen set.
+  std::vector<Point> cities;
+  std::vector<std::size_t> shared;
+  std::vector<std::pair<std::size_t, double>> demand;
+  for (std::size_t i = 0; i < 6; ++i) {
+    cities.push_back({static_cast<double>(i), 0.0});
+    shared.push_back(i);
+    demand.emplace_back(i, 10.0);
+  }
+  const auto cheap = choose_peering_cities(cities, shared, demand, 0.1, 1.0);
+  const auto pricey = choose_peering_cities(cities, shared, demand, 20.0, 1.0);
+  EXPECT_GE(cheap.size(), pricey.size());
+  EXPECT_GE(pricey.size(), 1u);
+}
+
+TEST(MultiAs, StructureIsConsistent) {
+  const MultiAsResult r = synthesize_multi_as(small_config(), 1);
+  EXPECT_EQ(r.cities.size(), 20u);
+  EXPECT_EQ(r.ases.size(), 3u);
+  for (const AsNetwork& asn : r.ases) {
+    EXPECT_GE(asn.cities.size(), 4u);
+    EXPECT_EQ(asn.cities.size(), asn.network.num_pops());
+    EXPECT_NO_THROW(validate_network(asn.network));
+    // City mapping is within range and duplicate-free.
+    std::set<std::size_t> unique(asn.cities.begin(), asn.cities.end());
+    EXPECT_EQ(unique.size(), asn.cities.size());
+    for (std::size_t c : asn.cities) EXPECT_LT(c, 20u);
+    // PoP coordinates match their cities.
+    for (std::size_t i = 0; i < asn.cities.size(); ++i) {
+      EXPECT_DOUBLE_EQ(asn.network.locations[i].x, r.cities[asn.cities[i]].x);
+    }
+  }
+}
+
+TEST(MultiAs, InterconnectsAreInSharedCities) {
+  const MultiAsResult r = synthesize_multi_as(small_config(), 2);
+  for (const Interconnect& ic : r.interconnects) {
+    ASSERT_LT(ic.as_a, r.ases.size());
+    ASSERT_LT(ic.as_b, r.ases.size());
+    const auto& ca = r.ases[ic.as_a].cities;
+    const auto& cb = r.ases[ic.as_b].cities;
+    EXPECT_NE(std::find(ca.begin(), ca.end(), ic.city), ca.end());
+    EXPECT_NE(std::find(cb.begin(), cb.end(), ic.city), cb.end());
+    EXPECT_GE(ic.demand, 0.0);
+  }
+}
+
+TEST(MultiAs, EveryPairPeeredOrRecordedUnpeered) {
+  const MultiAsResult r = synthesize_multi_as(small_config(), 3);
+  for (std::size_t a = 0; a < r.ases.size(); ++a) {
+    for (std::size_t b = a + 1; b < r.ases.size(); ++b) {
+      const bool has_ic = std::any_of(
+          r.interconnects.begin(), r.interconnects.end(),
+          [&](const Interconnect& ic) {
+            return ic.as_a == a && ic.as_b == b;
+          });
+      const bool unpeered = std::any_of(
+          r.unpeered.begin(), r.unpeered.end(), [&](const auto& p) {
+            return p.first == a && p.second == b;
+          });
+      EXPECT_TRUE(has_ic || unpeered) << a << "," << b;
+      EXPECT_FALSE(has_ic && unpeered);
+    }
+  }
+}
+
+TEST(MultiAs, Deterministic) {
+  const MultiAsResult a = synthesize_multi_as(small_config(), 11);
+  const MultiAsResult b = synthesize_multi_as(small_config(), 11);
+  ASSERT_EQ(a.interconnects.size(), b.interconnects.size());
+  for (std::size_t i = 0; i < a.interconnects.size(); ++i) {
+    EXPECT_EQ(a.interconnects[i].city, b.interconnects[i].city);
+  }
+  for (std::size_t as = 0; as < a.ases.size(); ++as) {
+    EXPECT_TRUE(a.ases[as].network.topology == b.ases[as].network.topology);
+  }
+}
+
+TEST(MultiAs, Validates) {
+  MultiAsConfig bad = small_config();
+  bad.num_ases = 1;
+  EXPECT_THROW(synthesize_multi_as(bad, 1), std::invalid_argument);
+  bad = small_config();
+  bad.min_presence = 50;
+  EXPECT_THROW(synthesize_multi_as(bad, 1), std::invalid_argument);
+  bad = small_config();
+  bad.presence_probability = 0.0;
+  EXPECT_THROW(synthesize_multi_as(bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,144 @@
+#include "graph/shortest_paths.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baselines/erdos_renyi.h"
+#include "geom/distance.h"
+#include "geom/point_process.h"
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace cold {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ShortestPathTree, SimplePath) {
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Matrix<double> len = Matrix<double>::square(4, 1.0);
+  const auto tree = shortest_path_tree(g, len, 0);
+  EXPECT_DOUBLE_EQ(tree.dist[3], 3.0);
+  EXPECT_EQ(tree.hops[3], 3);
+  EXPECT_EQ(tree.parent[3], 2u);
+  const auto path = tree.path_to(3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+}
+
+TEST(ShortestPathTree, PrefersShorterDetour) {
+  // Direct link 0-2 of length 10 vs 0-1-2 of length 2+2.
+  Topology g(3);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Matrix<double> len = Matrix<double>::square(3, 0.0);
+  len(0, 2) = len(2, 0) = 10.0;
+  len(0, 1) = len(1, 0) = 2.0;
+  len(1, 2) = len(2, 1) = 2.0;
+  const auto tree = shortest_path_tree(g, len, 0);
+  EXPECT_DOUBLE_EQ(tree.dist[2], 4.0);
+  EXPECT_EQ(tree.parent[2], 1u);
+}
+
+TEST(ShortestPathTree, TieBreaksByHopsThenId) {
+  // Two equal-length routes 0->3: via 1 (2 hops) and via 1-2 (3 hops with
+  // zero-length segment). Fewer hops must win.
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Matrix<double> len = Matrix<double>::square(4, 1.0);
+  len(1, 3) = len(3, 1) = 1.0;
+  len(1, 2) = len(2, 1) = 0.5;
+  len(2, 3) = len(3, 2) = 0.5;
+  const auto tree = shortest_path_tree(g, len, 0);
+  EXPECT_DOUBLE_EQ(tree.dist[3], 2.0);
+  EXPECT_EQ(tree.hops[3], 2);
+  EXPECT_EQ(tree.parent[3], 1u);
+}
+
+TEST(ShortestPathTree, UnreachableNodes) {
+  Topology g(3);
+  g.add_edge(0, 1);
+  Matrix<double> len = Matrix<double>::square(3, 1.0);
+  const auto tree = shortest_path_tree(g, len, 0);
+  EXPECT_EQ(tree.dist[2], kInf);
+  EXPECT_EQ(tree.hops[2], -1);
+  EXPECT_TRUE(tree.path_to(2).empty());
+  EXPECT_EQ(tree.order.size(), 2u);
+}
+
+TEST(ShortestPathTree, SettlingOrderIsByDistance) {
+  Rng rng(1);
+  const auto pts = UniformProcess().sample(20, Rectangle(), rng);
+  const auto len = distance_matrix(pts);
+  Topology g = erdos_renyi_gnp(20, 0.3, rng);
+  connect_components(g, len);
+  const auto tree = shortest_path_tree(g, len, 0);
+  ASSERT_EQ(tree.order.size(), 20u);
+  for (std::size_t i = 1; i < tree.order.size(); ++i) {
+    EXPECT_LE(tree.dist[tree.order[i - 1]], tree.dist[tree.order[i]]);
+  }
+}
+
+TEST(ShortestPathTree, AgreesWithFloydWarshall) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts = UniformProcess().sample(15, Rectangle(), rng);
+    const auto len = distance_matrix(pts);
+    Topology g = erdos_renyi_gnp(15, 0.25, rng);
+    connect_components(g, len);
+    const auto fw = floyd_warshall(g, len);
+    for (NodeId s = 0; s < 15; ++s) {
+      const auto tree = shortest_path_tree(g, len, s);
+      for (NodeId t = 0; t < 15; ++t) {
+        EXPECT_NEAR(tree.dist[t], fw(s, t), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ShortestPathTree, ValidatesInput) {
+  Topology g(3);
+  Matrix<double> bad(2, 3, 1.0);
+  ShortestPathTree tree;
+  EXPECT_THROW(shortest_path_tree(g, bad, 0, tree), std::invalid_argument);
+  Matrix<double> len = Matrix<double>::square(3, 1.0);
+  EXPECT_THROW(shortest_path_tree(g, len, 5, tree), std::out_of_range);
+}
+
+TEST(FloydWarshall, DisconnectedIsInfinite) {
+  Topology g(3);
+  g.add_edge(0, 1);
+  Matrix<double> len = Matrix<double>::square(3, 1.0);
+  const auto fw = floyd_warshall(g, len);
+  EXPECT_EQ(fw(0, 2), kInf);
+  EXPECT_DOUBLE_EQ(fw(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(fw(2, 2), 0.0);
+}
+
+TEST(AllPairsHops, MatchesBfs) {
+  Topology g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 4);
+  const auto hops = all_pairs_hops(g);
+  EXPECT_EQ(hops(0, 3), 3);
+  EXPECT_EQ(hops(4, 3), 4);
+  EXPECT_EQ(hops(2, 2), 0);
+  // Symmetry for undirected graphs.
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = 0; j < 5; ++j) EXPECT_EQ(hops(i, j), hops(j, i));
+  }
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,136 @@
+#include "sim/failure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/synthesizer.h"
+#include "traffic/gravity.h"
+
+namespace cold {
+namespace {
+
+// Square ring with a diagonal shortcut; symmetric unit populations.
+Network ring_network() {
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const std::vector<double> pops{10, 10, 10, 10};
+  return build_network(g, pts, pops, gravity_matrix(pops), 1.0);
+}
+
+Network tree_network() {
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {2, 0}};
+  Topology g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const std::vector<double> pops{10, 10, 10};
+  return build_network(g, pts, pops, gravity_matrix(pops), 1.0);
+}
+
+TEST(LinkFailure, RingSurvivesWithReroute) {
+  const Network net = ring_network();
+  const FailureImpact impact = simulate_link_failure(net, Edge{0, 1});
+  EXPECT_FALSE(impact.disconnected);
+  EXPECT_DOUBLE_EQ(impact.traffic_disconnected, 0.0);
+  EXPECT_GT(impact.traffic_rerouted, 0.0);
+  EXPECT_GT(impact.worst_stretch, 1.0);
+  // Demand 0<->1 must now take the 3-hop path: stretch 3.
+  EXPECT_NEAR(impact.worst_stretch, 3.0, 1e-9);
+}
+
+TEST(LinkFailure, TreeDisconnects) {
+  const Network net = tree_network();
+  const FailureImpact impact = simulate_link_failure(net, Edge{0, 1});
+  EXPECT_TRUE(impact.disconnected);
+  // Demands 0<->1 and 0<->2 stranded: 4 of 6 ordered demand units... each
+  // pair is 100 (10*10), ordered doubles it: stranded = 4*100, total 600.
+  EXPECT_NEAR(impact.traffic_disconnected, 400.0, 1e-9);
+  EXPECT_NEAR(impact.total_traffic, 600.0, 1e-9);
+}
+
+TEST(LinkFailure, RerouteOverloadsSurvivors) {
+  const Network net = ring_network();
+  const FailureImpact impact = simulate_link_failure(net, Edge{0, 1});
+  // Capacities were sized exactly to the pre-failure loads, so rerouted
+  // traffic must overload at least one surviving link.
+  EXPECT_GT(impact.max_utilization, 1.0);
+  EXPECT_GE(impact.overloaded_links, 1u);
+}
+
+TEST(LinkFailure, ValidatesLink) {
+  const Network net = ring_network();
+  EXPECT_THROW(simulate_link_failure(net, Edge{0, 2}), std::invalid_argument);
+}
+
+TEST(PopFailure, TransitReroutesEndpointWrittenOff) {
+  const Network net = ring_network();
+  const FailureImpact impact = simulate_pop_failure(net, 1);
+  EXPECT_FALSE(impact.disconnected);  // remaining nodes still connected
+  // Demands to/from PoP 1 are excluded from the total.
+  EXPECT_NEAR(impact.total_traffic, 600.0, 1e-9);  // 3 remaining pairs x2 x100
+}
+
+TEST(PopFailure, HubFailureStrandsLeaves) {
+  // Star: losing the hub strands everything.
+  const std::vector<Point> pts{{0.5, 0.5}, {0, 0}, {1, 0}, {1, 1}};
+  const Topology g = Topology::star(4, 0);
+  const std::vector<double> pops{10, 10, 10, 10};
+  const Network net = build_network(g, pts, pops, gravity_matrix(pops));
+  const FailureImpact impact = simulate_pop_failure(net, 0);
+  EXPECT_TRUE(impact.disconnected);
+  EXPECT_NEAR(impact.traffic_disconnected, impact.total_traffic, 1e-9);
+  EXPECT_THROW(simulate_pop_failure(net, 9), std::out_of_range);
+}
+
+TEST(Sweep, CoversEveryLink) {
+  const Network net = ring_network();
+  const auto sweep = single_link_failure_sweep(net);
+  EXPECT_EQ(sweep.size(), net.num_links());
+  for (const FailureImpact& f : sweep) {
+    EXPECT_FALSE(f.disconnected);  // ring tolerates any single failure
+  }
+}
+
+TEST(Sweep, SummaryAggregates) {
+  const Network ring = ring_network();
+  const FailureSweepSummary s = summarize_sweep(single_link_failure_sweep(ring));
+  EXPECT_EQ(s.scenarios, 4u);
+  EXPECT_EQ(s.disconnecting, 0u);
+  EXPECT_GT(s.mean_rerouted_fraction, 0.0);
+  EXPECT_GE(s.worst_stretch, 3.0);
+
+  const Network tree = tree_network();
+  const FailureSweepSummary t = summarize_sweep(single_link_failure_sweep(tree));
+  EXPECT_EQ(t.disconnecting, 2u);  // every tree link strands traffic
+}
+
+TEST(Sweep, SynthesizedNetworkEndToEnd) {
+  SynthesisConfig cfg;
+  cfg.context.num_pops = 12;
+  cfg.costs = CostParams{5, 1, 6e-4, 0};
+  cfg.ga.population = 24;
+  cfg.ga.generations = 20;
+  const Synthesizer synth(cfg);
+  const Network net = synth.synthesize(3).network;
+  const auto sweep = single_link_failure_sweep(net);
+  const FailureSweepSummary s = summarize_sweep(sweep);
+  EXPECT_EQ(s.scenarios, net.num_links());
+  // Totals must be conserved per scenario.
+  for (const FailureImpact& f : sweep) {
+    EXPECT_LE(f.traffic_disconnected + f.traffic_rerouted,
+              f.total_traffic + 1e-9);
+  }
+}
+
+TEST(Summary, EmptySweep) {
+  const FailureSweepSummary s = summarize_sweep({});
+  EXPECT_EQ(s.scenarios, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_rerouted_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,89 @@
+#include "graph/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zoo/zoo.h"
+
+namespace cold {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Topology path_graph(std::size_t n) {
+  Topology g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(AlgebraicConnectivity, CompleteGraphIsN) {
+  const SpectralResult r = algebraic_connectivity(Topology::complete(6));
+  EXPECT_NEAR(r.algebraic_connectivity, 6.0, 1e-6);
+}
+
+TEST(AlgebraicConnectivity, PathClosedForm) {
+  // lambda_2(P_n) = 2 (1 - cos(pi/n)).
+  for (std::size_t n : {4, 8, 12}) {
+    const SpectralResult r = algebraic_connectivity(path_graph(n));
+    const double expect = 2.0 * (1.0 - std::cos(kPi / static_cast<double>(n)));
+    EXPECT_NEAR(r.algebraic_connectivity, expect, 1e-5) << n;
+  }
+}
+
+TEST(AlgebraicConnectivity, RingClosedForm) {
+  // lambda_2(C_n) = 2 (1 - cos(2 pi / n)).
+  const SpectralResult r = algebraic_connectivity(zoo_ring(10));
+  const double expect = 2.0 * (1.0 - std::cos(2.0 * kPi / 10.0));
+  EXPECT_NEAR(r.algebraic_connectivity, expect, 1e-5);
+}
+
+TEST(AlgebraicConnectivity, StarIsOne) {
+  // lambda_2(K_{1,n-1}) = 1.
+  const SpectralResult r = algebraic_connectivity(Topology::star(9, 0));
+  EXPECT_NEAR(r.algebraic_connectivity, 1.0, 1e-5);
+}
+
+TEST(AlgebraicConnectivity, DisconnectedIsZero) {
+  Topology g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const SpectralResult r = algebraic_connectivity(g);
+  EXPECT_DOUBLE_EQ(r.algebraic_connectivity, 0.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(AlgebraicConnectivity, OrdersRobustness) {
+  // Denser/better-connected graphs have higher lambda_2.
+  const double tree = algebraic_connectivity(path_graph(10)).algebraic_connectivity;
+  const double ring = algebraic_connectivity(zoo_ring(10)).algebraic_connectivity;
+  const double mesh =
+      algebraic_connectivity(Topology::complete(10)).algebraic_connectivity;
+  EXPECT_LT(tree, ring);
+  EXPECT_LT(ring, mesh);
+}
+
+TEST(AlgebraicConnectivity, FiedlerIsOrthogonalToConstant) {
+  const SpectralResult r = algebraic_connectivity(zoo_ring_with_chords(12, 2));
+  double sum = 0.0;
+  for (double v : r.fiedler) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(SpectralPartition, SplitsTheDumbbell) {
+  // Two cliques joined by one edge: the Fiedler cut must separate them.
+  const Topology g = zoo_dumbbell(5);
+  const auto side = spectral_partition(g);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(side[v], side[0]);
+  for (NodeId v = 6; v < 10; ++v) EXPECT_EQ(side[v], side[5]);
+  EXPECT_NE(side[0], side[5]);
+}
+
+TEST(SpectralPartition, RejectsDisconnected) {
+  Topology g(4);
+  g.add_edge(0, 1);
+  EXPECT_THROW(spectral_partition(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,114 @@
+#include "zoo/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.h"
+#include "graph/metrics.h"
+
+namespace cold {
+namespace {
+
+TEST(Zoo, AllEntriesConnectedAndNamed) {
+  const auto zoo = synthetic_zoo();
+  EXPECT_GE(zoo.size(), 35u);
+  std::set<std::string> names;
+  for (const ZooEntry& z : zoo) {
+    EXPECT_TRUE(is_connected(z.topology)) << z.name;
+    EXPECT_GE(z.topology.num_nodes(), 5u) << z.name;
+    EXPECT_LE(z.topology.num_nodes(), 60u) << z.name;
+    names.insert(z.name);
+  }
+  EXPECT_EQ(names.size(), zoo.size());  // unique names
+}
+
+TEST(Zoo, Deterministic) {
+  const auto a = synthetic_zoo();
+  const auto b = synthetic_zoo();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].topology == b[i].topology) << a[i].name;
+  }
+}
+
+TEST(ZooStar, Structure) {
+  const Topology s = zoo_star(10);
+  EXPECT_EQ(s.num_edges(), 9u);
+  EXPECT_EQ(s.num_core_nodes(), 1u);
+  EXPECT_THROW(zoo_star(2), std::invalid_argument);
+}
+
+TEST(ZooDoubleStar, TwoHubs) {
+  const Topology s = zoo_double_star(10);
+  EXPECT_EQ(s.num_core_nodes(), 2u);
+  EXPECT_TRUE(s.has_edge(0, 1));
+  EXPECT_TRUE(is_connected(s));
+}
+
+TEST(ZooMultiHub, HubRingPlusLeaves) {
+  const Topology s = zoo_multi_hub(20, 4);
+  EXPECT_TRUE(is_connected(s));
+  EXPECT_EQ(s.num_core_nodes(), 4u);
+  EXPECT_EQ(s.num_leaf_nodes(), 16u);
+  EXPECT_THROW(zoo_multi_hub(5, 5), std::invalid_argument);
+}
+
+TEST(ZooRing, TwoRegular) {
+  const Topology r = zoo_ring(8);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(r.degree(v), 2);
+  EXPECT_EQ(diameter(r), 4);
+}
+
+TEST(ZooRingWithChords, ChordsShrinkDiameter) {
+  const Topology plain = zoo_ring(20);
+  const Topology chorded = zoo_ring_with_chords(20, 4);
+  EXPECT_LT(diameter(chorded), diameter(plain));
+  EXPECT_EQ(chorded.num_edges(), 24u);
+}
+
+TEST(ZooBalancedTree, IsTree) {
+  const Topology t = zoo_balanced_tree(15, 2);
+  EXPECT_EQ(t.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(t));
+  EXPECT_DOUBLE_EQ(global_clustering(t), 0.0);
+}
+
+TEST(ZooPartialMesh, ConnectedAtAnyDensity) {
+  for (double p : {0.0, 0.05, 0.3}) {
+    const Topology m = zoo_partial_mesh(20, p, 99);
+    EXPECT_TRUE(is_connected(m)) << p;
+  }
+}
+
+TEST(ZooLadder, Structure) {
+  const Topology l = zoo_ladder(10);
+  EXPECT_EQ(l.num_edges(), 4u + 4u + 5u);  // rails + rungs
+  EXPECT_TRUE(is_connected(l));
+  EXPECT_THROW(zoo_ladder(7), std::invalid_argument);
+}
+
+TEST(ZooDumbbell, HighClusteringSmallNetwork) {
+  const Topology d = zoo_dumbbell(5);
+  EXPECT_EQ(d.num_nodes(), 10u);
+  EXPECT_TRUE(is_connected(d));
+  EXPECT_GT(global_clustering(d), 0.5);
+}
+
+TEST(Zoo, CvndTailReachesTwo) {
+  // The distributional property Fig 8a needs: a visible CVND > 1 tail.
+  double max_cv = 0.0;
+  std::size_t over_one = 0;
+  const auto zoo = synthetic_zoo();
+  for (const ZooEntry& z : zoo) {
+    const double cv = degree_cv(z.topology);
+    max_cv = std::max(max_cv, cv);
+    if (cv > 1.0) ++over_one;
+  }
+  EXPECT_GT(max_cv, 1.9);
+  EXPECT_GE(over_one * 100, zoo.size() * 10);  // at least ~10%
+  EXPECT_LE(over_one * 100, zoo.size() * 40);  // but a minority
+}
+
+}  // namespace
+}  // namespace cold

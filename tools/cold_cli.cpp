@@ -1,0 +1,258 @@
+// cold — command-line front end for the COLD topology synthesizer.
+//
+//   cold synth    [--pops N] [--k0 X --k2 X --k3 X] [--seed S]
+//                 [--format dot|json|graphml] [--out FILE]
+//   cold ensemble [--count N] [--pops N] [--k0/--k2/--k3] [--seed S]
+//   cold metrics  --in FILE            (edge-list format, see io/edgelist.h)
+//   cold estimate --in FILE [--draws N] [--epsilon E] [--seed S]
+//   cold grow     --in FILE.json [--new-pops N] [--growth F] [--seed S]
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "abc/abc.h"
+#include "core/ensemble.h"
+#include "core/synthesizer.h"
+#include "graph/connectivity.h"
+#include "graph/metrics.h"
+#include "growth/growth.h"
+#include "io/dot.h"
+#include "io/edgelist.h"
+#include "io/graphml.h"
+#include "io/json.h"
+
+namespace {
+
+using namespace cold;
+
+struct Args {
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+
+  double num(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --" + key + " expects a number");
+    }
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected argument: " + key);
+    }
+    key = key.substr(2);
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("option --" + key + " needs a value");
+    }
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+void print_usage() {
+  std::cerr <<
+      "usage: cold <command> [options]\n"
+      "  synth     synthesize one network\n"
+      "            --pops N (30) --k0 X (10) --k2 X (4e-4) --k3 X (10)\n"
+      "            --seed S (1) --population M (48) --generations T (40)\n"
+      "            --overprovision O (1) --format dot|json|graphml (json)\n"
+      "            --out FILE (stdout)\n"
+      "  ensemble  synthesize many networks, print metric CIs\n"
+      "            --count N (20) + synth options\n"
+      "  metrics   print metrics of an edge-list file\n"
+      "            --in FILE\n"
+      "  estimate  ABC-estimate cost parameters from an edge-list file\n"
+      "            --in FILE --draws N (100) --epsilon E (0.5) --seed S (1)\n"
+      "  grow      grow a network saved as JSON\n"
+      "            --in FILE.json --new-pops N (5) --growth F (1.2)\n"
+      "            --decommission D (1.0) --seed S (1) --out FILE (stdout)\n";
+}
+
+SynthesisConfig config_from(const Args& args) {
+  SynthesisConfig cfg;
+  cfg.context.num_pops = static_cast<std::size_t>(args.num("pops", 30));
+  cfg.costs.k0 = args.num("k0", 10.0);
+  cfg.costs.k1 = args.num("k1", 1.0);
+  cfg.costs.k2 = args.num("k2", 4e-4);
+  cfg.costs.k3 = args.num("k3", 10.0);
+  cfg.ga.population = static_cast<std::size_t>(args.num("population", 48));
+  cfg.ga.generations = static_cast<std::size_t>(args.num("generations", 40));
+  cfg.overprovision = args.num("overprovision", 1.0);
+  return cfg;
+}
+
+void write_output(const Network& net, const Args& args) {
+  const std::string format = args.get("format", "json");
+  std::ostringstream body;
+  if (format == "json") {
+    write_network_json(body, net);
+  } else if (format == "dot") {
+    write_dot(body, net);
+  } else if (format == "graphml") {
+    write_graphml(body, net);
+  } else {
+    throw std::invalid_argument("unknown --format: " + format);
+  }
+  if (args.has("out")) {
+    std::ofstream file(args.get("out", ""));
+    if (!file) throw std::runtime_error("cannot open output file");
+    file << body.str();
+    std::cerr << "wrote " << args.get("out", "") << "\n";
+  } else {
+    std::cout << body.str();
+  }
+}
+
+void print_metrics(const Topology& g) {
+  const TopologyMetrics m = compute_metrics(g);
+  const ResilienceReport r = analyze_resilience(g);
+  std::cout << "nodes:              " << m.nodes << "\n"
+            << "links:              " << m.edges << "\n"
+            << "connected:          " << (m.connected ? "yes" : "no") << "\n"
+            << "avg degree:         " << m.avg_degree << "\n"
+            << "degree CV (CVND):   " << m.degree_cv << "\n"
+            << "diameter (hops):    " << m.diameter << "\n"
+            << "avg path length:    " << m.avg_path_length << "\n"
+            << "global clustering:  " << m.global_clustering << "\n"
+            << "assortativity:      " << m.assortativity << "\n"
+            << "core PoPs:          " << m.hubs << "\n"
+            << "leaf PoPs:          " << m.leaves << "\n"
+            << "bridges:            " << r.bridges << "\n"
+            << "articulation PoPs:  " << r.articulation_points << "\n"
+            << "edge connectivity:  " << r.edge_connectivity << "\n";
+}
+
+int cmd_synth(const Args& args) {
+  const Synthesizer synth(config_from(args));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const SynthesisResult r = synth.synthesize(seed);
+  std::cerr << "cost " << r.cost.total() << " ("
+            << synth.config().costs.to_string() << "), "
+            << r.network.num_links() << " links\n";
+  write_output(r.network, args);
+  return 0;
+}
+
+int cmd_ensemble(const Args& args) {
+  const Synthesizer synth(config_from(args));
+  const auto count = static_cast<std::size_t>(args.num("count", 20));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const EnsembleResult e = generate_ensemble(synth, count, seed);
+  auto show = [](const char* name, const ConfidenceInterval& ci) {
+    std::cout << name << ": " << ci.mean << "  [" << ci.lo << ", " << ci.hi
+              << "]\n";
+  };
+  std::cout << "ensemble of " << count << " networks (95% bootstrap CIs)\n";
+  show("avg degree   ", e.stats.avg_degree);
+  show("diameter     ", e.stats.diameter);
+  show("clustering   ", e.stats.clustering);
+  show("CVND         ", e.stats.degree_cv);
+  show("hub PoPs     ", e.stats.hubs);
+  show("assortativity", e.stats.assortativity);
+  std::cout << "all distinct: " << (e.all_distinct ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int cmd_metrics(const Args& args) {
+  if (!args.has("in")) throw std::invalid_argument("metrics needs --in FILE");
+  std::ifstream file(args.get("in", ""));
+  if (!file) throw std::runtime_error("cannot open input file");
+  const EdgeListData data = read_edge_list(file);
+  print_metrics(data.topology);
+  return 0;
+}
+
+int cmd_estimate(const Args& args) {
+  if (!args.has("in")) throw std::invalid_argument("estimate needs --in FILE");
+  std::ifstream file(args.get("in", ""));
+  if (!file) throw std::runtime_error("cannot open input file");
+  const EdgeListData data = read_edge_list(file);
+
+  AbcConfig cfg;
+  cfg.num_draws = static_cast<std::size_t>(args.num("draws", 100));
+  cfg.epsilon = args.num("epsilon", 0.5);
+  cfg.ga.population = 20;
+  cfg.ga.generations = 15;
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const AbcResult r = abc_estimate(data.topology, cfg, seed);
+  std::cout << "draws: " << r.draws.size()
+            << ", accepted: " << r.accepted.size() << " ("
+            << 100.0 * r.acceptance_rate << "%)\n";
+  if (!r.accepted.empty()) {
+    std::cout << "posterior mean: " << r.posterior_mean.to_string() << "\n";
+  } else {
+    std::cout << "no accepted draws; widen --epsilon or --draws\n";
+  }
+  return 0;
+}
+
+int cmd_grow(const Args& args) {
+  if (!args.has("in")) throw std::invalid_argument("grow needs --in FILE.json");
+  std::ifstream file(args.get("in", ""));
+  if (!file) throw std::runtime_error("cannot open input file");
+  const Network base = read_network_json(file);
+
+  GrowthConfig cfg;
+  cfg.new_pops = static_cast<std::size_t>(args.num("new-pops", 5));
+  cfg.population_growth = args.num("growth", 1.2);
+  cfg.decommission_factor = args.num("decommission", 1.0);
+  cfg.costs.k0 = args.num("k0", 10.0);
+  cfg.costs.k2 = args.num("k2", 4e-4);
+  cfg.costs.k3 = args.num("k3", 10.0);
+  cfg.ga.population = static_cast<std::size_t>(args.num("population", 48));
+  cfg.ga.generations = static_cast<std::size_t>(args.num("generations", 40));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const GrowthResult r = grow_network(base, cfg, seed);
+  std::cerr << "grew " << base.num_pops() << " -> " << r.network.num_pops()
+            << " PoPs; kept " << r.links_kept << ", removed "
+            << r.links_removed << ", added " << r.links_added << " links\n";
+  write_output(r.network, args);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (command == "synth") return cmd_synth(args);
+    if (command == "ensemble") return cmd_ensemble(args);
+    if (command == "metrics") return cmd_metrics(args);
+    if (command == "estimate") return cmd_estimate(args);
+    if (command == "grow") return cmd_grow(args);
+    std::cerr << "unknown command: " << command << "\n";
+    print_usage();
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    print_usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
