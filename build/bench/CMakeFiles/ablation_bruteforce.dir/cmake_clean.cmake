@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bruteforce.dir/ablation_bruteforce.cpp.o"
+  "CMakeFiles/ablation_bruteforce.dir/ablation_bruteforce.cpp.o.d"
+  "CMakeFiles/ablation_bruteforce.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_bruteforce.dir/bench_common.cpp.o.d"
+  "ablation_bruteforce"
+  "ablation_bruteforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cost_limits.dir/ablation_cost_limits.cpp.o"
+  "CMakeFiles/ablation_cost_limits.dir/ablation_cost_limits.cpp.o.d"
+  "CMakeFiles/ablation_cost_limits.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_cost_limits.dir/bench_common.cpp.o.d"
+  "ablation_cost_limits"
+  "ablation_cost_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cost_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ga_settings.dir/ablation_ga_settings.cpp.o"
+  "CMakeFiles/ablation_ga_settings.dir/ablation_ga_settings.cpp.o.d"
+  "CMakeFiles/ablation_ga_settings.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_ga_settings.dir/bench_common.cpp.o.d"
+  "ablation_ga_settings"
+  "ablation_ga_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ga_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

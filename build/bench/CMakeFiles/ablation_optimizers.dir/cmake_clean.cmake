@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimizers.dir/ablation_optimizers.cpp.o"
+  "CMakeFiles/ablation_optimizers.dir/ablation_optimizers.cpp.o.d"
+  "CMakeFiles/ablation_optimizers.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_optimizers.dir/bench_common.cpp.o.d"
+  "ablation_optimizers"
+  "ablation_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dk_params.dir/bench_common.cpp.o"
+  "CMakeFiles/fig1_dk_params.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig1_dk_params.dir/fig1_dk_params.cpp.o"
+  "CMakeFiles/fig1_dk_params.dir/fig1_dk_params.cpp.o.d"
+  "fig1_dk_params"
+  "fig1_dk_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dk_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dk_uniqueness.dir/bench_common.cpp.o"
+  "CMakeFiles/fig2_dk_uniqueness.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig2_dk_uniqueness.dir/fig2_dk_uniqueness.cpp.o"
+  "CMakeFiles/fig2_dk_uniqueness.dir/fig2_dk_uniqueness.cpp.o.d"
+  "fig2_dk_uniqueness"
+  "fig2_dk_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dk_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ga_vs_heuristics.dir/bench_common.cpp.o"
+  "CMakeFiles/fig3_ga_vs_heuristics.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig3_ga_vs_heuristics.dir/fig3_ga_vs_heuristics.cpp.o"
+  "CMakeFiles/fig3_ga_vs_heuristics.dir/fig3_ga_vs_heuristics.cpp.o.d"
+  "fig3_ga_vs_heuristics"
+  "fig3_ga_vs_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ga_vs_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

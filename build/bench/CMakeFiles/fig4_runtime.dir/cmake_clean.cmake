@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_runtime.dir/bench_common.cpp.o"
+  "CMakeFiles/fig4_runtime.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig4_runtime.dir/fig4_runtime.cpp.o"
+  "CMakeFiles/fig4_runtime.dir/fig4_runtime.cpp.o.d"
+  "fig4_runtime"
+  "fig4_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_avg_degree.dir/bench_common.cpp.o"
+  "CMakeFiles/fig5_avg_degree.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig5_avg_degree.dir/fig5_avg_degree.cpp.o"
+  "CMakeFiles/fig5_avg_degree.dir/fig5_avg_degree.cpp.o.d"
+  "fig5_avg_degree"
+  "fig5_avg_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_avg_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

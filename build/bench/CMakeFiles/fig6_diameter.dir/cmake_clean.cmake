@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_diameter.dir/bench_common.cpp.o"
+  "CMakeFiles/fig6_diameter.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig6_diameter.dir/fig6_diameter.cpp.o"
+  "CMakeFiles/fig6_diameter.dir/fig6_diameter.cpp.o.d"
+  "fig6_diameter"
+  "fig6_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_zoo_cvnd.dir/bench_common.cpp.o"
+  "CMakeFiles/fig8a_zoo_cvnd.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig8a_zoo_cvnd.dir/fig8a_zoo_cvnd.cpp.o"
+  "CMakeFiles/fig8a_zoo_cvnd.dir/fig8a_zoo_cvnd.cpp.o.d"
+  "fig8a_zoo_cvnd"
+  "fig8a_zoo_cvnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_zoo_cvnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

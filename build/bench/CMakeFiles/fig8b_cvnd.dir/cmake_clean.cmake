@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_cvnd.dir/bench_common.cpp.o"
+  "CMakeFiles/fig8b_cvnd.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig8b_cvnd.dir/fig8b_cvnd.cpp.o"
+  "CMakeFiles/fig8b_cvnd.dir/fig8b_cvnd.cpp.o.d"
+  "fig8b_cvnd"
+  "fig8b_cvnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_cvnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hubs.dir/bench_common.cpp.o"
+  "CMakeFiles/fig9_hubs.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig9_hubs.dir/fig9_hubs.cpp.o"
+  "CMakeFiles/fig9_hubs.dir/fig9_hubs.cpp.o.d"
+  "fig9_hubs"
+  "fig9_hubs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hubs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

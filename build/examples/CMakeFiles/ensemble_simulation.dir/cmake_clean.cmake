@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_simulation.dir/ensemble_simulation.cpp.o"
+  "CMakeFiles/ensemble_simulation.dir/ensemble_simulation.cpp.o.d"
+  "ensemble_simulation"
+  "ensemble_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

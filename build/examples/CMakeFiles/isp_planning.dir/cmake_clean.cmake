@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_planning.dir/isp_planning.cpp.o"
+  "CMakeFiles/isp_planning.dir/isp_planning.cpp.o.d"
+  "isp_planning"
+  "isp_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_as.dir/multi_as.cpp.o"
+  "CMakeFiles/multi_as.dir/multi_as.cpp.o.d"
+  "multi_as"
+  "multi_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_growth.dir/network_growth.cpp.o"
+  "CMakeFiles/network_growth.dir/network_growth.cpp.o.d"
+  "network_growth"
+  "network_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

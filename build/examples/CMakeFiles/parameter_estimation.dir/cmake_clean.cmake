@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_estimation.dir/parameter_estimation.cpp.o"
+  "CMakeFiles/parameter_estimation.dir/parameter_estimation.cpp.o.d"
+  "parameter_estimation"
+  "parameter_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_level.dir/router_level.cpp.o"
+  "CMakeFiles/router_level.dir/router_level.cpp.o.d"
+  "router_level"
+  "router_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

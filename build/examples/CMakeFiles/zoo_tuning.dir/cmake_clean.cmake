@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_tuning.dir/zoo_tuning.cpp.o"
+  "CMakeFiles/zoo_tuning.dir/zoo_tuning.cpp.o.d"
+  "zoo_tuning"
+  "zoo_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

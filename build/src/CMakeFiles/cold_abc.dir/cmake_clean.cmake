@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_abc.dir/abc/abc.cpp.o"
+  "CMakeFiles/cold_abc.dir/abc/abc.cpp.o.d"
+  "libcold_abc.a"
+  "libcold_abc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_abc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

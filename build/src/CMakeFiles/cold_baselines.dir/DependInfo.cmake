@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/erdos_renyi.cpp" "src/CMakeFiles/cold_baselines.dir/baselines/erdos_renyi.cpp.o" "gcc" "src/CMakeFiles/cold_baselines.dir/baselines/erdos_renyi.cpp.o.d"
+  "/root/repo/src/baselines/fkp.cpp" "src/CMakeFiles/cold_baselines.dir/baselines/fkp.cpp.o" "gcc" "src/CMakeFiles/cold_baselines.dir/baselines/fkp.cpp.o.d"
+  "/root/repo/src/baselines/plrg.cpp" "src/CMakeFiles/cold_baselines.dir/baselines/plrg.cpp.o" "gcc" "src/CMakeFiles/cold_baselines.dir/baselines/plrg.cpp.o.d"
+  "/root/repo/src/baselines/transit_stub.cpp" "src/CMakeFiles/cold_baselines.dir/baselines/transit_stub.cpp.o" "gcc" "src/CMakeFiles/cold_baselines.dir/baselines/transit_stub.cpp.o.d"
+  "/root/repo/src/baselines/waxman.cpp" "src/CMakeFiles/cold_baselines.dir/baselines/waxman.cpp.o" "gcc" "src/CMakeFiles/cold_baselines.dir/baselines/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cold_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

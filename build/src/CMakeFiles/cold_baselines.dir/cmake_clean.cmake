@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_baselines.dir/baselines/erdos_renyi.cpp.o"
+  "CMakeFiles/cold_baselines.dir/baselines/erdos_renyi.cpp.o.d"
+  "CMakeFiles/cold_baselines.dir/baselines/fkp.cpp.o"
+  "CMakeFiles/cold_baselines.dir/baselines/fkp.cpp.o.d"
+  "CMakeFiles/cold_baselines.dir/baselines/plrg.cpp.o"
+  "CMakeFiles/cold_baselines.dir/baselines/plrg.cpp.o.d"
+  "CMakeFiles/cold_baselines.dir/baselines/transit_stub.cpp.o"
+  "CMakeFiles/cold_baselines.dir/baselines/transit_stub.cpp.o.d"
+  "CMakeFiles/cold_baselines.dir/baselines/waxman.cpp.o"
+  "CMakeFiles/cold_baselines.dir/baselines/waxman.cpp.o.d"
+  "libcold_baselines.a"
+  "libcold_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

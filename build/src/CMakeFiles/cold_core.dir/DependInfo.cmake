@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/context.cpp" "src/CMakeFiles/cold_core.dir/core/context.cpp.o" "gcc" "src/CMakeFiles/cold_core.dir/core/context.cpp.o.d"
+  "/root/repo/src/core/ensemble.cpp" "src/CMakeFiles/cold_core.dir/core/ensemble.cpp.o" "gcc" "src/CMakeFiles/cold_core.dir/core/ensemble.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/CMakeFiles/cold_core.dir/core/presets.cpp.o" "gcc" "src/CMakeFiles/cold_core.dir/core/presets.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/CMakeFiles/cold_core.dir/core/synthesizer.cpp.o" "gcc" "src/CMakeFiles/cold_core.dir/core/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cold_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

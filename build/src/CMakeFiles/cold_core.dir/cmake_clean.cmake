@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_core.dir/core/context.cpp.o"
+  "CMakeFiles/cold_core.dir/core/context.cpp.o.d"
+  "CMakeFiles/cold_core.dir/core/ensemble.cpp.o"
+  "CMakeFiles/cold_core.dir/core/ensemble.cpp.o.d"
+  "CMakeFiles/cold_core.dir/core/presets.cpp.o"
+  "CMakeFiles/cold_core.dir/core/presets.cpp.o.d"
+  "CMakeFiles/cold_core.dir/core/synthesizer.cpp.o"
+  "CMakeFiles/cold_core.dir/core/synthesizer.cpp.o.d"
+  "libcold_core.a"
+  "libcold_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

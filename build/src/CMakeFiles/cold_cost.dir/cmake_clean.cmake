@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_cost.dir/cost/cost_model.cpp.o"
+  "CMakeFiles/cold_cost.dir/cost/cost_model.cpp.o.d"
+  "CMakeFiles/cold_cost.dir/cost/evaluator.cpp.o"
+  "CMakeFiles/cold_cost.dir/cost/evaluator.cpp.o.d"
+  "libcold_cost.a"
+  "libcold_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dk/degree_sequence.cpp" "src/CMakeFiles/cold_dk.dir/dk/degree_sequence.cpp.o" "gcc" "src/CMakeFiles/cold_dk.dir/dk/degree_sequence.cpp.o.d"
+  "/root/repo/src/dk/dk_rewire.cpp" "src/CMakeFiles/cold_dk.dir/dk/dk_rewire.cpp.o" "gcc" "src/CMakeFiles/cold_dk.dir/dk/dk_rewire.cpp.o.d"
+  "/root/repo/src/dk/dk_search.cpp" "src/CMakeFiles/cold_dk.dir/dk/dk_search.cpp.o" "gcc" "src/CMakeFiles/cold_dk.dir/dk/dk_search.cpp.o.d"
+  "/root/repo/src/dk/dk_series.cpp" "src/CMakeFiles/cold_dk.dir/dk/dk_series.cpp.o" "gcc" "src/CMakeFiles/cold_dk.dir/dk/dk_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cold_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_dk.dir/dk/degree_sequence.cpp.o"
+  "CMakeFiles/cold_dk.dir/dk/degree_sequence.cpp.o.d"
+  "CMakeFiles/cold_dk.dir/dk/dk_rewire.cpp.o"
+  "CMakeFiles/cold_dk.dir/dk/dk_rewire.cpp.o.d"
+  "CMakeFiles/cold_dk.dir/dk/dk_search.cpp.o"
+  "CMakeFiles/cold_dk.dir/dk/dk_search.cpp.o.d"
+  "CMakeFiles/cold_dk.dir/dk/dk_series.cpp.o"
+  "CMakeFiles/cold_dk.dir/dk/dk_series.cpp.o.d"
+  "libcold_dk.a"
+  "libcold_dk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_dk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_ga.dir/ga/genetic.cpp.o"
+  "CMakeFiles/cold_ga.dir/ga/genetic.cpp.o.d"
+  "CMakeFiles/cold_ga.dir/ga/operators.cpp.o"
+  "CMakeFiles/cold_ga.dir/ga/operators.cpp.o.d"
+  "CMakeFiles/cold_ga.dir/ga/repair.cpp.o"
+  "CMakeFiles/cold_ga.dir/ga/repair.cpp.o.d"
+  "libcold_ga.a"
+  "libcold_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

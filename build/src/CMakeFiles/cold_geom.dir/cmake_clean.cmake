@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_geom.dir/geom/distance.cpp.o"
+  "CMakeFiles/cold_geom.dir/geom/distance.cpp.o.d"
+  "CMakeFiles/cold_geom.dir/geom/point_process.cpp.o"
+  "CMakeFiles/cold_geom.dir/geom/point_process.cpp.o.d"
+  "CMakeFiles/cold_geom.dir/geom/region.cpp.o"
+  "CMakeFiles/cold_geom.dir/geom/region.cpp.o.d"
+  "libcold_geom.a"
+  "libcold_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcold_geom.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/cold_graph.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/cold_graph.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/cold_graph.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/cold_graph.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/CMakeFiles/cold_graph.dir/graph/isomorphism.cpp.o" "gcc" "src/CMakeFiles/cold_graph.dir/graph/isomorphism.cpp.o.d"
+  "/root/repo/src/graph/k_shortest.cpp" "src/CMakeFiles/cold_graph.dir/graph/k_shortest.cpp.o" "gcc" "src/CMakeFiles/cold_graph.dir/graph/k_shortest.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/cold_graph.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/cold_graph.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/shortest_paths.cpp" "src/CMakeFiles/cold_graph.dir/graph/shortest_paths.cpp.o" "gcc" "src/CMakeFiles/cold_graph.dir/graph/shortest_paths.cpp.o.d"
+  "/root/repo/src/graph/spectral.cpp" "src/CMakeFiles/cold_graph.dir/graph/spectral.cpp.o" "gcc" "src/CMakeFiles/cold_graph.dir/graph/spectral.cpp.o.d"
+  "/root/repo/src/graph/topology.cpp" "src/CMakeFiles/cold_graph.dir/graph/topology.cpp.o" "gcc" "src/CMakeFiles/cold_graph.dir/graph/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cold_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

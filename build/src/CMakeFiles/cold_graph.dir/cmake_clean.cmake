@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/cold_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/cold_graph.dir/graph/connectivity.cpp.o"
+  "CMakeFiles/cold_graph.dir/graph/connectivity.cpp.o.d"
+  "CMakeFiles/cold_graph.dir/graph/isomorphism.cpp.o"
+  "CMakeFiles/cold_graph.dir/graph/isomorphism.cpp.o.d"
+  "CMakeFiles/cold_graph.dir/graph/k_shortest.cpp.o"
+  "CMakeFiles/cold_graph.dir/graph/k_shortest.cpp.o.d"
+  "CMakeFiles/cold_graph.dir/graph/metrics.cpp.o"
+  "CMakeFiles/cold_graph.dir/graph/metrics.cpp.o.d"
+  "CMakeFiles/cold_graph.dir/graph/shortest_paths.cpp.o"
+  "CMakeFiles/cold_graph.dir/graph/shortest_paths.cpp.o.d"
+  "CMakeFiles/cold_graph.dir/graph/spectral.cpp.o"
+  "CMakeFiles/cold_graph.dir/graph/spectral.cpp.o.d"
+  "CMakeFiles/cold_graph.dir/graph/topology.cpp.o"
+  "CMakeFiles/cold_graph.dir/graph/topology.cpp.o.d"
+  "libcold_graph.a"
+  "libcold_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

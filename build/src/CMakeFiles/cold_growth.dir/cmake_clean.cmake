@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_growth.dir/growth/growth.cpp.o"
+  "CMakeFiles/cold_growth.dir/growth/growth.cpp.o.d"
+  "libcold_growth.a"
+  "libcold_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_heuristics.dir/heuristics/brute_force.cpp.o"
+  "CMakeFiles/cold_heuristics.dir/heuristics/brute_force.cpp.o.d"
+  "CMakeFiles/cold_heuristics.dir/heuristics/hub_heuristics.cpp.o"
+  "CMakeFiles/cold_heuristics.dir/heuristics/hub_heuristics.cpp.o.d"
+  "CMakeFiles/cold_heuristics.dir/heuristics/local_search.cpp.o"
+  "CMakeFiles/cold_heuristics.dir/heuristics/local_search.cpp.o.d"
+  "libcold_heuristics.a"
+  "libcold_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_io.dir/io/dot.cpp.o"
+  "CMakeFiles/cold_io.dir/io/dot.cpp.o.d"
+  "CMakeFiles/cold_io.dir/io/edgelist.cpp.o"
+  "CMakeFiles/cold_io.dir/io/edgelist.cpp.o.d"
+  "CMakeFiles/cold_io.dir/io/graphml.cpp.o"
+  "CMakeFiles/cold_io.dir/io/graphml.cpp.o.d"
+  "CMakeFiles/cold_io.dir/io/json.cpp.o"
+  "CMakeFiles/cold_io.dir/io/json.cpp.o.d"
+  "libcold_io.a"
+  "libcold_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_multias.dir/multias/multias.cpp.o"
+  "CMakeFiles/cold_multias.dir/multias/multias.cpp.o.d"
+  "libcold_multias.a"
+  "libcold_multias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_multias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

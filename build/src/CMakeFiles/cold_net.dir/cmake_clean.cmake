@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_net.dir/net/network.cpp.o"
+  "CMakeFiles/cold_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/cold_net.dir/net/routing.cpp.o"
+  "CMakeFiles/cold_net.dir/net/routing.cpp.o.d"
+  "libcold_net.a"
+  "libcold_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

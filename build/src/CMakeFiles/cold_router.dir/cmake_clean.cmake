@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_router.dir/router/expansion.cpp.o"
+  "CMakeFiles/cold_router.dir/router/expansion.cpp.o.d"
+  "CMakeFiles/cold_router.dir/router/graph_products.cpp.o"
+  "CMakeFiles/cold_router.dir/router/graph_products.cpp.o.d"
+  "libcold_router.a"
+  "libcold_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

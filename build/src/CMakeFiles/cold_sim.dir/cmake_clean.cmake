@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_sim.dir/sim/capacity.cpp.o"
+  "CMakeFiles/cold_sim.dir/sim/capacity.cpp.o.d"
+  "CMakeFiles/cold_sim.dir/sim/failure.cpp.o"
+  "CMakeFiles/cold_sim.dir/sim/failure.cpp.o.d"
+  "libcold_sim.a"
+  "libcold_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_traffic.dir/traffic/gravity.cpp.o"
+  "CMakeFiles/cold_traffic.dir/traffic/gravity.cpp.o.d"
+  "CMakeFiles/cold_traffic.dir/traffic/ipf.cpp.o"
+  "CMakeFiles/cold_traffic.dir/traffic/ipf.cpp.o.d"
+  "CMakeFiles/cold_traffic.dir/traffic/population.cpp.o"
+  "CMakeFiles/cold_traffic.dir/traffic/population.cpp.o.d"
+  "libcold_traffic.a"
+  "libcold_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

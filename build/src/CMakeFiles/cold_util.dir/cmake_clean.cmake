@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_util.dir/util/csv.cpp.o"
+  "CMakeFiles/cold_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/cold_util.dir/util/rng.cpp.o"
+  "CMakeFiles/cold_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/cold_util.dir/util/stats.cpp.o"
+  "CMakeFiles/cold_util.dir/util/stats.cpp.o.d"
+  "libcold_util.a"
+  "libcold_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

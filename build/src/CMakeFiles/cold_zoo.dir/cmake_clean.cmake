@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_zoo.dir/zoo/zoo.cpp.o"
+  "CMakeFiles/cold_zoo.dir/zoo/zoo.cpp.o.d"
+  "libcold_zoo.a"
+  "libcold_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abc.dir/test_abc.cpp.o"
+  "CMakeFiles/test_abc.dir/test_abc.cpp.o.d"
+  "test_abc"
+  "test_abc.pdb"
+  "test_abc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

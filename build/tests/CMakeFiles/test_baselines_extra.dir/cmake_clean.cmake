@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_extra.dir/test_baselines_extra.cpp.o"
+  "CMakeFiles/test_baselines_extra.dir/test_baselines_extra.cpp.o.d"
+  "test_baselines_extra"
+  "test_baselines_extra.pdb"
+  "test_baselines_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

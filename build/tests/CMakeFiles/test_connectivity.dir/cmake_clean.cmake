@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connectivity.dir/test_connectivity.cpp.o"
+  "CMakeFiles/test_connectivity.dir/test_connectivity.cpp.o.d"
+  "test_connectivity"
+  "test_connectivity.pdb"
+  "test_connectivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/test_cost.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/test_cost.dir/test_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cold_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_dk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_abc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_growth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_multias.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cold_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degree_sequence.dir/test_degree_sequence.cpp.o"
+  "CMakeFiles/test_degree_sequence.dir/test_degree_sequence.cpp.o.d"
+  "test_degree_sequence"
+  "test_degree_sequence.pdb"
+  "test_degree_sequence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degree_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dk.dir/test_dk.cpp.o"
+  "CMakeFiles/test_dk.dir/test_dk.cpp.o.d"
+  "test_dk"
+  "test_dk.pdb"
+  "test_dk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_products.dir/test_graph_products.cpp.o"
+  "CMakeFiles/test_graph_products.dir/test_graph_products.cpp.o.d"
+  "test_graph_products"
+  "test_graph_products.pdb"
+  "test_graph_products[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

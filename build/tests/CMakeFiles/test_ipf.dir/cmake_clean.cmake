@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipf.dir/test_ipf.cpp.o"
+  "CMakeFiles/test_ipf.dir/test_ipf.cpp.o.d"
+  "test_ipf"
+  "test_ipf.pdb"
+  "test_ipf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

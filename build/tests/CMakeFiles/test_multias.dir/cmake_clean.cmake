@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multias.dir/test_multias.cpp.o"
+  "CMakeFiles/test_multias.dir/test_multias.cpp.o.d"
+  "test_multias"
+  "test_multias.pdb"
+  "test_multias[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

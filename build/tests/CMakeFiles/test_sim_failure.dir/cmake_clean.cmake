@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_failure.dir/test_sim_failure.cpp.o"
+  "CMakeFiles/test_sim_failure.dir/test_sim_failure.cpp.o.d"
+  "test_sim_failure"
+  "test_sim_failure.pdb"
+  "test_sim_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

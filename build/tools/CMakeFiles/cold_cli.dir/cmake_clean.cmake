@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_cli.dir/cold_cli.cpp.o"
+  "CMakeFiles/cold_cli.dir/cold_cli.cpp.o.d"
+  "cold"
+  "cold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_synth_json "/root/repo/build/tools/cold" "synth" "--pops" "8" "--population" "12" "--generations" "8" "--seed" "1" "--format" "json" "--out" "cli_net.json")
+set_tests_properties(cli_synth_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synth_dot "/root/repo/build/tools/cold" "synth" "--pops" "6" "--population" "12" "--generations" "6" "--format" "dot")
+set_tests_properties(cli_synth_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ensemble "/root/repo/build/tools/cold" "ensemble" "--count" "3" "--pops" "6" "--population" "12" "--generations" "6")
+set_tests_properties(cli_ensemble PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_grow "/root/repo/build/tools/cold" "grow" "--in" "cli_net.json" "--new-pops" "2" "--population" "12" "--generations" "8" "--out" "cli_grown.json")
+set_tests_properties(cli_grow PROPERTIES  DEPENDS "cli_synth_json" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/cold" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_input "/root/repo/build/tools/cold" "metrics")
+set_tests_properties(cli_missing_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
