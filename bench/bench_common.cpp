@@ -14,6 +14,12 @@ std::size_t trials(std::size_t fast, std::size_t full) {
   return full_mode() ? full : fast;
 }
 
+std::size_t bench_threads() {
+  const char* v = std::getenv("COLD_BENCH_THREADS");
+  if (v == nullptr) return 0;  // 0 = all hardware threads
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
 GaConfig default_ga() {
   GaConfig cfg;
   if (full_mode()) {
@@ -23,6 +29,7 @@ GaConfig default_ga() {
     cfg.population = 48;
     cfg.generations = 40;
   }
+  cfg.parallel.num_threads = bench_threads();
   return cfg;
 }
 
@@ -31,6 +38,7 @@ SynthesisConfig sweep_config(std::size_t n, CostParams costs) {
   cfg.context.num_pops = n;
   cfg.costs = costs;
   cfg.ga = default_ga();
+  cfg.parallel.num_threads = bench_threads();
   return cfg;
 }
 

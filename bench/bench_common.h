@@ -19,6 +19,11 @@ namespace cold::bench {
 /// True when COLD_BENCH_FULL=1 is set in the environment.
 bool full_mode();
 
+/// Worker-thread count for GA scoring and ensemble fan-out, from
+/// COLD_BENCH_THREADS; default 0 = all hardware threads. Results are
+/// bit-identical across settings — this knob trades wall-clock only.
+std::size_t bench_threads();
+
 /// Picks the trial count for the current mode.
 std::size_t trials(std::size_t fast, std::size_t full);
 

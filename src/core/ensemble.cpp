@@ -1,6 +1,10 @@
 #include "core/ensemble.h"
 
+#include <algorithm>
 #include <limits>
+#include <optional>
+
+#include "util/thread_pool.h"
 
 namespace cold {
 
@@ -10,17 +14,48 @@ ConfidenceInterval ci_of(const std::vector<double>& xs, double level) {
   return bootstrap_mean_ci(xs, level);
 }
 
+/// Ensemble runs are embarrassingly parallel: run i depends only on seed
+/// base_seed + i. When the run-level fan-out is active, the inner GA is
+/// forced sequential (one core per run already saturates the pool); the
+/// per-run results are bit-identical either way, so the thread count only
+/// changes wall-clock. Returns the worker count and, when > 1 worker is
+/// used, the sequential-GA synthesizer the workers must share.
+std::size_t plan_runs(const Synthesizer& synth, std::size_t count,
+                      std::optional<Synthesizer>& inner,
+                      const Synthesizer*& runner) {
+  runner = &synth;
+  const std::size_t threads =
+      std::min(synth.config().parallel.resolved_threads(),
+               std::max<std::size_t>(count, 1));
+  if (threads > 1) {
+    SynthesisConfig cfg = synth.config();
+    cfg.ga.parallel.num_threads = 1;
+    inner.emplace(std::move(cfg));
+    runner = &*inner;
+  }
+  return threads;
+}
+
 }  // namespace
 
 EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
                                  std::uint64_t base_seed, double ci_level) {
   EnsembleResult result;
-  result.runs.reserve(count);
+  std::optional<Synthesizer> inner;
+  const Synthesizer* runner = nullptr;
+  ThreadPool pool(plan_runs(synth, count, inner, runner));
+
+  result.runs.resize(count);
+  std::vector<TopologyMetrics> metrics(count);
+  pool.parallel_for(0, count, [&](std::size_t i, std::size_t) {
+    result.runs[i] = runner->synthesize(base_seed + i);
+    metrics[i] = compute_metrics(result.runs[i].network.topology);
+  });
+
+  // Aggregation happens after the join, in seed order: statistics and CIs
+  // are independent of the thread count.
   std::vector<double> deg, diam, clus, cv, hubs, assort;
-  for (std::size_t i = 0; i < count; ++i) {
-    result.runs.push_back(synth.synthesize(base_seed + i));
-    const TopologyMetrics m =
-        compute_metrics(result.runs.back().network.topology);
+  for (const TopologyMetrics& m : metrics) {
     deg.push_back(m.avg_degree);
     diam.push_back(static_cast<double>(m.diameter));
     clus.push_back(m.global_clustering);
@@ -59,12 +94,16 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
 std::vector<TopologyMetrics> sweep_metrics(const Synthesizer& synth,
                                            std::size_t count,
                                            std::uint64_t base_seed) {
-  std::vector<TopologyMetrics> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const SynthesisResult run = synth.synthesize(base_seed + i);
-    out.push_back(compute_metrics(run.network.topology));
-  }
+  std::optional<Synthesizer> inner;
+  const Synthesizer* runner = nullptr;
+  ThreadPool pool(plan_runs(synth, count, inner, runner));
+
+  std::vector<TopologyMetrics> out(count);
+  pool.parallel_for(0, count, [&](std::size_t i, std::size_t) {
+    // No Network retained — sweeping hundreds of runs would otherwise hold
+    // a lot of memory.
+    out[i] = compute_metrics(runner->synthesize(base_seed + i).network.topology);
+  });
   return out;
 }
 

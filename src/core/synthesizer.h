@@ -39,6 +39,14 @@ struct SynthesisConfig {
   /// Capacity overprovisioning factor O (>= 1) applied when building the
   /// final Network (paper eq. (1) discussion).
   double overprovision = 1.0;
+
+  /// Run-level parallelism for ensemble generation (generate_ensemble /
+  /// sweep_metrics): independent seeds are distributed across this many
+  /// threads. 0 = all hardware threads, 1 = sequential. Within a single
+  /// synthesize() call the GA's own knob (`ga.parallel`) applies; when the
+  /// ensemble layer fans out runs it forces the inner GA sequential to
+  /// avoid oversubscription. Results are bit-identical either way.
+  ParallelConfig parallel;
 };
 
 struct SynthesisResult {

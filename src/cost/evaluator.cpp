@@ -1,6 +1,7 @@
 #include "cost/evaluator.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "traffic/gravity.h"
 
@@ -8,19 +9,35 @@ namespace cold {
 
 Evaluator::Evaluator(Matrix<double> lengths, Matrix<double> traffic,
                      CostParams params)
+    : Evaluator(std::make_shared<const Matrix<double>>(std::move(lengths)),
+                std::make_shared<const Matrix<double>>(std::move(traffic)),
+                params) {}
+
+Evaluator::Evaluator(std::shared_ptr<const Matrix<double>> lengths,
+                     std::shared_ptr<const Matrix<double>> traffic,
+                     CostParams params)
     : lengths_(std::move(lengths)),
       traffic_(std::move(traffic)),
       params_(params) {
   params_.validate();
-  const std::size_t n = lengths_.rows();
-  if (lengths_.cols() != n) {
+  const std::size_t n = lengths_->rows();
+  if (lengths_->cols() != n) {
     throw std::invalid_argument("Evaluator: lengths must be square");
   }
-  validate_traffic_matrix(traffic_);
-  if (traffic_.rows() != n) {
+  validate_traffic_matrix(*traffic_);
+  if (traffic_->rows() != n) {
     throw std::invalid_argument("Evaluator: traffic/lengths size mismatch");
   }
   loads_ = Matrix<double>::square(n, 0.0);
+}
+
+Evaluator Evaluator::clone() const {
+  return Evaluator(lengths_, traffic_, params_);
+}
+
+void Evaluator::merge_stats(Evaluator& worker) {
+  evaluations_ += worker.evaluations_;
+  worker.evaluations_ = 0;
 }
 
 CostBreakdown Evaluator::breakdown(const Topology& g) {
@@ -28,8 +45,9 @@ CostBreakdown Evaluator::breakdown(const Topology& g) {
     throw std::invalid_argument("Evaluator: topology size mismatch");
   }
   ++evaluations_;
+  const Matrix<double>& lengths = *lengths_;
   CostBreakdown b;
-  if (!route_loads(g, lengths_, traffic_, loads_, ws_)) {
+  if (!route_loads(g, lengths, *traffic_, loads_, ws_)) {
     b.feasible = false;  // disconnected: cannot carry the traffic
     return b;
   }
@@ -40,8 +58,8 @@ CostBreakdown Evaluator::breakdown(const Topology& g) {
     const std::uint8_t* r = g.row(i);
     for (NodeId j = i + 1; j < n; ++j) {
       if (!r[j]) continue;
-      sum_len += lengths_(i, j);
-      sum_bw_len += lengths_(i, j) * loads_(i, j);
+      sum_len += lengths(i, j);
+      sum_bw_len += lengths(i, j) * loads_(i, j);
     }
   }
   b.existence = params_.k0 * static_cast<double>(g.num_edges());

@@ -4,8 +4,13 @@
 // An Evaluator binds the optimization context (PoP distance matrix + traffic
 // matrix) and the cost parameters, and scores candidate topologies. It owns
 // reusable workspace, so repeated evaluation performs no allocation; one
-// Evaluator must not be shared across threads (clone per thread instead).
+// Evaluator must not be shared across threads. For parallel scoring, make a
+// clone() per thread: clones share the immutable context matrices (cheap,
+// read-only) and own private scratch.
 #pragma once
+
+#include <cstddef>
+#include <memory>
 
 #include "cost/cost_model.h"
 #include "net/routing.h"
@@ -19,6 +24,17 @@ class Evaluator {
   /// (ordered pairs, symmetric under the gravity model). Both n x n.
   Evaluator(Matrix<double> lengths, Matrix<double> traffic, CostParams params);
 
+  /// A thread-private copy: shares `lengths`/`traffic` with this evaluator
+  /// (immutable, so concurrent reads are safe) but owns fresh `loads`/
+  /// routing scratch and starts with an evaluation count of zero. The clone
+  /// and the original may then be used concurrently from different threads.
+  Evaluator clone() const;
+
+  /// Folds a clone's statistics into this evaluator and resets the clone's,
+  /// so merging is idempotent per unit of work. After merging every clone,
+  /// evaluations() reports the exact total across all threads.
+  void merge_stats(Evaluator& worker);
+
   /// Total cost of the topology; +infinity if it cannot carry the traffic
   /// (i.e. is disconnected). The hot path of the whole system.
   double cost(const Topology& g);
@@ -30,17 +46,23 @@ class Evaluator {
   /// topology; invalidated by subsequent calls.
   const Matrix<double>& last_loads() const { return loads_; }
 
-  std::size_t num_nodes() const { return lengths_.rows(); }
-  const Matrix<double>& lengths() const { return lengths_; }
-  const Matrix<double>& traffic() const { return traffic_; }
+  std::size_t num_nodes() const { return lengths_->rows(); }
+  const Matrix<double>& lengths() const { return *lengths_; }
+  const Matrix<double>& traffic() const { return *traffic_; }
   const CostParams& params() const { return params_; }
 
-  /// Number of cost evaluations performed (for performance reporting).
+  /// Number of cost evaluations performed by *this* instance (clones count
+  /// separately until merge_stats() folds them back in).
   std::size_t evaluations() const { return evaluations_; }
 
  private:
-  Matrix<double> lengths_;
-  Matrix<double> traffic_;
+  Evaluator(std::shared_ptr<const Matrix<double>> lengths,
+            std::shared_ptr<const Matrix<double>> traffic, CostParams params);
+
+  // The context is shared across clones and never mutated after
+  // construction; scratch and counters are per-instance.
+  std::shared_ptr<const Matrix<double>> lengths_;
+  std::shared_ptr<const Matrix<double>> traffic_;
   CostParams params_;
   Matrix<double> loads_;
   RoutingWorkspace ws_;

@@ -9,6 +9,7 @@
 #include "ga/operators.h"
 #include "ga/repair.h"
 #include "graph/algorithms.h"
+#include "util/thread_pool.h"
 
 namespace cold {
 
@@ -32,11 +33,16 @@ GaConfig GaConfig::resolved() const {
   if (c.num_saved == 0) {
     throw std::invalid_argument("GaConfig: need num_saved >= 1 (elitism)");
   }
-  if (c.parents_a < 1 || c.parents_a > c.tournament_b) {
-    throw std::invalid_argument("GaConfig: need 1 <= parents_a <= tournament_b");
-  }
+  // Clamp the tournament to the population *before* validating parents_a:
+  // a tournament can never inspect more individuals than exist, but a
+  // parents_a that exceeds the clamped tournament is a configuration error,
+  // not something to silently shrink.
   c.tournament_b = std::min(c.tournament_b, c.population);
-  c.parents_a = std::min(c.parents_a, c.tournament_b);
+  if (c.parents_a < 1 || c.parents_a > c.tournament_b) {
+    throw std::invalid_argument(
+        "GaConfig: need 1 <= parents_a <= tournament_b (after clamping "
+        "tournament_b to population)");
+  }
   if (c.node_mutation_prob < 0.0 || c.node_mutation_prob > 1.0) {
     throw std::invalid_argument("GaConfig: node_mutation_prob outside [0,1]");
   }
@@ -82,6 +88,69 @@ std::vector<Topology> initial_population(Objective& eval, const GaConfig& cfg,
   return pop;
 }
 
+/// The parallel scoring stage of the generate-then-score pipeline. Owns the
+/// pool and the per-worker objective clones; worker 0 is the calling thread
+/// using the primary objective, so one configured thread reproduces the
+/// sequential engine exactly (same objects, same call order).
+class ParallelScorer {
+ public:
+  ParallelScorer(Objective& primary, std::size_t num_threads)
+      : primary_(primary) {
+    objectives_.push_back(&primary);
+    for (std::size_t w = 1; w < num_threads; ++w) {
+      std::unique_ptr<Objective> c = primary.clone();
+      if (!c) {  // not cloneable: fall back to sequential scoring
+        clones_.clear();
+        objectives_.resize(1);
+        break;
+      }
+      objectives_.push_back(c.get());
+      clones_.push_back(std::move(c));
+    }
+    pool_ = std::make_unique<ThreadPool>(objectives_.size());
+  }
+
+  ~ParallelScorer() {
+    // Fold clone statistics (evaluation counts) back into the primary.
+    for (auto& c : clones_) primary_.merge_from(*c);
+  }
+
+  /// Repairs and scores items [begin, size) of `gs` into `costs`, updating
+  /// the result's repair/evaluation counters. Deterministic: each slot is
+  /// written by exactly one task and counters are summed after the join.
+  void score(std::vector<Topology>& gs, std::vector<double>& costs,
+             std::size_t begin, const Matrix<double>& lengths,
+             GaResult& result) {
+    struct Counters {
+      std::size_t repairs = 0;
+      std::size_t links_repaired = 0;
+      std::size_t evaluations = 0;
+    };
+    std::vector<Counters> per_worker(objectives_.size());
+    pool_->parallel_for(
+        begin, gs.size(), [&](std::size_t i, std::size_t w) {
+          const std::size_t added = repair_connectivity(gs[i], lengths);
+          if (added > 0) {
+            ++per_worker[w].repairs;
+            per_worker[w].links_repaired += added;
+          }
+          ++per_worker[w].evaluations;
+          costs[i] = objectives_[w]->cost(gs[i]);
+        });
+    for (const Counters& c : per_worker) {
+      result.repairs += c.repairs;
+      result.links_repaired += c.links_repaired;
+      result.evaluations += c.evaluations;
+    }
+  }
+
+ private:
+  Objective& primary_;
+  std::vector<std::unique_ptr<Objective>> clones_;
+  std::vector<Objective*> objectives_;  ///< [0] = primary, then clones
+  std::unique_ptr<ThreadPool> pool_;
+};
+
 }  // namespace
 
 GaResult run_ga(Objective& eval, const GaConfig& config, Rng& rng,
@@ -91,21 +160,13 @@ GaResult run_ga(Objective& eval, const GaConfig& config, Rng& rng,
   if (n < 2) throw std::invalid_argument("run_ga: need at least 2 PoPs");
 
   GaResult result;
+  const Matrix<double>& lengths = eval.lengths();
+  ParallelScorer scorer(
+      eval, std::min(cfg.parallel.resolved_threads(), cfg.population));
 
   std::vector<Topology> pop = initial_population(eval, cfg, rng, seeds);
-  std::vector<double> costs(pop.size());
-  auto repair_and_score = [&](Topology& g) {
-    const std::size_t added = repair_connectivity(g, eval.lengths());
-    if (added > 0) {
-      ++result.repairs;
-      result.links_repaired += added;
-    }
-    ++result.evaluations;
-    return eval.cost(g);
-  };
-  for (std::size_t i = 0; i < pop.size(); ++i) {
-    costs[i] = repair_and_score(pop[i]);
-  }
+  std::vector<double> costs(pop.size(), 0.0);
+  scorer.score(pop, costs, 0, lengths, result);
 
   std::vector<Topology> next;
   std::vector<double> next_costs;
@@ -128,7 +189,11 @@ GaResult run_ga(Objective& eval, const GaConfig& config, Rng& rng,
       next.push_back(pop[rank[i]]);
       next_costs.push_back(costs[rank[i]]);
     }
-    // 2. Crossover children.
+    // 2. Generate all offspring sequentially from the single Rng: variation
+    // decisions consume randomness in exactly the order the sequential
+    // engine did (repair and scoring are RNG-free, so deferring them does
+    // not perturb the stream).
+    // 2a. Crossover children.
     for (std::size_t i = 0; i < cfg.num_crossover; ++i) {
       const auto parent_idx =
           select_parents(costs, cfg.parents_a, cfg.tournament_b, rng);
@@ -138,25 +203,24 @@ GaResult run_ga(Objective& eval, const GaConfig& config, Rng& rng,
         parents.push_back(&pop[pi]);
         parent_costs.push_back(costs[pi]);
       }
-      Topology child = crossover(parents, parent_costs, rng);
-      const double c = repair_and_score(child);
-      next.push_back(std::move(child));
-      next_costs.push_back(c);
+      next.push_back(crossover(parents, parent_costs, rng));
+      next_costs.push_back(0.0);
     }
-    // 3. Mutants.
+    // 2b. Mutants.
     for (std::size_t i = 0; i < cfg.num_mutation; ++i) {
       Topology mutant = pop[inverse_cost_index(costs, rng)];
       if (rng.bernoulli(cfg.node_mutation_prob)) {
-        if (!node_mutation(mutant, eval.lengths(), rng)) {
+        if (!node_mutation(mutant, lengths, rng)) {
           link_mutation(mutant, rng);
         }
       } else {
         link_mutation(mutant, rng);
       }
-      const double c = repair_and_score(mutant);
       next.push_back(std::move(mutant));
-      next_costs.push_back(c);
+      next_costs.push_back(0.0);
     }
+    // 3. Repair + score every non-elite in parallel.
+    scorer.score(next, next_costs, cfg.num_saved, lengths, result);
     pop.swap(next);
     costs.swap(next_costs);
   }

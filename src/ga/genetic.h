@@ -16,6 +16,7 @@
 #include "ga/objective.h"
 #include "graph/topology.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace cold {
 
@@ -42,6 +43,13 @@ struct GaConfig {
   bool include_mst_seed = true;
   bool include_clique_seed = true;
 
+  /// Worker threads for offspring repair + scoring (the hot path: one
+  /// Dijkstra sweep per candidate). 0 = all hardware threads, 1 = fully
+  /// sequential. Every setting yields bit-identical results: variation
+  /// decisions are drawn sequentially from the single Rng, and scoring is
+  /// RNG-free with results written to per-offspring slots.
+  ParallelConfig parallel;
+
   /// Returns a copy with derived fields resolved and validated; throws
   /// std::invalid_argument on inconsistent settings.
   GaConfig resolved() const;
@@ -60,7 +68,10 @@ struct GaResult {
 
 /// Runs the GA against an arbitrary objective. `seeds` are injected into
 /// the initial population (truncated if more than `population`); the result
-/// is therefore never worse than the best seed. Deterministic given `rng`.
+/// is therefore never worse than the best seed. Deterministic given `rng`,
+/// independent of `config.parallel`: offspring are generated sequentially
+/// from the Rng, then repaired and scored in parallel on per-thread
+/// objective clones (sequentially if the objective is not cloneable).
 GaResult run_ga(Objective& objective, const GaConfig& config, Rng& rng,
                 const std::vector<Topology>& seeds = {});
 

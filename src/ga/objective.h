@@ -3,7 +3,16 @@
 // The standard objective is cost/Evaluator (the paper's eq. (2)), but
 // extensions add terms — e.g. the growth module charges for decommissioning
 // installed links. run_ga() optimizes any Objective.
+//
+// Objectives that support clone() participate in the parallel evaluation
+// engine: run_ga makes one clone per worker thread and scores offspring
+// concurrently (clones must be safe to call from distinct threads while the
+// original is used on the calling thread). Objectives that return nullptr
+// from clone() are simply scored sequentially — parallelism is an
+// optimization, never a requirement.
 #pragma once
+
+#include <memory>
 
 #include "cost/evaluator.h"
 #include "graph/topology.h"
@@ -21,17 +30,45 @@ class Objective {
   /// Physical PoP distances (used for repair, MST seeding, node mutation).
   virtual const Matrix<double>& lengths() const = 0;
 
+  /// A thread-private copy for parallel scoring, or nullptr if this
+  /// objective cannot be cloned (the caller then falls back to sequential
+  /// evaluation).
+  virtual std::unique_ptr<Objective> clone() const { return nullptr; }
+
+  /// Folds a clone's statistics (e.g. evaluation counts) back into this
+  /// objective after a parallel phase. No-op by default.
+  virtual void merge_from(Objective& /*worker*/) {}
+
   std::size_t num_nodes() const { return lengths().rows(); }
 };
 
-/// Adapts the standard Evaluator (does not own it).
+/// Adapts the standard Evaluator. Borrows the caller's evaluator by
+/// default; clones own a private Evaluator (sharing the context matrices)
+/// whose evaluation count merge_from() folds back into the original.
 class EvaluatorObjective final : public Objective {
  public:
   explicit EvaluatorObjective(Evaluator& eval) : eval_(&eval) {}
+  explicit EvaluatorObjective(Evaluator&& owned)
+      : owned_(std::make_unique<Evaluator>(std::move(owned))),
+        eval_(owned_.get()) {}
+
   double cost(const Topology& g) override { return eval_->cost(g); }
   const Matrix<double>& lengths() const override { return eval_->lengths(); }
 
+  std::unique_ptr<Objective> clone() const override {
+    return std::make_unique<EvaluatorObjective>(eval_->clone());
+  }
+
+  void merge_from(Objective& worker) override {
+    if (auto* w = dynamic_cast<EvaluatorObjective*>(&worker)) {
+      eval_->merge_stats(*w->eval_);
+    }
+  }
+
+  Evaluator& evaluator() { return *eval_; }
+
  private:
+  std::unique_ptr<Evaluator> owned_;  ///< set only for clones
   Evaluator* eval_;
 };
 

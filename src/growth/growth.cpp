@@ -26,6 +26,16 @@ GrowthEvaluator::GrowthEvaluator(Matrix<double> lengths,
   }
 }
 
+GrowthEvaluator::GrowthEvaluator(Evaluator inner, std::vector<Edge> installed,
+                                 double decommission_factor)
+    : inner_(std::move(inner)),
+      installed_(std::move(installed)),
+      decommission_factor_(decommission_factor) {}
+
+GrowthEvaluator GrowthEvaluator::clone() const {
+  return GrowthEvaluator(inner_.clone(), installed_, decommission_factor_);
+}
+
 double GrowthEvaluator::cost(const Topology& g) {
   double total = inner_.cost(g);
   if (!std::isfinite(total)) return total;
@@ -45,12 +55,27 @@ namespace {
 class GrowthObjective final : public Objective {
  public:
   explicit GrowthObjective(GrowthEvaluator& eval) : eval_(&eval) {}
+  explicit GrowthObjective(GrowthEvaluator&& owned)
+      : owned_(std::make_unique<GrowthEvaluator>(std::move(owned))),
+        eval_(owned_.get()) {}
+
   double cost(const Topology& g) override { return eval_->cost(g); }
   const Matrix<double>& lengths() const override {
     return eval_->inner().lengths();
   }
 
+  std::unique_ptr<Objective> clone() const override {
+    return std::make_unique<GrowthObjective>(eval_->clone());
+  }
+
+  void merge_from(Objective& worker) override {
+    if (auto* w = dynamic_cast<GrowthObjective*>(&worker)) {
+      eval_->inner().merge_stats(w->eval_->inner());
+    }
+  }
+
  private:
+  std::unique_ptr<GrowthEvaluator> owned_;  ///< set only for clones
   GrowthEvaluator* eval_;
 };
 

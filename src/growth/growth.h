@@ -57,7 +57,14 @@ class GrowthEvaluator {
   double cost(const Topology& g);
   Evaluator& inner() { return inner_; }
 
+  /// Thread-private copy (shares the context matrices via the inner
+  /// Evaluator's clone; see Evaluator::clone()).
+  GrowthEvaluator clone() const;
+
  private:
+  GrowthEvaluator(Evaluator inner, std::vector<Edge> installed,
+                  double decommission_factor);
+
   Evaluator inner_;
   std::vector<Edge> installed_;
   double decommission_factor_;

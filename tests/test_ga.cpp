@@ -67,6 +67,23 @@ TEST(GaConfig, ValidatesRanges) {
   EXPECT_THROW(cfg.resolved(), std::invalid_argument);
 }
 
+TEST(GaConfig, RejectsParentsBeyondClampedTournament) {
+  // tournament_b is clamped to the population before validation, so a
+  // parents_a that only fit the pre-clamp tournament is rejected rather
+  // than silently shrunk (the old ordering validated first, clamped after).
+  GaConfig cfg;
+  cfg.population = 8;
+  cfg.tournament_b = 20;  // > population: clamped to 8
+  cfg.parents_a = 12;     // fits 20, not the clamped 8 -> must throw
+  EXPECT_THROW(cfg.resolved(), std::invalid_argument);
+
+  cfg.parents_a = 2;  // fits the clamped tournament: fine
+  GaConfig r;
+  EXPECT_NO_THROW(r = cfg.resolved());
+  EXPECT_EQ(r.tournament_b, 8u);
+  EXPECT_EQ(r.parents_a, 2u);
+}
+
 TEST(RunGa, ProducesConnectedFiniteBest) {
   Evaluator eval = make_evaluator(15, CostParams{10, 1, 4e-4, 10});
   Rng rng(1);

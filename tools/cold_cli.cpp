@@ -75,6 +75,7 @@ void print_usage() {
       "            --pops N (30) --k0 X (10) --k2 X (4e-4) --k3 X (10)\n"
       "            --seed S (1) --population M (48) --generations T (40)\n"
       "            --overprovision O (1) --format dot|json|graphml (json)\n"
+      "            --threads K (0 = all cores; output identical for any K)\n"
       "            --out FILE (stdout)\n"
       "  ensemble  synthesize many networks, print metric CIs\n"
       "            --count N (20) + synth options\n"
@@ -97,6 +98,10 @@ SynthesisConfig config_from(const Args& args) {
   cfg.ga.population = static_cast<std::size_t>(args.num("population", 48));
   cfg.ga.generations = static_cast<std::size_t>(args.num("generations", 40));
   cfg.overprovision = args.num("overprovision", 1.0);
+  // 0 = all hardware threads; any value yields bit-identical output.
+  const auto threads = static_cast<std::size_t>(args.num("threads", 0));
+  cfg.ga.parallel.num_threads = threads;
+  cfg.parallel.num_threads = threads;
   return cfg;
 }
 
