@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 namespace cold::bench {
@@ -49,6 +50,50 @@ void banner(const std::string& figure, const std::string& claim) {
   std::cout << "Mode: " << (full_mode() ? "FULL (paper-scale)" : "fast")
             << "  (set COLD_BENCH_FULL=1 for paper-scale runs)\n";
   std::cout << "==============================================================\n\n";
+}
+
+double bench_max_seconds() {
+  const char* v = std::getenv("COLD_BENCH_MAX_SECONDS");
+  return v == nullptr ? 0.0 : std::strtod(v, nullptr);
+}
+
+std::string bench_report_path() {
+  const char* v = std::getenv("COLD_BENCH_REPORT");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+BenchTelemetry::~BenchTelemetry() {
+  if (!report_attached_) return;
+  const std::string path = bench_report_path();
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "could not write report " << path << "\n";
+    return;
+  }
+  sink_.write(file);
+  std::cout << "wrote report " << path << "\n";
+}
+
+void BenchTelemetry::attach(SynthesisConfig& cfg) {
+  if (!bench_report_path().empty()) {
+    // Raw run_ga emits no RunStart (the sink's usual reset trigger), so
+    // reset here to keep the "report holds the last attached run" promise.
+    sink_.report() = RunReport{};
+    cfg.observer = &sink_;
+    report_attached_ = true;
+  }
+  stop_.max_seconds = bench_max_seconds();
+  if (stop_.max_seconds > 0) cfg.stop = &stop_;
+}
+
+void BenchTelemetry::attach(GaRunOptions& options) {
+  if (!bench_report_path().empty()) {
+    sink_.report() = RunReport{};
+    options.observer = &sink_;
+    report_attached_ = true;
+  }
+  stop_.max_seconds = bench_max_seconds();
+  if (stop_.max_seconds > 0) options.stop = &stop_;
 }
 
 }  // namespace cold::bench

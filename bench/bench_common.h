@@ -5,6 +5,10 @@
 // sweep tractable on one core; set COLD_BENCH_FULL=1 to run at paper scale
 // (T = M = 100, paper trial counts). The curve *shapes* are stable across
 // both settings; EXPERIMENTS.md records both.
+// Telemetry: COLD_BENCH_REPORT=FILE attaches a JsonReportSink to runs that
+// go through BenchTelemetry::attach and writes the JSON run report on exit;
+// COLD_BENCH_MAX_SECONDS=T puts a wall-clock budget on those runs (partial
+// results stay valid, the report records the stop reason).
 #pragma once
 
 #include <cstddef>
@@ -13,6 +17,7 @@
 #include "core/synthesizer.h"
 #include "cost/cost_model.h"
 #include "ga/genetic.h"
+#include "telemetry/report.h"
 
 namespace cold::bench {
 
@@ -37,5 +42,32 @@ SynthesisConfig sweep_config(std::size_t n, CostParams costs);
 
 /// Prints the bench banner: figure id, the paper's claim, current mode.
 void banner(const std::string& figure, const std::string& claim);
+
+/// Wall-clock budget from COLD_BENCH_MAX_SECONDS; 0 = unlimited.
+double bench_max_seconds();
+
+/// Report path from COLD_BENCH_REPORT; empty = no report.
+std::string bench_report_path();
+
+/// Env-driven run telemetry for bench binaries. attach() wires the sink
+/// and/or stop condition (when the corresponding env var is set) into a
+/// config; the destructor writes the report file. With several attached
+/// runs the report holds the last one (the sink resets per run), so attach
+/// to the headline measurement of the binary.
+class BenchTelemetry {
+ public:
+  BenchTelemetry() = default;
+  ~BenchTelemetry();
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+  void attach(SynthesisConfig& cfg);
+  void attach(GaRunOptions& options);
+
+ private:
+  JsonReportSink sink_;
+  StopCondition stop_;
+  bool report_attached_ = false;
+};
 
 }  // namespace cold::bench

@@ -3,8 +3,10 @@
 //
 // Measures run_ga at population 64, n = 40 PoPs (the acceptance scenario of
 // the parallel engine) for num_threads in {1, 2, 4, 8}, verifies that every
-// thread count reproduces the 1-thread best_cost_history exactly, and writes
-// the results to BENCH_parallel_ga.json (first argv, default ./).
+// thread count reproduces the 1-thread best_cost_history AND the 1-thread
+// telemetry trace exactly, and writes the results to
+// BENCH_parallel_ga.json (first argv, default ./). COLD_BENCH_REPORT=FILE
+// additionally writes the JSON run report of the last measured run.
 //
 // Interpretation: speedup_vs_1 should approach min(threads, cores) for the
 // scoring-dominated workload; on a 1-core host all settings time alike (the
@@ -19,6 +21,7 @@
 #include "bench_common.h"
 #include "core/context.h"
 #include "ga/genetic.h"
+#include "telemetry/sinks.h"
 
 namespace {
 
@@ -28,17 +31,24 @@ struct Sample {
   std::size_t threads = 1;
   double seconds = 0.0;
   bool identical_history = true;
+  bool identical_trace = true;
 };
 
-GaResult run_once(const Context& ctx, std::size_t threads,
-                  std::uint64_t seed, std::size_t generations) {
+GaResult run_once(const Context& ctx, std::size_t threads, std::uint64_t seed,
+                  std::size_t generations, TraceSink& trace,
+                  cold::bench::BenchTelemetry* telemetry) {
   Evaluator eval(ctx.distances, ctx.traffic, CostParams{10.0, 1.0, 4e-4, 10.0});
-  GaConfig cfg;
-  cfg.population = 64;
-  cfg.generations = generations;
-  cfg.parallel.num_threads = threads;
+  GaRunOptions options;
+  options.config.population = 64;
+  options.config.generations = generations;
+  options.config.parallel.num_threads = threads;
+  MultiObserver observer;
+  if (telemetry != nullptr) telemetry->attach(options);
+  observer.add(options.observer);  // env-driven report sink, if any
+  observer.add(&trace);
+  options.observer = &observer;
   Rng rng(seed);
-  return run_ga(eval, cfg, rng);
+  return run_ga(eval, rng, options);
 }
 
 }  // namespace
@@ -57,12 +67,17 @@ int main(int argc, char** argv) {
   Rng ctx_rng(seed);
   const Context ctx = generate_context(ctx_cfg, ctx_rng);
 
-  const GaResult reference = run_once(ctx, 1, seed, generations);
+  TraceSink reference_trace;
+  const GaResult reference =
+      run_once(ctx, 1, seed, generations, reference_trace, nullptr);
 
+  cold::bench::BenchTelemetry telemetry;
   std::vector<Sample> samples;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    TraceSink trace;
     const auto t0 = std::chrono::steady_clock::now();
-    const GaResult r = run_once(ctx, threads, seed, generations);
+    const GaResult r =
+        run_once(ctx, threads, seed, generations, trace, &telemetry);
     const auto t1 = std::chrono::steady_clock::now();
     Sample s;
     s.threads = threads;
@@ -72,10 +87,12 @@ int main(int argc, char** argv) {
         r.best_cost == reference.best_cost &&
         r.final_costs == reference.final_costs &&
         r.evaluations == reference.evaluations;
+    s.identical_trace = trace.canonical() == reference_trace.canonical();
     samples.push_back(s);
-    std::printf("threads=%zu  %8.3f s  speedup %5.2fx  identical=%s\n",
-                s.threads, s.seconds, samples.front().seconds / s.seconds,
-                s.identical_history ? "yes" : "NO");
+    std::printf(
+        "threads=%zu  %8.3f s  speedup %5.2fx  identical=%s  trace=%s\n",
+        s.threads, s.seconds, samples.front().seconds / s.seconds,
+        s.identical_history ? "yes" : "NO", s.identical_trace ? "yes" : "NO");
   }
 
   const std::string path =
@@ -95,9 +112,11 @@ int main(int argc, char** argv) {
       const Sample& s = samples[i];
       std::fprintf(f,
                    "    {\"threads\": %zu, \"seconds\": %.6f, "
-                   "\"speedup_vs_1\": %.3f, \"identical_history\": %s}%s\n",
+                   "\"speedup_vs_1\": %.3f, \"identical_history\": %s, "
+                   "\"identical_trace\": %s}%s\n",
                    s.threads, s.seconds, samples.front().seconds / s.seconds,
                    s.identical_history ? "true" : "false",
+                   s.identical_trace ? "true" : "false",
                    i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -109,6 +128,8 @@ int main(int argc, char** argv) {
   }
 
   bool all_identical = true;
-  for (const Sample& s : samples) all_identical &= s.identical_history;
+  for (const Sample& s : samples) {
+    all_identical &= s.identical_history && s.identical_trace;
+  }
   return all_identical ? 0 : 1;
 }

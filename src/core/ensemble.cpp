@@ -1,6 +1,7 @@
 #include "core/ensemble.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <optional>
 
@@ -16,10 +17,13 @@ ConfidenceInterval ci_of(const std::vector<double>& xs, double level) {
 
 /// Ensemble runs are embarrassingly parallel: run i depends only on seed
 /// base_seed + i. When the run-level fan-out is active, the inner GA is
-/// forced sequential (one core per run already saturates the pool); the
-/// per-run results are bit-identical either way, so the thread count only
-/// changes wall-clock. Returns the worker count and, when > 1 worker is
-/// used, the sequential-GA synthesizer the workers must share.
+/// forced sequential (one core per run already saturates the pool). The
+/// inner runs never see the caller's observer — per-run event streams
+/// would interleave nondeterministically across worker threads — but they
+/// do keep the stop condition, which is thread-safe and makes long inner
+/// GAs stop at generation boundaries. Per-run results are bit-identical
+/// for any thread count. Returns the worker count and, when an adjusted
+/// config is needed, the synthesizer the workers must share.
 std::size_t plan_runs(const Synthesizer& synth, std::size_t count,
                       std::optional<Synthesizer>& inner,
                       const Synthesizer*& runner) {
@@ -27,9 +31,10 @@ std::size_t plan_runs(const Synthesizer& synth, std::size_t count,
   const std::size_t threads =
       std::min(synth.config().parallel.resolved_threads(),
                std::max<std::size_t>(count, 1));
-  if (threads > 1) {
+  if (threads > 1 || synth.config().observer != nullptr) {
     SynthesisConfig cfg = synth.config();
-    cfg.ga.parallel.num_threads = 1;
+    if (threads > 1) cfg.ga.parallel.num_threads = 1;
+    cfg.observer = nullptr;
     inner.emplace(std::move(cfg));
     runner = &*inner;
   }
@@ -43,17 +48,54 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
   EnsembleResult result;
   std::optional<Synthesizer> inner;
   const Synthesizer* runner = nullptr;
-  ThreadPool pool(plan_runs(synth, count, inner, runner));
+  const std::size_t threads = plan_runs(synth, count, inner, runner);
+  ThreadPool pool(threads);
+
+  RunObserver* observer = synth.config().observer;
+  StopCondition* stop = synth.config().stop;
+  const auto started = std::chrono::steady_clock::now();
+  if (stop != nullptr) stop->arm();
+  if (observer != nullptr) {
+    observer->on_run_start({base_seed, synth.config().context.num_pops});
+  }
 
   result.runs.resize(count);
   std::vector<TopologyMetrics> metrics(count);
-  pool.parallel_for(0, count, [&](std::size_t i, std::size_t) {
-    result.runs[i] = runner->synthesize(base_seed + i);
-    metrics[i] = compute_metrics(result.runs[i].network.topology);
-  });
+  std::vector<std::uint64_t> run_wall(count, 0);
+  std::size_t completed = 0;
+  {
+    PhaseTimer phase(observer, Phase::kEnsemble);
+    // Dispatch in waves of one index per worker so the stop condition gets
+    // a run-granular checkpoint; inside a wave each run also honors the
+    // condition at its own generation boundaries.
+    while (completed < count) {
+      if (stop != nullptr && stop->should_stop()) {
+        result.stopped_early = true;
+        result.stop_reason = stop->reason();
+        break;
+      }
+      const std::size_t wave_end = std::min(count, completed + threads);
+      pool.parallel_for(completed, wave_end, [&](std::size_t i, std::size_t) {
+        const auto run_started = std::chrono::steady_clock::now();
+        result.runs[i] = runner->synthesize(base_seed + i);
+        metrics[i] = compute_metrics(result.runs[i].network.topology);
+        run_wall[i] = elapsed_ns(run_started);
+      });
+      completed = wave_end;
+    }
+  }
+  result.runs.resize(completed);
+  metrics.resize(completed);
 
-  // Aggregation happens after the join, in seed order: statistics and CIs
-  // are independent of the thread count.
+  // Telemetry and aggregation happen after the join, in seed order:
+  // everything below is independent of the thread count.
+  if (observer != nullptr) {
+    for (std::size_t i = 0; i < completed; ++i) {
+      observer->on_ensemble_run_done(
+          {i, base_seed + i, result.runs[i].ga.best_cost, run_wall[i]});
+    }
+  }
+
   std::vector<double> deg, diam, clus, cv, hubs, assort;
   for (const TopologyMetrics& m : metrics) {
     deg.push_back(m.avg_degree);
@@ -88,6 +130,22 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
   }
   result.min_pairwise_edge_difference =
       result.runs.size() < 2 ? 0 : min_diff;
+
+  if (observer != nullptr) {
+    RunSummary summary;
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t evaluations = 0;
+    for (const SynthesisResult& r : result.runs) {
+      best = std::min(best, r.ga.best_cost);
+      evaluations += r.ga.evaluations;
+    }
+    summary.best_cost = result.runs.empty() ? 0.0 : best;
+    summary.evaluations = evaluations;  // GA evaluations across all runs
+    summary.wall_ns = elapsed_ns(started);
+    summary.stopped_early = result.stopped_early;
+    summary.stop_reason = result.stop_reason;
+    observer->on_run_end(summary);
+  }
   return result;
 }
 

@@ -35,11 +35,26 @@ struct EnsembleResult {
   /// network (topology, PoP locations, traffic): true iff every pair of
   /// generated networks differs somewhere.
   bool all_distinct = false;
+  /// Set when the synthesizer's StopCondition ended the ensemble before
+  /// every requested run completed; `runs` then holds the completed prefix
+  /// (statistics cover only those runs).
+  bool stopped_early = false;
+  StopReason stop_reason = StopReason::kNone;
 };
 
 /// Synthesizes `count` networks with seeds base_seed, base_seed+1, ...
 /// (each seed yields a fresh random context) and aggregates their metrics
 /// with bootstrap CIs at the given level.
+///
+/// Telemetry: when the synthesizer config carries an observer, the
+/// ensemble emits its own deterministic stream — RunStart, an `ensemble`
+/// phase, one EnsembleRunDone per run in seed order (after the fan-out
+/// join), RunSummary. Per-run inner events are suppressed: with a parallel
+/// fan-out they would interleave nondeterministically across threads, so
+/// suppressing them always keeps the stream identical for any thread
+/// count. The stop condition (if any) is honored at run-wave boundaries
+/// and inside every inner GA, and a stopped ensemble returns the completed
+/// prefix as a valid partial result.
 EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
                                  std::uint64_t base_seed = 1,
                                  double ci_level = 0.95);

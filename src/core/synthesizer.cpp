@@ -15,14 +15,36 @@ Synthesizer::Synthesizer(SynthesisConfig config) : config_(std::move(config)) {
 }
 
 SynthesisResult Synthesizer::synthesize(std::uint64_t seed) const {
+  const auto started = std::chrono::steady_clock::now();
+  if (config_.stop != nullptr) config_.stop->arm();
+  if (config_.observer != nullptr) {
+    config_.observer->on_run_start({seed, config_.context.num_pops});
+  }
   Rng context_rng(seed, /*stream=*/0);
-  const Context ctx = generate_context(config_.context, context_rng);
-  return synthesize_for_context(ctx, seed);
+  Context ctx;
+  {
+    PhaseTimer timer(config_.observer, Phase::kContext);
+    ctx = generate_context(config_.context, context_rng);
+  }
+  return optimize(ctx, seed, started);
 }
 
 SynthesisResult Synthesizer::synthesize_for_context(const Context& context,
                                                     std::uint64_t seed) const {
+  const auto started = std::chrono::steady_clock::now();
+  if (config_.stop != nullptr) config_.stop->arm();
+  if (config_.observer != nullptr) {
+    config_.observer->on_run_start({seed, context.num_pops()});
+  }
+  return optimize(context, seed, started);
+}
+
+SynthesisResult Synthesizer::optimize(
+    const Context& context, std::uint64_t seed,
+    std::chrono::steady_clock::time_point started) const {
+  RunObserver* observer = config_.observer;
   Evaluator eval(context.distances, context.traffic, config_.costs);
+  const auto eval_count = [&eval] { return eval.evaluations(); };
 
   SynthesisResult result;
   result.context = context;
@@ -30,17 +52,38 @@ SynthesisResult Synthesizer::synthesize_for_context(const Context& context,
   Rng opt_rng(seed, /*stream=*/1);
   std::vector<Topology> seeds;
   if (config_.seed_with_heuristics) {
-    result.heuristics =
-        run_all_heuristics(eval, opt_rng, config_.heuristic_options);
+    PhaseTimer timer(observer, Phase::kHeuristics, eval_count);
+    result.heuristics = run_all_heuristics(
+        eval, opt_rng, config_.heuristic_options, observer, config_.stop);
     for (const HeuristicResult& h : result.heuristics) {
       seeds.push_back(h.topology);
     }
   }
-  result.ga = run_ga(eval, config_.ga, opt_rng, seeds);
-  result.cost = eval.breakdown(result.ga.best);
-  result.network =
-      build_network(result.ga.best, context.locations, context.populations,
-                    context.traffic, config_.overprovision);
+  {
+    PhaseTimer timer(observer, Phase::kGa, eval_count);
+    GaRunOptions ga_options;
+    ga_options.config = config_.ga;
+    ga_options.seeds = std::move(seeds);
+    ga_options.observer = observer;
+    ga_options.stop = config_.stop;
+    result.ga = run_ga(eval, opt_rng, ga_options);
+  }
+  {
+    PhaseTimer timer(observer, Phase::kAssembly, eval_count);
+    result.cost = eval.breakdown(result.ga.best);
+    result.network =
+        build_network(result.ga.best, context.locations, context.populations,
+                      context.traffic, config_.overprovision);
+  }
+  if (observer != nullptr) {
+    RunSummary summary;
+    summary.best_cost = result.ga.best_cost;
+    summary.evaluations = eval.evaluations();
+    summary.wall_ns = elapsed_ns(started);
+    summary.stopped_early = result.ga.stopped_early;
+    summary.stop_reason = result.ga.stop_reason;
+    observer->on_run_end(summary);
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 //   cold::Network net = synth.synthesize(/*seed=*/1).network;
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <vector>
 
@@ -47,6 +48,23 @@ struct SynthesisConfig {
   /// ensemble layer fans out runs it forces the inner GA sequential to
   /// avoid oversubscription. Results are bit-identical either way.
   ParallelConfig parallel;
+
+  /// Borrowed, may be null; the caller keeps it alive for every
+  /// synthesize* call. Receives the run's event stream: RunStart, the
+  /// phase timeline (context | heuristics | ga | assembly) with per-phase
+  /// evaluator counters, one HeuristicDone per seed heuristic, one
+  /// GenerationEnd per GA generation, and a RunSummary. All events are
+  /// emitted from sequential code, so the logical stream is bit-identical
+  /// for any parallel setting. Inside ensemble fan-out this observer is
+  /// NOT invoked per run (events would interleave across threads);
+  /// generate_ensemble emits its own deterministic summary stream instead.
+  RunObserver* observer = nullptr;
+
+  /// Borrowed, may be null. Cooperative cancellation: checked between
+  /// heuristics and at GA generation boundaries, charged with every
+  /// objective evaluation. A stopped run still returns a valid network
+  /// (built from the best topology found so far).
+  StopCondition* stop = nullptr;
 };
 
 struct SynthesisResult {
@@ -73,6 +91,9 @@ class Synthesizer {
                                          std::uint64_t seed) const;
 
  private:
+  SynthesisResult optimize(const Context& context, std::uint64_t seed,
+                           std::chrono::steady_clock::time_point started) const;
+
   SynthesisConfig config_;
 };
 

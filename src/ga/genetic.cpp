@@ -1,6 +1,7 @@
 #include "ga/genetic.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -153,27 +154,43 @@ class ParallelScorer {
 
 }  // namespace
 
-GaResult run_ga(Objective& eval, const GaConfig& config, Rng& rng,
-                const std::vector<Topology>& seeds) {
-  const GaConfig cfg = config.resolved();
+GaResult run_ga(Objective& eval, Rng& rng, const GaRunOptions& options) {
+  const GaConfig cfg = options.config.resolved();
   const std::size_t n = eval.num_nodes();
   if (n < 2) throw std::invalid_argument("run_ga: need at least 2 PoPs");
+  RunObserver* observer = options.observer;
+  StopCondition* stop = options.stop;
+  if (stop != nullptr) stop->arm();
 
   GaResult result;
   const Matrix<double>& lengths = eval.lengths();
   ParallelScorer scorer(
       eval, std::min(cfg.parallel.resolved_threads(), cfg.population));
 
-  std::vector<Topology> pop = initial_population(eval, cfg, rng, seeds);
+  std::vector<Topology> pop = initial_population(eval, cfg, rng, options.seeds);
   std::vector<double> costs(pop.size(), 0.0);
   scorer.score(pop, costs, 0, lengths, result);
+  if (stop != nullptr) stop->add_evaluations(result.evaluations);
 
   std::vector<Topology> next;
   std::vector<double> next_costs;
   next.reserve(cfg.population);
   next_costs.reserve(cfg.population);
 
+  // Counter snapshots for per-generation telemetry deltas.
+  std::size_t prev_repairs = result.repairs;
+  std::size_t prev_links_repaired = result.links_repaired;
+  std::size_t prev_evaluations = result.evaluations;
+
   for (std::size_t gen = 0; gen < cfg.generations; ++gen) {
+    // Cooperative cancellation: checked at the generation boundary, so a
+    // stopped run still returns a fully consistent partial result.
+    if (stop != nullptr && stop->should_stop()) {
+      result.stopped_early = true;
+      result.stop_reason = stop->reason();
+      break;
+    }
+    const auto gen_started = std::chrono::steady_clock::now();
     // Rank current population by cost (stable: ties keep insertion order).
     std::vector<std::size_t> rank(pop.size());
     std::iota(rank.begin(), rank.end(), 0);
@@ -223,6 +240,29 @@ GaResult run_ga(Objective& eval, const GaConfig& config, Rng& rng,
     scorer.score(next, next_costs, cfg.num_saved, lengths, result);
     pop.swap(next);
     costs.swap(next_costs);
+    ++result.generations_run;
+
+    // Telemetry + budget accounting, from the sequential section after the
+    // join: per-generation deltas of the merged counters, so the logical
+    // event stream is identical for any thread count.
+    const std::size_t gen_evaluations = result.evaluations - prev_evaluations;
+    if (stop != nullptr) stop->add_evaluations(gen_evaluations);
+    if (observer != nullptr) {
+      GenerationEnd event;
+      event.gen = gen;
+      event.best_cost = *std::min_element(costs.begin(), costs.end());
+      event.mean_cost =
+          std::accumulate(costs.begin(), costs.end(), 0.0) /
+          static_cast<double>(costs.size());
+      event.repairs = result.repairs - prev_repairs;
+      event.links_repaired = result.links_repaired - prev_links_repaired;
+      event.evaluations = gen_evaluations;
+      event.wall_ns = elapsed_ns(gen_started);
+      observer->on_generation_end(event);
+    }
+    prev_repairs = result.repairs;
+    prev_links_repaired = result.links_repaired;
+    prev_evaluations = result.evaluations;
   }
 
   // Final ranking; report best and the whole final generation.
@@ -238,10 +278,26 @@ GaResult run_ga(Objective& eval, const GaConfig& config, Rng& rng,
   return result;
 }
 
+GaResult run_ga(Evaluator& eval, Rng& rng, const GaRunOptions& options) {
+  EvaluatorObjective objective(eval);
+  return run_ga(objective, rng, options);
+}
+
+GaResult run_ga(Objective& objective, const GaConfig& config, Rng& rng,
+                const std::vector<Topology>& seeds) {
+  GaRunOptions options;
+  options.config = config;
+  options.seeds = seeds;
+  return run_ga(objective, rng, options);
+}
+
 GaResult run_ga(Evaluator& eval, const GaConfig& config, Rng& rng,
                 const std::vector<Topology>& seeds) {
   EvaluatorObjective objective(eval);
-  return run_ga(objective, config, rng, seeds);
+  GaRunOptions options;
+  options.config = config;
+  options.seeds = seeds;
+  return run_ga(objective, rng, options);
 }
 
 }  // namespace cold

@@ -15,6 +15,7 @@
 #include "cost/evaluator.h"
 #include "ga/objective.h"
 #include "graph/topology.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -64,18 +65,48 @@ struct GaResult {
   std::size_t repairs = 0;               ///< offspring needing connectivity repair
   std::size_t links_repaired = 0;        ///< links added by repairs
   std::size_t evaluations = 0;           ///< objective evaluations consumed
+  std::size_t generations_run = 0;       ///< completed generations
+  bool stopped_early = false;            ///< a StopCondition fired
+  StopReason stop_reason = StopReason::kNone;
 };
 
-/// Runs the GA against an arbitrary objective. `seeds` are injected into
-/// the initial population (truncated if more than `population`); the result
-/// is therefore never worse than the best seed. Deterministic given `rng`,
-/// independent of `config.parallel`: offspring are generated sequentially
-/// from the Rng, then repaired and scored in parallel on per-thread
-/// objective clones (sequentially if the objective is not cloneable).
-GaResult run_ga(Objective& objective, const GaConfig& config, Rng& rng,
-                const std::vector<Topology>& seeds = {});
+/// Everything one GA invocation needs beyond the objective and the RNG —
+/// the single entry point that replaced the growing positional-argument
+/// overload set.
+struct GaRunOptions {
+  GaConfig config;
+
+  /// Injected into the initial population (truncated if more than
+  /// `config.population`); the result is never worse than the best seed.
+  std::vector<Topology> seeds;
+
+  /// Borrowed; may be null. Receives one GenerationEnd per generation,
+  /// emitted from the sequential section after the parallel scoring join —
+  /// the logical event stream is identical for any `config.parallel`.
+  RunObserver* observer = nullptr;
+
+  /// Borrowed; may be null. Checked at generation boundaries: when it
+  /// fires, the run stops and returns a valid partial result (the counters
+  /// and population of the generations that did complete). Evaluations are
+  /// charged to the condition as they happen.
+  StopCondition* stop = nullptr;
+};
+
+/// Runs the GA against an arbitrary objective. Deterministic given `rng`,
+/// independent of `options.config.parallel`: offspring are generated
+/// sequentially from the Rng, then repaired and scored in parallel on
+/// per-thread objective clones (sequentially if the objective is not
+/// cloneable).
+GaResult run_ga(Objective& objective, Rng& rng, const GaRunOptions& options);
 
 /// Convenience overload for the standard cost model (paper eq. (2)).
+GaResult run_ga(Evaluator& eval, Rng& rng, const GaRunOptions& options);
+
+/// Deprecated positional-argument wrappers (pre-telemetry API). They
+/// forward to the GaRunOptions entry point with no observer and no stop
+/// condition; prefer run_ga(objective, rng, {.config = ..., .seeds = ...}).
+GaResult run_ga(Objective& objective, const GaConfig& config, Rng& rng,
+                const std::vector<Topology>& seeds = {});
 GaResult run_ga(Evaluator& eval, const GaConfig& config, Rng& rng,
                 const std::vector<Topology>& seeds = {});
 

@@ -1,6 +1,7 @@
 #include "growth/growth.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -89,6 +90,9 @@ GrowthResult grow_network(const Network& base, const GrowthConfig& config,
   config.costs.validate();
   const std::size_t old_n = base.num_pops();
   const std::size_t n = old_n + config.new_pops;
+  const auto started = std::chrono::steady_clock::now();
+  if (config.stop != nullptr) config.stop->arm();
+  if (config.observer != nullptr) config.observer->on_run_start({seed, n});
 
   // Grown context: keep old PoPs in place; new ones drawn uniformly (new
   // markets appear wherever demand does).
@@ -137,7 +141,12 @@ GrowthResult grow_network(const Network& base, const GrowthConfig& config,
   const std::vector<Topology> seeds{
       brownfield, minimum_spanning_tree(result.context.distances)};
 
-  GaResult ga = run_ga(objective, config.ga, rng, seeds);
+  GaRunOptions ga_options;
+  ga_options.config = config.ga;
+  ga_options.seeds = seeds;
+  ga_options.observer = config.observer;
+  ga_options.stop = config.stop;
+  GaResult ga = run_ga(objective, rng, ga_options);
 
   // Account the plant changes.
   for (const Edge& e : installed) {
@@ -152,6 +161,15 @@ GrowthResult grow_network(const Network& base, const GrowthConfig& config,
   result.network =
       build_network(ga.best, locations, populations, result.context.traffic,
                     base.overprovision);
+  if (config.observer != nullptr) {
+    RunSummary summary;
+    summary.best_cost = ga.best_cost;
+    summary.evaluations = ga.evaluations;
+    summary.wall_ns = elapsed_ns(started);
+    summary.stopped_early = ga.stopped_early;
+    summary.stop_reason = ga.stop_reason;
+    config.observer->on_run_end(summary);
+  }
   return result;
 }
 

@@ -28,6 +28,11 @@ struct GrowthConfig {
   double decommission_factor = 1.0;
   CostParams costs;
   GaConfig ga;
+
+  /// Borrowed, may be null: telemetry observer and cooperative stop for
+  /// the re-optimization GA (same semantics as SynthesisConfig's fields).
+  RunObserver* observer = nullptr;
+  StopCondition* stop = nullptr;
 };
 
 struct GrowthResult {

@@ -1,6 +1,7 @@
 #include "heuristics/hub_heuristics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 
@@ -258,10 +259,23 @@ HeuristicResult run_hub_heuristic(Evaluator& eval, HubStrategy strategy,
 }
 
 std::vector<HeuristicResult> run_all_heuristics(
-    Evaluator& eval, Rng& rng, const HubHeuristicOptions& options) {
+    Evaluator& eval, Rng& rng, const HubHeuristicOptions& options,
+    RunObserver* observer, StopCondition* stop) {
+  if (stop != nullptr) stop->arm();
   std::vector<HeuristicResult> out;
   for (HubStrategy s : all_hub_strategies()) {
-    out.push_back(run_hub_heuristic(eval, s, rng, options));
+    if (stop != nullptr && stop->should_stop()) break;
+    const auto started = std::chrono::steady_clock::now();
+    const std::size_t evals_before = eval.evaluations();
+    HeuristicResult r = run_hub_heuristic(eval, s, rng, options);
+    r.wall_ns = elapsed_ns(started);
+    if (stop != nullptr) {
+      stop->add_evaluations(eval.evaluations() - evals_before);
+    }
+    if (observer != nullptr) {
+      observer->on_heuristic_done({r.name, r.cost, r.wall_ns});
+    }
+    out.push_back(std::move(r));
   }
   return out;
 }

@@ -20,6 +20,7 @@
 
 #include "cost/evaluator.h"
 #include "graph/topology.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace cold {
@@ -45,6 +46,7 @@ struct HeuristicResult {
   Topology topology;
   double cost = 0.0;
   std::string name;
+  std::uint64_t wall_ns = 0;  ///< wall-clock spent computing this result
 };
 
 /// Runs one heuristic against the evaluator's context. The returned
@@ -53,9 +55,13 @@ HeuristicResult run_hub_heuristic(Evaluator& eval, HubStrategy strategy,
                                   Rng& rng,
                                   const HubHeuristicOptions& options = {});
 
-/// Runs every heuristic; results are in all_hub_strategies() order.
+/// Runs every heuristic; results are in all_hub_strategies() order. The
+/// optional observer receives one HeuristicDone per heuristic; the optional
+/// stop condition is checked between heuristics (a stopped sweep returns
+/// the results computed so far) and charged with their evaluations.
 std::vector<HeuristicResult> run_all_heuristics(
-    Evaluator& eval, Rng& rng, const HubHeuristicOptions& options = {});
+    Evaluator& eval, Rng& rng, const HubHeuristicOptions& options = {},
+    RunObserver* observer = nullptr, StopCondition* stop = nullptr);
 
 /// Builds the "hub set" topology used by all heuristics: the given hubs are
 /// wired with `hub_edges` (edges between hub node ids) and every non-hub

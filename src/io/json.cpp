@@ -1,215 +1,15 @@
 #include "io/json.h"
 
-#include <cctype>
 #include <cmath>
-#include <map>
-#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
-#include <variant>
-#include <vector>
+
+#include "io/json_value.h"
 
 namespace cold {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal JSON value model + recursive-descent parser. Only the subset this
-// schema needs (objects, arrays, numbers, strings, bools) — but the parser
-// accepts any standard JSON so schema evolution stays painless.
-// ---------------------------------------------------------------------------
-
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
-      v = nullptr;
-
-  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
-  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
-
-  const JsonObject& object() const {
-    if (!is_object()) throw std::runtime_error("JSON: expected object");
-    return std::get<JsonObject>(v);
-  }
-  const JsonArray& array() const {
-    if (!is_array()) throw std::runtime_error("JSON: expected array");
-    return std::get<JsonArray>(v);
-  }
-  double number() const {
-    if (!std::holds_alternative<double>(v)) {
-      throw std::runtime_error("JSON: expected number");
-    }
-    return std::get<double>(v);
-  }
-  const JsonValue& field(const std::string& key) const {
-    const auto& obj = object();
-    const auto it = obj.find(key);
-    if (it == obj.end()) {
-      throw std::runtime_error("JSON: missing field '" + key + "'");
-    }
-    return it->second;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string text) : text_(std::move(text)) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("JSON parse error at offset " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const std::string& lit) {
-    if (text_.compare(pos_, lit.size(), lit) == 0) {
-      pos_ += lit.size();
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return JsonValue{parse_string()};
-    if (consume_literal("true")) return JsonValue{true};
-    if (consume_literal("false")) return JsonValue{false};
-    if (consume_literal("null")) return JsonValue{nullptr};
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonObject obj;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{std::move(obj)};
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      obj.emplace(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return JsonValue{std::move(obj)};
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonArray arr;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{std::move(arr)};
-    }
-    while (true) {
-      arr.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return JsonValue{std::move(arr)};
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            // ASCII-only decode (schema emits no non-ASCII).
-            const int code = std::stoi(text_.substr(pos_, 4), nullptr, 16);
-            pos_ += 4;
-            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
-            out += static_cast<char>(code);
-            break;
-          }
-          default:
-            fail("bad escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected value");
-    try {
-      return JsonValue{std::stod(text_.substr(start, pos_ - start))};
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
 
 void write_number(std::ostream& os, double x) {
   if (!std::isfinite(x)) throw std::invalid_argument("JSON: non-finite number");
@@ -267,7 +67,7 @@ std::string network_to_json(const Network& net) {
 }
 
 Network network_from_json(const std::string& json) {
-  const JsonValue doc = Parser(json).parse();
+  const JsonValue doc = parse_json(json);
   const auto n = static_cast<std::size_t>(doc.field("num_pops").number());
   const double overprovision = doc.field("overprovision").number();
 

@@ -1,0 +1,208 @@
+#include "telemetry/report.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/json_value.h"
+
+namespace cold {
+
+namespace {
+
+StopReason stop_reason_from_string(const std::string& s) {
+  if (s == "none") return StopReason::kNone;
+  if (s == "requested") return StopReason::kRequested;
+  if (s == "deadline") return StopReason::kDeadline;
+  if (s == "eval_budget") return StopReason::kEvalBudget;
+  throw std::runtime_error("run report: unknown stop_reason '" + s + "'");
+}
+
+Phase phase_from_string(const std::string& s) {
+  if (s == "context") return Phase::kContext;
+  if (s == "heuristics") return Phase::kHeuristics;
+  if (s == "ga") return Phase::kGa;
+  if (s == "assembly") return Phase::kAssembly;
+  if (s == "ensemble") return Phase::kEnsemble;
+  throw std::runtime_error("run report: unknown phase '" + s + "'");
+}
+
+void put_wall(JsonObject& obj, std::uint64_t wall_ns, bool include_timing) {
+  if (include_timing) obj["wall_ns"] = static_cast<double>(wall_ns);
+}
+
+std::uint64_t get_wall(const JsonValue& obj) {
+  return obj.has("wall_ns")
+             ? static_cast<std::uint64_t>(obj.field("wall_ns").number())
+             : 0;
+}
+
+}  // namespace
+
+void write_run_report_json(std::ostream& os, const RunReport& report,
+                           bool include_timing) {
+  JsonObject root;
+  root["schema"] = "cold-run-report";
+  root["version"] = 1;
+
+  JsonObject run;
+  run["seed"] = static_cast<double>(report.seed);
+  run["num_pops"] = report.num_pops;
+  root["run"] = std::move(run);
+
+  JsonObject result;
+  result["best_cost"] = report.best_cost;
+  result["evaluations"] = report.evaluations;
+  result["stopped_early"] = report.stopped_early;
+  result["stop_reason"] = to_string(report.stop_reason);
+  put_wall(result, report.wall_ns, include_timing);
+  root["result"] = std::move(result);
+
+  JsonArray phases;
+  for (const PhaseStats& p : report.phases) {
+    JsonObject obj;
+    obj["name"] = to_string(p.phase);
+    obj["evaluations"] = p.evaluations;
+    put_wall(obj, p.wall_ns, include_timing);
+    phases.push_back(std::move(obj));
+  }
+  root["phases"] = std::move(phases);
+
+  JsonArray heuristics;
+  for (const HeuristicDone& h : report.heuristics) {
+    JsonObject obj;
+    obj["name"] = h.name;
+    obj["cost"] = h.cost;
+    put_wall(obj, h.wall_ns, include_timing);
+    heuristics.push_back(std::move(obj));
+  }
+  root["heuristics"] = std::move(heuristics);
+
+  JsonArray generations;
+  for (const GenerationEnd& g : report.generations) {
+    JsonObject obj;
+    obj["gen"] = g.gen;
+    obj["best_cost"] = g.best_cost;
+    obj["mean_cost"] = g.mean_cost;
+    obj["repairs"] = g.repairs;
+    obj["links_repaired"] = g.links_repaired;
+    obj["evaluations"] = g.evaluations;
+    put_wall(obj, g.wall_ns, include_timing);
+    generations.push_back(std::move(obj));
+  }
+  root["generations"] = std::move(generations);
+
+  JsonArray ensemble_runs;
+  for (const EnsembleRunDone& r : report.ensemble_runs) {
+    JsonObject obj;
+    obj["index"] = r.index;
+    obj["seed"] = static_cast<double>(r.seed);
+    obj["best_cost"] = r.best_cost;
+    put_wall(obj, r.wall_ns, include_timing);
+    ensemble_runs.push_back(std::move(obj));
+  }
+  root["ensemble_runs"] = std::move(ensemble_runs);
+
+  write_json(os, JsonValue{std::move(root)});
+  os << "\n";
+}
+
+std::string run_report_to_json(const RunReport& report, bool include_timing) {
+  std::ostringstream os;
+  write_run_report_json(os, report, include_timing);
+  return os.str();
+}
+
+RunReport run_report_from_json(const std::string& json) {
+  const JsonValue doc = parse_json(json);
+  if (doc.field("schema").str() != "cold-run-report") {
+    throw std::runtime_error("run report: unexpected schema '" +
+                             doc.field("schema").str() + "'");
+  }
+
+  RunReport report;
+  const JsonValue& run = doc.field("run");
+  report.seed = static_cast<std::uint64_t>(run.field("seed").number());
+  report.num_pops = static_cast<std::size_t>(run.field("num_pops").number());
+
+  const JsonValue& result = doc.field("result");
+  report.best_cost = result.field("best_cost").number();
+  report.evaluations =
+      static_cast<std::size_t>(result.field("evaluations").number());
+  report.stopped_early = result.field("stopped_early").boolean();
+  report.stop_reason = stop_reason_from_string(result.field("stop_reason").str());
+  report.wall_ns = get_wall(result);
+
+  for (const JsonValue& p : doc.field("phases").array()) {
+    PhaseStats stats;
+    stats.phase = phase_from_string(p.field("name").str());
+    stats.evaluations =
+        static_cast<std::size_t>(p.field("evaluations").number());
+    stats.wall_ns = get_wall(p);
+    report.phases.push_back(stats);
+  }
+
+  for (const JsonValue& h : doc.field("heuristics").array()) {
+    HeuristicDone done;
+    done.name = h.field("name").str();
+    done.cost = h.field("cost").number();
+    done.wall_ns = get_wall(h);
+    report.heuristics.push_back(done);
+  }
+
+  for (const JsonValue& g : doc.field("generations").array()) {
+    GenerationEnd gen;
+    gen.gen = static_cast<std::size_t>(g.field("gen").number());
+    gen.best_cost = g.field("best_cost").number();
+    gen.mean_cost = g.field("mean_cost").number();
+    gen.repairs = static_cast<std::size_t>(g.field("repairs").number());
+    gen.links_repaired =
+        static_cast<std::size_t>(g.field("links_repaired").number());
+    gen.evaluations =
+        static_cast<std::size_t>(g.field("evaluations").number());
+    gen.wall_ns = get_wall(g);
+    report.generations.push_back(gen);
+  }
+
+  for (const JsonValue& r : doc.field("ensemble_runs").array()) {
+    EnsembleRunDone run_done;
+    run_done.index = static_cast<std::size_t>(r.field("index").number());
+    run_done.seed = static_cast<std::uint64_t>(r.field("seed").number());
+    run_done.best_cost = r.field("best_cost").number();
+    run_done.wall_ns = get_wall(r);
+    report.ensemble_runs.push_back(run_done);
+  }
+  return report;
+}
+
+void JsonReportSink::on_run_start(const RunStart& e) {
+  report_ = RunReport{};
+  report_.seed = e.seed;
+  report_.num_pops = e.num_pops;
+}
+
+void JsonReportSink::on_phase_end(const PhaseStats& e) {
+  report_.phases.push_back(e);
+}
+
+void JsonReportSink::on_heuristic_done(const HeuristicDone& e) {
+  report_.heuristics.push_back(e);
+}
+
+void JsonReportSink::on_generation_end(const GenerationEnd& e) {
+  report_.generations.push_back(e);
+}
+
+void JsonReportSink::on_ensemble_run_done(const EnsembleRunDone& e) {
+  report_.ensemble_runs.push_back(e);
+}
+
+void JsonReportSink::on_run_end(const RunSummary& e) {
+  report_.best_cost = e.best_cost;
+  report_.evaluations = e.evaluations;
+  report_.wall_ns = e.wall_ns;
+  report_.stopped_early = e.stopped_early;
+  report_.stop_reason = e.stop_reason;
+}
+
+}  // namespace cold

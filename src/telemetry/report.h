@@ -1,0 +1,89 @@
+// Structured run reports — one self-describing JSON artifact per synthesis
+// run (`cold synth --report run.json`), in the spirit of topology-benchmark
+// tooling: everything needed to audit a run without rerunning it (where the
+// wall-time went, how the GA converged, what stopped the run).
+//
+// The schema (all timing fields optional — omitted when a report is written
+// with include_timing == false, which makes reports byte-identical across
+// thread counts):
+//
+//   {
+//     "schema": "cold-run-report",
+//     "version": 1,
+//     "run": {"seed": u64, "num_pops": n},
+//     "result": {"best_cost": x, "evaluations": n,
+//                "stopped_early": bool, "stop_reason": str,
+//                ["wall_ns": n]},
+//     "phases": [{"name": str, "evaluations": n, ["wall_ns": n]}, ...],
+//     "heuristics": [{"name": str, "cost": x, ["wall_ns": n]}, ...],
+//     "generations": [{"gen": n, "best_cost": x, "mean_cost": x,
+//                      "repairs": n, "links_repaired": n,
+//                      "evaluations": n, ["wall_ns": n]}, ...],
+//     "ensemble_runs": [{"index": n, "seed": u64, "best_cost": x,
+//                        ["wall_ns": n]}, ...]
+//   }
+//
+// Round-trips through io/json: run_report_from_json(run_report_to_json(r))
+// reproduces every field (wall times included when serialized with timing).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace cold {
+
+struct RunReport {
+  std::uint64_t seed = 0;
+  std::size_t num_pops = 0;
+
+  double best_cost = 0.0;
+  std::size_t evaluations = 0;
+  std::uint64_t wall_ns = 0;
+  bool stopped_early = false;
+  StopReason stop_reason = StopReason::kNone;
+
+  std::vector<PhaseStats> phases;           ///< in completion order
+  std::vector<HeuristicDone> heuristics;    ///< in run order
+  std::vector<GenerationEnd> generations;   ///< per GA generation
+  std::vector<EnsembleRunDone> ensemble_runs;
+};
+
+/// Serializes a report. With `include_timing == false` every wall_ns field
+/// is omitted and the output depends only on the logical run content.
+void write_run_report_json(std::ostream& os, const RunReport& report,
+                           bool include_timing = true);
+std::string run_report_to_json(const RunReport& report,
+                               bool include_timing = true);
+
+/// Parses a report written by write_run_report_json. Throws
+/// std::runtime_error on malformed or schema-mismatched input.
+RunReport run_report_from_json(const std::string& json);
+
+/// Observer that accumulates the full event stream into a RunReport.
+/// Attach to any entry point, then write() or read report() when the run
+/// returns. A second run on the same sink resets the report first.
+class JsonReportSink final : public RunObserver {
+ public:
+  void on_run_start(const RunStart& e) override;
+  void on_phase_end(const PhaseStats& e) override;
+  void on_heuristic_done(const HeuristicDone& e) override;
+  void on_generation_end(const GenerationEnd& e) override;
+  void on_ensemble_run_done(const EnsembleRunDone& e) override;
+  void on_run_end(const RunSummary& e) override;
+
+  const RunReport& report() const { return report_; }
+  RunReport& report() { return report_; }
+
+  void write(std::ostream& os, bool include_timing = true) const {
+    write_run_report_json(os, report_, include_timing);
+  }
+
+ private:
+  RunReport report_;
+};
+
+}  // namespace cold

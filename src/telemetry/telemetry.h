@@ -1,0 +1,278 @@
+// Run telemetry — the observability layer of the synthesis pipeline.
+//
+// Every long-running entry point (run_ga, Synthesizer::synthesize*,
+// generate_ensemble, grow_network) accepts an optional RunObserver and an
+// optional StopCondition:
+//
+//   * The observer receives typed events — phase boundaries with wall-clock
+//     and evaluator counters, one GenerationEnd per GA generation, one
+//     HeuristicDone per greedy heuristic, per-run ensemble progress — from
+//     which sinks build progress output (ProgressSink), canonical traces
+//     (TraceSink) or machine-readable run reports (JsonReportSink).
+//   * The stop condition is a cooperative cancellation token: a wall-clock
+//     deadline, an evaluation budget, or an explicit request_stop() (e.g.
+//     from an observer or a signal handler). It is checked at generation
+//     boundaries, so a stopped run still returns a valid partial result.
+//
+// Determinism contract: events are emitted from the sequential sections of
+// the pipeline, after any parallel join, so the *logical* event stream
+// (everything except wall-clock durations) is bit-identical for any
+// ParallelConfig. Serializers therefore take an `include_timing` switch;
+// with timing excluded, traces and reports are byte-identical across thread
+// counts.
+//
+// Observers must not throw: events are delivered from destructors and from
+// hot loops. All pointers handed to configs are borrowed, never owned; the
+// caller keeps the observer and stop condition alive for the whole run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cold {
+
+/// Pipeline phases, in the order Synthesizer emits them. kEnsemble wraps
+/// the run-level fan-out of generate_ensemble / sweep_metrics.
+enum class Phase {
+  kContext,
+  kHeuristics,
+  kGa,
+  kAssembly,
+  kEnsemble,
+};
+
+std::string to_string(Phase phase);
+
+/// Why a run ended before completing its configured work.
+enum class StopReason {
+  kNone,        ///< ran to completion
+  kRequested,   ///< StopCondition::request_stop() was called
+  kDeadline,    ///< wall-clock deadline exceeded
+  kEvalBudget,  ///< evaluation budget exhausted
+};
+
+std::string to_string(StopReason reason);
+
+// ---------------------------------------------------------------------------
+// Typed events.
+// ---------------------------------------------------------------------------
+
+/// A run begins (one synthesize* call, or one GA invocation via the
+/// Synthesizer). `seed` is the run seed; `num_pops` the problem size.
+struct RunStart {
+  std::uint64_t seed = 0;
+  std::size_t num_pops = 0;
+};
+
+/// A phase finished. `evaluations` counts objective evaluations consumed by
+/// the phase (0 where no evaluator is involved, e.g. context generation).
+struct PhaseStats {
+  Phase phase = Phase::kContext;
+  std::uint64_t wall_ns = 0;
+  std::size_t evaluations = 0;
+};
+
+/// One greedy hub heuristic finished.
+struct HeuristicDone {
+  std::string name;
+  double cost = 0.0;
+  std::uint64_t wall_ns = 0;
+};
+
+/// One GA generation finished (emitted after the parallel scoring join).
+/// Counters are per-generation deltas, not cumulative totals.
+struct GenerationEnd {
+  std::size_t gen = 0;        ///< 0-based generation index
+  double best_cost = 0.0;     ///< best cost in the new population
+  double mean_cost = 0.0;     ///< mean cost of the new population
+  std::size_t repairs = 0;          ///< offspring needing connectivity repair
+  std::size_t links_repaired = 0;   ///< links added by those repairs
+  std::size_t evaluations = 0;      ///< objective evaluations this generation
+  std::uint64_t wall_ns = 0;
+};
+
+/// One run of an ensemble finished (emitted sequentially, in seed order,
+/// after the fan-out join).
+struct EnsembleRunDone {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  double best_cost = 0.0;
+  std::uint64_t wall_ns = 0;
+};
+
+/// A run ended (normally or via the stop condition).
+struct RunSummary {
+  double best_cost = 0.0;
+  std::size_t evaluations = 0;  ///< total objective evaluations in the run
+  std::uint64_t wall_ns = 0;
+  bool stopped_early = false;
+  StopReason stop_reason = StopReason::kNone;
+};
+
+// ---------------------------------------------------------------------------
+// Observer interface.
+// ---------------------------------------------------------------------------
+
+/// Receives the event stream of a run. All methods default to no-ops, so a
+/// sink overrides only what it needs. Events arrive on the calling thread
+/// of the observed entry point, strictly sequenced; implementations need no
+/// internal locking unless they are shared across concurrent runs.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  virtual void on_run_start(const RunStart& /*event*/) {}
+  virtual void on_phase_start(Phase /*phase*/) {}
+  virtual void on_phase_end(const PhaseStats& /*event*/) {}
+  virtual void on_heuristic_done(const HeuristicDone& /*event*/) {}
+  virtual void on_generation_end(const GenerationEnd& /*event*/) {}
+  virtual void on_ensemble_run_done(const EnsembleRunDone& /*event*/) {}
+  virtual void on_run_end(const RunSummary& /*event*/) {}
+};
+
+/// Fans every event out to a list of borrowed child observers, in order.
+class MultiObserver final : public RunObserver {
+ public:
+  MultiObserver() = default;
+  explicit MultiObserver(std::vector<RunObserver*> children)
+      : children_(std::move(children)) {}
+
+  /// Ignores nullptr, so optional sinks can be added unconditionally.
+  void add(RunObserver* child) {
+    if (child != nullptr) children_.push_back(child);
+  }
+
+  void on_run_start(const RunStart& e) override {
+    for (auto* c : children_) c->on_run_start(e);
+  }
+  void on_phase_start(Phase p) override {
+    for (auto* c : children_) c->on_phase_start(p);
+  }
+  void on_phase_end(const PhaseStats& e) override {
+    for (auto* c : children_) c->on_phase_end(e);
+  }
+  void on_heuristic_done(const HeuristicDone& e) override {
+    for (auto* c : children_) c->on_heuristic_done(e);
+  }
+  void on_generation_end(const GenerationEnd& e) override {
+    for (auto* c : children_) c->on_generation_end(e);
+  }
+  void on_ensemble_run_done(const EnsembleRunDone& e) override {
+    for (auto* c : children_) c->on_ensemble_run_done(e);
+  }
+  void on_run_end(const RunSummary& e) override {
+    for (auto* c : children_) c->on_run_end(e);
+  }
+
+ private:
+  std::vector<RunObserver*> children_;
+};
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation.
+// ---------------------------------------------------------------------------
+
+/// A shared, thread-safe stop token checked at generation (and run)
+/// boundaries. Configure any combination of limits before the run; arm() is
+/// called by the observed entry point and latches the wall-clock deadline
+/// on first use, so one StopCondition can span heuristics + GA + ensemble
+/// fan-out (evaluations accumulate across all of them).
+class StopCondition {
+ public:
+  StopCondition() = default;
+
+  /// Copies transfer the configured limits and a snapshot of the runtime
+  /// state (atomics forbid default copies). Entry points always take the
+  /// condition by pointer; copying mid-run forks the accounting.
+  StopCondition(const StopCondition& other)
+      : max_seconds(other.max_seconds),
+        max_evaluations(other.max_evaluations),
+        requested_(other.requested_.load(std::memory_order_relaxed)),
+        evaluations_(other.evaluations_.load(std::memory_order_relaxed)),
+        deadline_ns_(other.deadline_ns_.load(std::memory_order_relaxed)) {}
+  StopCondition& operator=(const StopCondition& other) {
+    max_seconds = other.max_seconds;
+    max_evaluations = other.max_evaluations;
+    requested_.store(other.requested_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    evaluations_.store(other.evaluations_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    deadline_ns_.store(other.deadline_ns_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Convenience factories for the two budget kinds.
+  static StopCondition wall_clock(double seconds);
+  static StopCondition eval_budget(std::size_t evaluations);
+
+  /// 0 = unlimited. Set before the run starts.
+  double max_seconds = 0.0;
+  std::size_t max_evaluations = 0;
+
+  /// Latches the deadline at now + max_seconds (first caller wins; later
+  /// calls are no-ops). Entry points call this; callers may pre-arm to
+  /// start the clock before the run is dispatched.
+  void arm();
+
+  /// Requests a stop from anywhere (observer callback, signal handler,
+  /// another thread). Takes effect at the next boundary check.
+  void request_stop() { requested_.store(true, std::memory_order_relaxed); }
+
+  /// Charges `n` objective evaluations against the budget.
+  void add_evaluations(std::size_t n) {
+    evaluations_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Evaluations charged so far (across every run sharing this condition).
+  std::size_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+  /// True once any limit is hit or a stop was requested. Cheap enough for
+  /// per-generation checks.
+  bool should_stop() const { return reason() != StopReason::kNone; }
+
+  /// Which limit fired (kRequested > kDeadline > kEvalBudget precedence).
+  StopReason reason() const;
+
+ private:
+  std::atomic<bool> requested_{false};
+  std::atomic<std::size_t> evaluations_{0};
+  /// steady_clock deadline in ns since epoch; 0 = not armed or unlimited.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Phase-scoped RAII timer.
+// ---------------------------------------------------------------------------
+
+/// Emits on_phase_start on construction and on_phase_end (with wall-clock
+/// and the delta of an optional evaluation counter) on destruction. A null
+/// observer makes the timer a no-op, so call sites stay unconditional.
+class PhaseTimer {
+ public:
+  PhaseTimer(RunObserver* observer, Phase phase,
+             std::function<std::size_t()> eval_counter = {});
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  RunObserver* observer_;
+  Phase phase_;
+  std::function<std::size_t()> eval_counter_;
+  std::size_t evals_at_start_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Nanoseconds elapsed since `start` on the steady clock.
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start);
+
+}  // namespace cold

@@ -1,0 +1,98 @@
+// Tests for the strict CLI option parser used by the cold tools.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/cli_options.h"
+
+namespace cold {
+namespace {
+
+CliOptions demo_options() {
+  return {"demo",
+          {{"pops", true, "N"},
+           {"out", true, "FILE"},
+           {"progress", false, "flag"}}};
+}
+
+void parse(CliOptions& options, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), {"cold", "demo"});
+  options.parse(static_cast<int>(argv.size()), argv.data(), 2);
+}
+
+TEST(CliOptions, ParsesValuesAndFlags) {
+  CliOptions options = demo_options();
+  parse(options, {"--pops", "30", "--progress", "--out=x.json"});
+  EXPECT_TRUE(options.has("pops"));
+  EXPECT_EQ(options.num("pops", 0), 30.0);
+  EXPECT_EQ(options.uint("pops", 0), 30u);
+  EXPECT_TRUE(options.has("progress"));
+  EXPECT_EQ(options.get("out", ""), "x.json");
+}
+
+TEST(CliOptions, FallbacksWhenAbsent) {
+  CliOptions options = demo_options();
+  parse(options, {});
+  EXPECT_FALSE(options.has("pops"));
+  EXPECT_EQ(options.num("pops", 42.5), 42.5);
+  EXPECT_EQ(options.get("out", "fallback"), "fallback");
+}
+
+TEST(CliOptions, RejectsUnknownOptionListingValidOnes) {
+  CliOptions options = demo_options();
+  try {
+    parse(options, {"--bogus", "1"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--bogus"), std::string::npos);
+    EXPECT_NE(message.find("'demo'"), std::string::npos);
+    EXPECT_NE(message.find("--pops"), std::string::npos);
+    EXPECT_NE(message.find("--progress"), std::string::npos);
+  }
+}
+
+TEST(CliOptions, RejectsMissingValue) {
+  CliOptions options = demo_options();
+  EXPECT_THROW(parse(options, {"--pops"}), std::invalid_argument);
+}
+
+TEST(CliOptions, RejectsValueOnFlag) {
+  CliOptions options = demo_options();
+  EXPECT_THROW(parse(options, {"--progress=yes"}), std::invalid_argument);
+}
+
+TEST(CliOptions, RejectsPositionalArguments) {
+  CliOptions options = demo_options();
+  EXPECT_THROW(parse(options, {"stray"}), std::invalid_argument);
+}
+
+TEST(CliOptions, RejectsMalformedNumbers) {
+  CliOptions options = demo_options();
+  parse(options, {"--pops", "12abc"});
+  EXPECT_THROW(options.num("pops", 0), std::invalid_argument);
+  CliOptions negative = demo_options();
+  parse(negative, {"--pops", "-3"});
+  EXPECT_THROW(negative.uint("pops", 0), std::invalid_argument);
+  EXPECT_EQ(negative.num("pops", 0), -3.0);  // num itself allows negatives
+}
+
+TEST(CliOptions, ValidOptionsRendersSpecOrder) {
+  const CliOptions options = demo_options();
+  EXPECT_EQ(options.valid_options(), "--pops, --out, --progress");
+}
+
+TEST(CliOptions, ConcatSpecsPreservesOrder) {
+  const std::vector<OptionSpec> merged =
+      concat_specs({{{"a", true, ""}}, {{"b", false, ""}, {"c", true, ""}}});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].name, "a");
+  EXPECT_EQ(merged[1].name, "b");
+  EXPECT_EQ(merged[2].name, "c");
+  EXPECT_FALSE(merged[1].takes_value);
+}
+
+}  // namespace
+}  // namespace cold

@@ -1,0 +1,466 @@
+// Tests for the run telemetry subsystem: the observer event stream and its
+// determinism contract (logical traces are byte-identical for any thread
+// count), cooperative stop conditions, phase timers, and the JSON run
+// report round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/ensemble.h"
+#include "core/synthesizer.h"
+#include "cost/evaluator.h"
+#include "ga/genetic.h"
+#include "ga/objective.h"
+#include "graph/algorithms.h"
+#include "io/json_value.h"
+#include "telemetry/report.h"
+#include "telemetry/sinks.h"
+#include "telemetry/telemetry.h"
+
+namespace cold {
+namespace {
+
+SynthesisConfig small_config(std::size_t pops = 10) {
+  SynthesisConfig cfg;
+  cfg.context.num_pops = pops;
+  cfg.ga.population = 16;
+  cfg.ga.generations = 8;
+  return cfg;
+}
+
+Evaluator small_evaluator(std::uint64_t seed, std::size_t pops = 8) {
+  ContextConfig cfg;
+  cfg.num_pops = pops;
+  Rng rng(seed);
+  const Context ctx = generate_context(cfg, rng);
+  return Evaluator(ctx.distances, ctx.traffic, CostParams{});
+}
+
+// ---------------------------------------------------------------------------
+// StopCondition unit behavior.
+// ---------------------------------------------------------------------------
+
+TEST(StopCondition, DefaultNeverStops) {
+  StopCondition stop;
+  stop.arm();
+  stop.add_evaluations(1'000'000);
+  EXPECT_FALSE(stop.should_stop());
+  EXPECT_EQ(stop.reason(), StopReason::kNone);
+}
+
+TEST(StopCondition, EvalBudgetFires) {
+  StopCondition stop = StopCondition::eval_budget(100);
+  stop.arm();
+  stop.add_evaluations(99);
+  EXPECT_FALSE(stop.should_stop());
+  stop.add_evaluations(1);
+  EXPECT_TRUE(stop.should_stop());
+  EXPECT_EQ(stop.reason(), StopReason::kEvalBudget);
+  EXPECT_EQ(stop.evaluations(), 100u);
+}
+
+TEST(StopCondition, DeadlineFiresOnceArmed) {
+  StopCondition stop = StopCondition::wall_clock(1e-9);
+  EXPECT_FALSE(stop.should_stop());  // not armed yet: clock hasn't started
+  stop.arm();
+  EXPECT_TRUE(stop.should_stop());
+  EXPECT_EQ(stop.reason(), StopReason::kDeadline);
+}
+
+TEST(StopCondition, RequestWinsPrecedence) {
+  StopCondition stop = StopCondition::eval_budget(1);
+  stop.arm();
+  stop.add_evaluations(5);
+  stop.request_stop();
+  EXPECT_EQ(stop.reason(), StopReason::kRequested);
+}
+
+TEST(StopCondition, ToStringCoversReasons) {
+  EXPECT_EQ(to_string(StopReason::kNone), "none");
+  EXPECT_EQ(to_string(StopReason::kRequested), "requested");
+  EXPECT_EQ(to_string(StopReason::kDeadline), "deadline");
+  EXPECT_EQ(to_string(StopReason::kEvalBudget), "eval_budget");
+}
+
+// ---------------------------------------------------------------------------
+// Observer mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(MultiObserver, FansOutAndIgnoresNull) {
+  TraceSink a, b;
+  MultiObserver multi;
+  multi.add(&a);
+  multi.add(nullptr);
+  multi.add(&b);
+  multi.on_generation_end({0, 1.0, 2.0, 0, 0, 16, 10});
+  multi.on_run_end({1.0, 16, 10, false, StopReason::kNone});
+  EXPECT_EQ(a.count<GenerationEnd>(), 1u);
+  EXPECT_EQ(b.count<GenerationEnd>(), 1u);
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(PhaseTimer, EmitsPairedEventsWithEvalDelta) {
+  TraceSink sink;
+  std::size_t evals = 10;
+  {
+    PhaseTimer timer(&sink, Phase::kGa, [&] { return evals; });
+    evals = 42;
+  }
+  ASSERT_EQ(sink.events().size(), 2u);
+  ASSERT_TRUE(std::holds_alternative<Phase>(sink.events()[0].v));
+  ASSERT_TRUE(std::holds_alternative<PhaseStats>(sink.events()[1].v));
+  const auto& stats = std::get<PhaseStats>(sink.events()[1].v);
+  EXPECT_EQ(stats.phase, Phase::kGa);
+  EXPECT_EQ(stats.evaluations, 32u);  // delta, not absolute
+}
+
+TEST(PhaseTimer, NullObserverIsNoop) {
+  PhaseTimer timer(nullptr, Phase::kContext);  // must not crash
+}
+
+// ---------------------------------------------------------------------------
+// GA event stream.
+// ---------------------------------------------------------------------------
+
+TEST(GaTelemetry, ObserverSeesExactlyOneEventPerGeneration) {
+  Evaluator eval = small_evaluator(7);
+  TraceSink sink;
+  GaRunOptions options;
+  options.config.population = 16;
+  options.config.generations = 11;
+  options.observer = &sink;
+  Rng rng(3);
+  const GaResult r = run_ga(eval, rng, options);
+  EXPECT_EQ(sink.count<GenerationEnd>(), 11u);
+  EXPECT_EQ(r.generations_run, 11u);
+  EXPECT_FALSE(r.stopped_early);
+
+  // Generation indices are 0..T-1 in order; evaluation deltas sum to the
+  // post-initialization total.
+  std::size_t expected_gen = 0, evals = 0;
+  double last_best = -1.0;
+  for (const TraceEvent& e : sink.events()) {
+    if (const auto* gen = std::get_if<GenerationEnd>(&e.v)) {
+      EXPECT_EQ(gen->gen, expected_gen++);
+      EXPECT_GE(gen->mean_cost, gen->best_cost);
+      evals += gen->evaluations;
+      if (last_best >= 0) {
+        EXPECT_LE(gen->best_cost, last_best);
+      }
+      last_best = gen->best_cost;
+    }
+  }
+  EXPECT_GT(evals, 0u);
+  EXPECT_LE(evals, r.evaluations);
+}
+
+TEST(GaTelemetry, TraceIsIdenticalAcrossThreadCounts) {
+  std::vector<std::string> traces;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Evaluator eval = small_evaluator(7);
+    TraceSink sink;
+    GaRunOptions options;
+    options.config.population = 16;
+    options.config.generations = 10;
+    options.config.parallel.num_threads = threads;
+    options.observer = &sink;
+    Rng rng(5);
+    run_ga(eval, rng, options);
+    traces.push_back(sink.canonical());
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(traces[0], traces[2]);
+  EXPECT_FALSE(traces[0].empty());
+}
+
+TEST(GaTelemetry, EvalBudgetStopsEarlyWithValidResult) {
+  Evaluator eval = small_evaluator(7);
+  StopCondition stop = StopCondition::eval_budget(120);
+  GaRunOptions options;
+  options.config.population = 16;
+  options.config.generations = 10'000;
+  options.stop = &stop;
+  Rng rng(3);
+  const GaResult r = run_ga(eval, rng, options);
+  EXPECT_TRUE(r.stopped_early);
+  EXPECT_EQ(r.stop_reason, StopReason::kEvalBudget);
+  EXPECT_LT(r.generations_run, 10'000u);
+  EXPECT_TRUE(is_connected(r.best));
+  EXPECT_GT(r.best_cost, 0.0);
+  EXPECT_GE(stop.evaluations(), 120u);
+}
+
+TEST(GaTelemetry, ObserverCanRequestStop) {
+  class StopAfter final : public RunObserver {
+   public:
+    StopAfter(StopCondition& stop, std::size_t after)
+        : stop_(stop), after_(after) {}
+    void on_generation_end(const GenerationEnd& e) override {
+      if (e.gen + 1 >= after_) stop_.request_stop();
+    }
+
+   private:
+    StopCondition& stop_;
+    std::size_t after_;
+  };
+
+  Evaluator eval = small_evaluator(7);
+  StopCondition stop;
+  StopAfter observer(stop, 4);
+  GaRunOptions options;
+  options.config.population = 16;
+  options.config.generations = 1000;
+  options.observer = &observer;
+  options.stop = &stop;
+  Rng rng(3);
+  const GaResult r = run_ga(eval, rng, options);
+  EXPECT_TRUE(r.stopped_early);
+  EXPECT_EQ(r.stop_reason, StopReason::kRequested);
+  EXPECT_EQ(r.generations_run, 4u);
+}
+
+TEST(GaTelemetry, DeprecatedWrappersMatchOptionsApi) {
+  Evaluator eval1 = small_evaluator(7);
+  Evaluator eval2 = small_evaluator(7);
+  GaConfig cfg;
+  cfg.population = 16;
+  cfg.generations = 6;
+  Rng rng1(9), rng2(9);
+  const GaResult via_wrapper = run_ga(eval1, cfg, rng1);
+  GaRunOptions options;
+  options.config = cfg;
+  const GaResult via_options = run_ga(eval2, rng2, options);
+  EXPECT_EQ(via_wrapper.best_cost, via_options.best_cost);
+  EXPECT_EQ(via_wrapper.best, via_options.best);
+  EXPECT_EQ(via_wrapper.evaluations, via_options.evaluations);
+}
+
+// ---------------------------------------------------------------------------
+// Synthesizer phase timeline.
+// ---------------------------------------------------------------------------
+
+TEST(SynthesizerTelemetry, EmitsFullPhaseTimeline) {
+  SynthesisConfig cfg = small_config();
+  TraceSink sink;
+  cfg.observer = &sink;
+  const Synthesizer synth(cfg);
+  const SynthesisResult r = synth.synthesize(1);
+
+  EXPECT_EQ(sink.count<RunStart>(), 1u);
+  EXPECT_EQ(sink.count<RunSummary>(), 1u);
+  EXPECT_EQ(sink.count<GenerationEnd>(), cfg.ga.generations);
+  EXPECT_GT(sink.count<HeuristicDone>(), 0u);
+  EXPECT_EQ(sink.count<HeuristicDone>(), r.heuristics.size());
+
+  // Phase end events arrive in pipeline order.
+  std::vector<Phase> ended;
+  for (const TraceEvent& e : sink.events()) {
+    if (const auto* stats = std::get_if<PhaseStats>(&e.v)) {
+      ended.push_back(stats->phase);
+    }
+  }
+  const std::vector<Phase> expected{Phase::kContext, Phase::kHeuristics,
+                                    Phase::kGa, Phase::kAssembly};
+  EXPECT_EQ(ended, expected);
+
+  // The summary matches the result.
+  const auto& summary = std::get<RunSummary>(sink.events().back().v);
+  EXPECT_EQ(summary.best_cost, r.ga.best_cost);
+  EXPECT_FALSE(summary.stopped_early);
+}
+
+TEST(SynthesizerTelemetry, TraceIsIdenticalAcrossThreadCounts) {
+  std::vector<std::string> traces;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SynthesisConfig cfg = small_config();
+    cfg.ga.parallel.num_threads = threads;
+    TraceSink sink;
+    cfg.observer = &sink;
+    Synthesizer(cfg).synthesize(4);
+    traces.push_back(sink.canonical());
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(traces[0], traces[2]);
+}
+
+TEST(SynthesizerTelemetry, StopBudgetYieldsValidPartialNetwork) {
+  SynthesisConfig cfg = small_config();
+  cfg.ga.generations = 10'000;
+  StopCondition stop = StopCondition::eval_budget(200);
+  cfg.stop = &stop;
+  const SynthesisResult r = Synthesizer(cfg).synthesize(1);
+  EXPECT_TRUE(r.ga.stopped_early);
+  EXPECT_TRUE(is_connected(r.network.topology));
+  EXPECT_GT(r.network.num_links(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ensemble event stream.
+// ---------------------------------------------------------------------------
+
+TEST(EnsembleTelemetry, TraceIsIdenticalAcrossThreadCounts) {
+  std::vector<std::string> traces;
+  for (const std::size_t threads : {1u, 4u}) {
+    SynthesisConfig cfg = small_config(8);
+    cfg.parallel.num_threads = threads;
+    TraceSink sink;
+    cfg.observer = &sink;
+    const Synthesizer synth(cfg);
+    const EnsembleResult e = generate_ensemble(synth, 5, 11);
+    EXPECT_EQ(e.runs.size(), 5u);
+    EXPECT_EQ(sink.count<EnsembleRunDone>(), 5u);
+    // Inner runs never reach the ensemble observer: one kEnsemble phase,
+    // no per-run phases or generations.
+    EXPECT_EQ(sink.count<GenerationEnd>(), 0u);
+    EXPECT_EQ(sink.count<PhaseStats>(), 1u);
+    traces.push_back(sink.canonical());
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+}
+
+TEST(EnsembleTelemetry, RunsArriveInSeedOrder) {
+  SynthesisConfig cfg = small_config(8);
+  cfg.parallel.num_threads = 4;
+  TraceSink sink;
+  cfg.observer = &sink;
+  generate_ensemble(Synthesizer(cfg), 6, 100);
+  std::size_t expected = 0;
+  for (const TraceEvent& e : sink.events()) {
+    if (const auto* run = std::get_if<EnsembleRunDone>(&e.v)) {
+      EXPECT_EQ(run->index, expected);
+      EXPECT_EQ(run->seed, 100 + expected);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(expected, 6u);
+}
+
+TEST(EnsembleTelemetry, EvalBudgetTruncatesRunsButKeepsThemValid) {
+  SynthesisConfig cfg = small_config(8);
+  cfg.parallel.num_threads = 1;
+  StopCondition stop = StopCondition::eval_budget(300);
+  cfg.stop = &stop;
+  const EnsembleResult e = generate_ensemble(Synthesizer(cfg), 50, 1);
+  EXPECT_TRUE(e.stopped_early);
+  EXPECT_EQ(e.stop_reason, StopReason::kEvalBudget);
+  EXPECT_LT(e.runs.size(), 50u);
+  for (const SynthesisResult& r : e.runs) {
+    EXPECT_TRUE(is_connected(r.network.topology));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON run reports.
+// ---------------------------------------------------------------------------
+
+TEST(RunReport, SinkCapturesSynthesisRun) {
+  SynthesisConfig cfg = small_config();
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  const SynthesisResult r = Synthesizer(cfg).synthesize(2);
+
+  const RunReport& report = sink.report();
+  EXPECT_EQ(report.seed, 2u);
+  EXPECT_EQ(report.num_pops, 10u);
+  EXPECT_EQ(report.best_cost, r.ga.best_cost);
+  EXPECT_EQ(report.generations.size(), cfg.ga.generations);
+  EXPECT_EQ(report.phases.size(), 4u);
+  EXPECT_EQ(report.heuristics.size(), r.heuristics.size());
+  EXPECT_GT(report.wall_ns, 0u);
+}
+
+TEST(RunReport, JsonRoundTripPreservesEverything) {
+  SynthesisConfig cfg = small_config();
+  cfg.ga.generations = 5;
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(3);
+
+  for (const bool timing : {true, false}) {
+    const std::string json = run_report_to_json(sink.report(), timing);
+    const RunReport parsed = run_report_from_json(json);
+    // A second serialization of the parsed report must reproduce the first
+    // byte-for-byte (canonical writer + sorted keys).
+    EXPECT_EQ(run_report_to_json(parsed, timing), json) << "timing=" << timing;
+  }
+
+  // Spot-check parsed content.
+  const RunReport parsed =
+      run_report_from_json(run_report_to_json(sink.report()));
+  EXPECT_EQ(parsed.seed, 3u);
+  EXPECT_EQ(parsed.generations.size(), 5u);
+  EXPECT_EQ(parsed.best_cost, sink.report().best_cost);
+  EXPECT_EQ(parsed.stop_reason, StopReason::kNone);
+}
+
+TEST(RunReport, TimingFreeReportIsIdenticalAcrossThreadCounts) {
+  std::vector<std::string> reports;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SynthesisConfig cfg = small_config();
+    cfg.ga.parallel.num_threads = threads;
+    JsonReportSink sink;
+    cfg.observer = &sink;
+    Synthesizer(cfg).synthesize(6);
+    reports.push_back(
+        run_report_to_json(sink.report(), /*include_timing=*/false));
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+}
+
+TEST(RunReport, StoppedRunProducesValidReport) {
+  SynthesisConfig cfg = small_config();
+  cfg.ga.generations = 10'000;
+  // No heuristic seeding: the budget must land inside the GA so the report
+  // captures at least one completed generation.
+  cfg.seed_with_heuristics = false;
+  StopCondition stop = StopCondition::eval_budget(150);
+  cfg.stop = &stop;
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(1);
+
+  const RunReport parsed =
+      run_report_from_json(run_report_to_json(sink.report()));
+  EXPECT_TRUE(parsed.stopped_early);
+  EXPECT_EQ(parsed.stop_reason, StopReason::kEvalBudget);
+  EXPECT_LT(parsed.generations.size(), 10'000u);
+  EXPECT_GT(parsed.generations.size(), 0u);
+}
+
+TEST(RunReport, RejectsMalformedInput) {
+  EXPECT_THROW(run_report_from_json("not json"), std::runtime_error);
+  EXPECT_THROW(run_report_from_json("{}"), std::runtime_error);
+  EXPECT_THROW(run_report_from_json(R"({"schema": "other", "version": 1})"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Generic JSON value layer (io/json_value.h).
+// ---------------------------------------------------------------------------
+
+TEST(JsonValueLayer, ParseWriteRoundTrip) {
+  const std::string text =
+      R"({"a": [1, 2.5, true, null, "s\n"], "b": {"nested": -3e2}})";
+  const JsonValue parsed = parse_json(text);
+  EXPECT_EQ(parsed.field("a").array().size(), 5u);
+  EXPECT_EQ(parsed.field("b").field("nested").number(), -300.0);
+  const std::string out = json_to_string(parsed);
+  EXPECT_EQ(json_to_string(parse_json(out)), out);
+}
+
+TEST(JsonValueLayer, ErrorsAreTyped) {
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
+  const JsonValue v = parse_json(R"({"x": 1})");
+  EXPECT_THROW(v.field("missing"), std::runtime_error);
+  EXPECT_THROW(v.field("x").str(), std::runtime_error);
+  EXPECT_TRUE(v.has("x"));
+  EXPECT_FALSE(v.has("y"));
+}
+
+}  // namespace
+}  // namespace cold

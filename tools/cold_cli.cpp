@@ -2,16 +2,25 @@
 //
 //   cold synth    [--pops N] [--k0 X --k2 X --k3 X] [--seed S]
 //                 [--format dot|json|graphml] [--out FILE]
-//   cold ensemble [--count N] [--pops N] [--k0/--k2/--k3] [--seed S]
-//   cold metrics  --in FILE            (edge-list format, see io/edgelist.h)
+//                 [--report FILE] [--progress] [--max-seconds T]
+//                 [--max-evals N]
+//   cold ensemble [--count N] + synth options
+//   cold metrics  --in FILE [--format text|json] [--out FILE]
 //   cold estimate --in FILE [--draws N] [--epsilon E] [--seed S]
+//                 [--format text|json] [--out FILE]
 //   cold grow     --in FILE.json [--new-pops N] [--growth F] [--seed S]
+//
+// Every subcommand accepts --report FILE (a JSON run report, see
+// telemetry/report.h); the long-running ones also take --progress (live
+// one-line updates on stderr) and --max-seconds / --max-evals budgets that
+// stop the run early at a generation boundary, still producing a valid
+// network and report. Unknown options are rejected with the valid set.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,46 +35,89 @@
 #include "io/edgelist.h"
 #include "io/graphml.h"
 #include "io/json.h"
+#include "io/json_value.h"
+#include "telemetry/report.h"
+#include "telemetry/sinks.h"
+#include "util/cli_options.h"
 
 namespace {
 
 using namespace cold;
 
-struct Args {
-  std::map<std::string, std::string> options;
+// ---------------------------------------------------------------------------
+// Option groups shared between subcommands.
+// ---------------------------------------------------------------------------
 
-  bool has(const std::string& key) const { return options.count(key) > 0; }
-
-  std::string get(const std::string& key, const std::string& fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
-  }
-
-  double num(const std::string& key, double fallback) const {
-    const auto it = options.find(key);
-    if (it == options.end()) return fallback;
-    try {
-      return std::stod(it->second);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("option --" + key + " expects a number");
-    }
-  }
+const std::vector<OptionSpec> kCostOpts = {
+    {"k0", true, "X (10)"},
+    {"k1", true, "X (1)"},
+    {"k2", true, "X (4e-4)"},
+    {"k3", true, "X (10)"},
 };
 
-Args parse_args(int argc, char** argv, int first) {
-  Args args;
-  for (int i = first; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) {
-      throw std::invalid_argument("unexpected argument: " + key);
-    }
-    key = key.substr(2);
-    if (i + 1 >= argc) {
-      throw std::invalid_argument("option --" + key + " needs a value");
-    }
-    args.options[key] = argv[++i];
+const std::vector<OptionSpec> kGaOpts = {
+    {"population", true, "M (48)"},
+    {"generations", true, "T (40)"},
+    {"threads", true, "K (0 = all cores)"},
+};
+
+const std::vector<OptionSpec> kOutputOpts = {
+    {"format", true, "dot|json|graphml (json)"},
+    {"out", true, "FILE (stdout)"},
+};
+
+const std::vector<OptionSpec> kReportOpt = {
+    {"report", true, "FILE (JSON run report)"},
+};
+
+const std::vector<OptionSpec> kRunControlOpts = {
+    {"progress", false, "live progress on stderr"},
+    {"max-seconds", true, "T (0 = unlimited)"},
+    {"max-evals", true, "N (0 = unlimited)"},
+};
+
+std::vector<OptionSpec> synth_specs() {
+  return concat_specs({{{"pops", true, "N (30)"},
+                        {"seed", true, "S (1)"},
+                        {"overprovision", true, "O (1)"}},
+                       kCostOpts,
+                       kGaOpts,
+                       kOutputOpts,
+                       kReportOpt,
+                       kRunControlOpts});
+}
+
+CliOptions spec_for(const std::string& command) {
+  if (command == "synth") return {"synth", synth_specs()};
+  if (command == "ensemble") {
+    return {"ensemble",
+            concat_specs({{{"count", true, "N (20)"}}, synth_specs()})};
   }
-  return args;
+  if (command == "metrics") {
+    return {"metrics", concat_specs({{{"in", true, "FILE (edge list)"},
+                                      {"format", true, "text|json (text)"},
+                                      {"out", true, "FILE (stdout)"}},
+                                     kReportOpt})};
+  }
+  if (command == "estimate") {
+    return {"estimate", concat_specs({{{"in", true, "FILE (edge list)"},
+                                       {"draws", true, "N (100)"},
+                                       {"epsilon", true, "E (0.5)"},
+                                       {"seed", true, "S (1)"},
+                                       {"format", true, "text|json (text)"},
+                                       {"out", true, "FILE (stdout)"}},
+                                      kReportOpt})};
+  }
+  if (command == "grow") {
+    return {"grow", concat_specs({{{"in", true, "FILE.json"},
+                                   {"new-pops", true, "N (5)"},
+                                   {"growth", true, "F (1.2)"},
+                                   {"decommission", true, "D (1.0)"},
+                                   {"seed", true, "S (1)"}},
+                                  kCostOpts, kGaOpts, kOutputOpts, kReportOpt,
+                                  kRunControlOpts})};
+  }
+  throw std::invalid_argument("unknown command: " + command);
 }
 
 void print_usage() {
@@ -80,32 +132,102 @@ void print_usage() {
       "  ensemble  synthesize many networks, print metric CIs\n"
       "            --count N (20) + synth options\n"
       "  metrics   print metrics of an edge-list file\n"
-      "            --in FILE\n"
+      "            --in FILE --format text|json (text) --out FILE\n"
       "  estimate  ABC-estimate cost parameters from an edge-list file\n"
       "            --in FILE --draws N (100) --epsilon E (0.5) --seed S (1)\n"
+      "            --format text|json (text) --out FILE\n"
       "  grow      grow a network saved as JSON\n"
       "            --in FILE.json --new-pops N (5) --growth F (1.2)\n"
-      "            --decommission D (1.0) --seed S (1) --out FILE (stdout)\n";
+      "            --decommission D (1.0) --seed S (1) --out FILE (stdout)\n"
+      "  telemetry (all commands): --report FILE writes a JSON run report;\n"
+      "            synth/ensemble/grow also take --progress, --max-seconds T\n"
+      "            and --max-evals N (stop budgets; partial results stay\n"
+      "            valid)\n";
 }
 
-SynthesisConfig config_from(const Args& args) {
+// ---------------------------------------------------------------------------
+// Telemetry wiring: sinks + stop condition owned for the command's lifetime.
+// ---------------------------------------------------------------------------
+
+class CliTelemetry {
+ public:
+  explicit CliTelemetry(const CliOptions& args) {
+    if (args.has("progress")) {
+      progress_.emplace(std::cerr);
+      observer_.add(&*progress_);
+      any_sink_ = true;
+    }
+    report_path_ = args.get("report", "");
+    if (!report_path_.empty()) {
+      observer_.add(&report_);
+      any_sink_ = true;
+    }
+    stop_.max_seconds = args.num("max-seconds", 0.0);
+    stop_.max_evaluations = args.uint("max-evals", 0);
+    want_stop_ = stop_.max_seconds > 0 || stop_.max_evaluations > 0;
+  }
+
+  RunObserver* observer() { return any_sink_ ? &observer_ : nullptr; }
+  StopCondition* stop() { return want_stop_ ? &stop_ : nullptr; }
+  RunReport& report() { return report_.report(); }
+
+  /// Writes the report file if --report was given. Call after the run (the
+  /// report is valid even when a stop budget fired mid-run).
+  void finish() const {
+    if (report_path_.empty()) return;
+    std::ofstream file(report_path_);
+    if (!file) {
+      throw std::runtime_error("cannot open report file: " + report_path_);
+    }
+    report_.write(file, /*include_timing=*/true);
+    std::cerr << "wrote report " << report_path_ << "\n";
+  }
+
+ private:
+  std::optional<ProgressSink> progress_;
+  JsonReportSink report_;
+  MultiObserver observer_;
+  StopCondition stop_;
+  std::string report_path_;
+  bool any_sink_ = false;
+  bool want_stop_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+SynthesisConfig config_from(const CliOptions& args) {
   SynthesisConfig cfg;
-  cfg.context.num_pops = static_cast<std::size_t>(args.num("pops", 30));
+  cfg.context.num_pops = args.uint("pops", 30);
   cfg.costs.k0 = args.num("k0", 10.0);
   cfg.costs.k1 = args.num("k1", 1.0);
   cfg.costs.k2 = args.num("k2", 4e-4);
   cfg.costs.k3 = args.num("k3", 10.0);
-  cfg.ga.population = static_cast<std::size_t>(args.num("population", 48));
-  cfg.ga.generations = static_cast<std::size_t>(args.num("generations", 40));
+  cfg.ga.population = args.uint("population", 48);
+  cfg.ga.generations = args.uint("generations", 40);
   cfg.overprovision = args.num("overprovision", 1.0);
   // 0 = all hardware threads; any value yields bit-identical output.
-  const auto threads = static_cast<std::size_t>(args.num("threads", 0));
+  const std::size_t threads = args.uint("threads", 0);
   cfg.ga.parallel.num_threads = threads;
   cfg.parallel.num_threads = threads;
   return cfg;
 }
 
-void write_output(const Network& net, const Args& args) {
+/// Routes `body` to --out (if given) or stdout.
+void emit(const std::string& body, const CliOptions& args) {
+  if (args.has("out")) {
+    const std::string path = args.get("out", "");
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot open output file: " + path);
+    file << body;
+    std::cerr << "wrote " << path << "\n";
+  } else {
+    std::cout << body;
+  }
+}
+
+void write_network_output(const Network& net, const CliOptions& args) {
   const std::string format = args.get("format", "json");
   std::ostringstream body;
   if (format == "json") {
@@ -115,58 +237,54 @@ void write_output(const Network& net, const Args& args) {
   } else if (format == "graphml") {
     write_graphml(body, net);
   } else {
-    throw std::invalid_argument("unknown --format: " + format);
+    throw std::invalid_argument("unknown --format: " + format +
+                                " (expected dot, json or graphml)");
   }
-  if (args.has("out")) {
-    std::ofstream file(args.get("out", ""));
-    if (!file) throw std::runtime_error("cannot open output file");
-    file << body.str();
-    std::cerr << "wrote " << args.get("out", "") << "\n";
-  } else {
-    std::cout << body.str();
-  }
+  emit(body.str(), args);
 }
 
-void print_metrics(const Topology& g) {
-  const TopologyMetrics m = compute_metrics(g);
-  const ResilienceReport r = analyze_resilience(g);
-  std::cout << "nodes:              " << m.nodes << "\n"
-            << "links:              " << m.edges << "\n"
-            << "connected:          " << (m.connected ? "yes" : "no") << "\n"
-            << "avg degree:         " << m.avg_degree << "\n"
-            << "degree CV (CVND):   " << m.degree_cv << "\n"
-            << "diameter (hops):    " << m.diameter << "\n"
-            << "avg path length:    " << m.avg_path_length << "\n"
-            << "global clustering:  " << m.global_clustering << "\n"
-            << "assortativity:      " << m.assortativity << "\n"
-            << "core PoPs:          " << m.hubs << "\n"
-            << "leaf PoPs:          " << m.leaves << "\n"
-            << "bridges:            " << r.bridges << "\n"
-            << "articulation PoPs:  " << r.articulation_points << "\n"
-            << "edge connectivity:  " << r.edge_connectivity << "\n";
-}
+// ---------------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------------
 
-int cmd_synth(const Args& args) {
-  const Synthesizer synth(config_from(args));
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+int cmd_synth(const CliOptions& args) {
+  CliTelemetry telemetry(args);
+  SynthesisConfig cfg = config_from(args);
+  cfg.observer = telemetry.observer();
+  cfg.stop = telemetry.stop();
+  const Synthesizer synth(cfg);
+  const std::uint64_t seed = args.uint("seed", 1);
   const SynthesisResult r = synth.synthesize(seed);
   std::cerr << "cost " << r.cost.total() << " ("
             << synth.config().costs.to_string() << "), "
-            << r.network.num_links() << " links\n";
-  write_output(r.network, args);
+            << r.network.num_links() << " links";
+  if (r.ga.stopped_early) {
+    std::cerr << " [stopped early: " << to_string(r.ga.stop_reason) << "]";
+  }
+  std::cerr << "\n";
+  write_network_output(r.network, args);
+  telemetry.finish();
   return 0;
 }
 
-int cmd_ensemble(const Args& args) {
-  const Synthesizer synth(config_from(args));
-  const auto count = static_cast<std::size_t>(args.num("count", 20));
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+int cmd_ensemble(const CliOptions& args) {
+  CliTelemetry telemetry(args);
+  SynthesisConfig cfg = config_from(args);
+  cfg.observer = telemetry.observer();
+  cfg.stop = telemetry.stop();
+  const Synthesizer synth(cfg);
+  const std::size_t count = args.uint("count", 20);
+  const std::uint64_t seed = args.uint("seed", 1);
   const EnsembleResult e = generate_ensemble(synth, count, seed);
   auto show = [](const char* name, const ConfidenceInterval& ci) {
     std::cout << name << ": " << ci.mean << "  [" << ci.lo << ", " << ci.hi
               << "]\n";
   };
-  std::cout << "ensemble of " << count << " networks (95% bootstrap CIs)\n";
+  std::cout << "ensemble of " << e.runs.size() << " / " << count
+            << " networks (95% bootstrap CIs)\n";
+  if (e.stopped_early) {
+    std::cout << "stopped early: " << to_string(e.stop_reason) << "\n";
+  }
   show("avg degree   ", e.stats.avg_degree);
   show("diameter     ", e.stats.diameter);
   show("clustering   ", e.stats.clustering);
@@ -174,63 +292,163 @@ int cmd_ensemble(const Args& args) {
   show("hub PoPs     ", e.stats.hubs);
   show("assortativity", e.stats.assortativity);
   std::cout << "all distinct: " << (e.all_distinct ? "yes" : "no") << "\n";
+  telemetry.finish();
   return 0;
 }
 
-int cmd_metrics(const Args& args) {
+JsonValue metrics_json(const TopologyMetrics& m, const ResilienceReport& r) {
+  JsonObject o;
+  o["nodes"] = m.nodes;
+  o["links"] = m.edges;
+  o["connected"] = m.connected;
+  o["avg_degree"] = m.avg_degree;
+  o["degree_cv"] = m.degree_cv;
+  o["diameter"] = m.diameter;
+  o["avg_path_length"] = m.avg_path_length;
+  o["global_clustering"] = m.global_clustering;
+  o["assortativity"] = m.assortativity;
+  o["hubs"] = m.hubs;
+  o["leaves"] = m.leaves;
+  o["bridges"] = r.bridges;
+  o["articulation_points"] = r.articulation_points;
+  o["edge_connectivity"] = r.edge_connectivity;
+  return JsonValue(std::move(o));
+}
+
+std::string metrics_text(const TopologyMetrics& m, const ResilienceReport& r) {
+  std::ostringstream os;
+  os << "nodes:              " << m.nodes << "\n"
+     << "links:              " << m.edges << "\n"
+     << "connected:          " << (m.connected ? "yes" : "no") << "\n"
+     << "avg degree:         " << m.avg_degree << "\n"
+     << "degree CV (CVND):   " << m.degree_cv << "\n"
+     << "diameter (hops):    " << m.diameter << "\n"
+     << "avg path length:    " << m.avg_path_length << "\n"
+     << "global clustering:  " << m.global_clustering << "\n"
+     << "assortativity:      " << m.assortativity << "\n"
+     << "core PoPs:          " << m.hubs << "\n"
+     << "leaf PoPs:          " << m.leaves << "\n"
+     << "bridges:            " << r.bridges << "\n"
+     << "articulation PoPs:  " << r.articulation_points << "\n"
+     << "edge connectivity:  " << r.edge_connectivity << "\n";
+  return os.str();
+}
+
+/// Minimal hand-built report for the analysis commands (no observed run,
+/// but --report still yields a valid, schema-conforming artifact).
+void write_analysis_report(const CliOptions& args, std::uint64_t seed,
+                           std::size_t num_pops, double best_cost,
+                           std::size_t evaluations) {
+  if (!args.has("report")) return;
+  RunReport report;
+  report.seed = seed;
+  report.num_pops = num_pops;
+  report.best_cost = best_cost;
+  report.evaluations = evaluations;
+  const std::string path = args.get("report", "");
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open report file: " + path);
+  write_run_report_json(file, report, /*include_timing=*/false);
+  std::cerr << "wrote report " << path << "\n";
+}
+
+int cmd_metrics(const CliOptions& args) {
   if (!args.has("in")) throw std::invalid_argument("metrics needs --in FILE");
   std::ifstream file(args.get("in", ""));
   if (!file) throw std::runtime_error("cannot open input file");
   const EdgeListData data = read_edge_list(file);
-  print_metrics(data.topology);
+  const TopologyMetrics m = compute_metrics(data.topology);
+  const ResilienceReport r = analyze_resilience(data.topology);
+
+  const std::string format = args.get("format", "text");
+  if (format == "json") {
+    emit(json_to_string(metrics_json(m, r)) + "\n", args);
+  } else if (format == "text") {
+    emit(metrics_text(m, r), args);
+  } else {
+    throw std::invalid_argument("unknown --format: " + format +
+                                " (expected text or json)");
+  }
+  write_analysis_report(args, /*seed=*/0, m.nodes, /*best_cost=*/0.0,
+                        /*evaluations=*/0);
   return 0;
 }
 
-int cmd_estimate(const Args& args) {
+int cmd_estimate(const CliOptions& args) {
   if (!args.has("in")) throw std::invalid_argument("estimate needs --in FILE");
   std::ifstream file(args.get("in", ""));
   if (!file) throw std::runtime_error("cannot open input file");
   const EdgeListData data = read_edge_list(file);
 
   AbcConfig cfg;
-  cfg.num_draws = static_cast<std::size_t>(args.num("draws", 100));
+  cfg.num_draws = args.uint("draws", 100);
   cfg.epsilon = args.num("epsilon", 0.5);
   cfg.ga.population = 20;
   cfg.ga.generations = 15;
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const std::uint64_t seed = args.uint("seed", 1);
   const AbcResult r = abc_estimate(data.topology, cfg, seed);
-  std::cout << "draws: " << r.draws.size()
-            << ", accepted: " << r.accepted.size() << " ("
-            << 100.0 * r.acceptance_rate << "%)\n";
-  if (!r.accepted.empty()) {
-    std::cout << "posterior mean: " << r.posterior_mean.to_string() << "\n";
+
+  const std::string format = args.get("format", "text");
+  if (format == "json") {
+    JsonObject o;
+    o["draws"] = r.draws.size();
+    o["accepted"] = r.accepted.size();
+    o["acceptance_rate"] = r.acceptance_rate;
+    if (!r.accepted.empty()) {
+      JsonObject mean;
+      mean["k0"] = r.posterior_mean.k0;
+      mean["k1"] = r.posterior_mean.k1;
+      mean["k2"] = r.posterior_mean.k2;
+      mean["k3"] = r.posterior_mean.k3;
+      o["posterior_mean"] = JsonValue(std::move(mean));
+    }
+    emit(json_to_string(JsonValue(std::move(o))) + "\n", args);
+  } else if (format == "text") {
+    std::ostringstream os;
+    os << "draws: " << r.draws.size() << ", accepted: " << r.accepted.size()
+       << " (" << 100.0 * r.acceptance_rate << "%)\n";
+    if (!r.accepted.empty()) {
+      os << "posterior mean: " << r.posterior_mean.to_string() << "\n";
+    } else {
+      os << "no accepted draws; widen --epsilon or --draws\n";
+    }
+    emit(os.str(), args);
   } else {
-    std::cout << "no accepted draws; widen --epsilon or --draws\n";
+    throw std::invalid_argument("unknown --format: " + format +
+                                " (expected text or json)");
   }
+  write_analysis_report(args, seed, data.topology.num_nodes(),
+                        /*best_cost=*/0.0, /*evaluations=*/r.draws.size());
   return 0;
 }
 
-int cmd_grow(const Args& args) {
+int cmd_grow(const CliOptions& args) {
   if (!args.has("in")) throw std::invalid_argument("grow needs --in FILE.json");
   std::ifstream file(args.get("in", ""));
   if (!file) throw std::runtime_error("cannot open input file");
   const Network base = read_network_json(file);
 
+  CliTelemetry telemetry(args);
   GrowthConfig cfg;
-  cfg.new_pops = static_cast<std::size_t>(args.num("new-pops", 5));
+  cfg.new_pops = args.uint("new-pops", 5);
   cfg.population_growth = args.num("growth", 1.2);
   cfg.decommission_factor = args.num("decommission", 1.0);
   cfg.costs.k0 = args.num("k0", 10.0);
+  cfg.costs.k1 = args.num("k1", 1.0);
   cfg.costs.k2 = args.num("k2", 4e-4);
   cfg.costs.k3 = args.num("k3", 10.0);
-  cfg.ga.population = static_cast<std::size_t>(args.num("population", 48));
-  cfg.ga.generations = static_cast<std::size_t>(args.num("generations", 40));
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  cfg.ga.population = args.uint("population", 48);
+  cfg.ga.generations = args.uint("generations", 40);
+  cfg.ga.parallel.num_threads = args.uint("threads", 0);
+  cfg.observer = telemetry.observer();
+  cfg.stop = telemetry.stop();
+  const std::uint64_t seed = args.uint("seed", 1);
   const GrowthResult r = grow_network(base, cfg, seed);
   std::cerr << "grew " << base.num_pops() << " -> " << r.network.num_pops()
             << " PoPs; kept " << r.links_kept << ", removed "
             << r.links_removed << ", added " << r.links_added << " links\n";
-  write_output(r.network, args);
+  write_network_output(r.network, args);
+  telemetry.finish();
   return 0;
 }
 
@@ -243,15 +461,13 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
-    const Args args = parse_args(argc, argv, 2);
+    CliOptions args = spec_for(command);
+    args.parse(argc, argv, 2);
     if (command == "synth") return cmd_synth(args);
     if (command == "ensemble") return cmd_ensemble(args);
     if (command == "metrics") return cmd_metrics(args);
     if (command == "estimate") return cmd_estimate(args);
-    if (command == "grow") return cmd_grow(args);
-    std::cerr << "unknown command: " << command << "\n";
-    print_usage();
-    return 1;
+    return cmd_grow(args);
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     print_usage();
