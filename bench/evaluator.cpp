@@ -1,0 +1,255 @@
+// Memoized + sparse evaluation engine benchmark.
+//
+// Three measurements, all on GA-shaped inputs:
+//
+//   1. Cache throughput: record the exact topology sequence a real GA run
+//      evaluates (elites, crossover echoes, mutation round-trips make it
+//      duplicate-heavy), then replay it several passes through an Evaluator
+//      with the cache off vs on. Gate: >= 3x evals/sec with the cache.
+//   2. Cache hit rate: the fraction of the recorded workload served from
+//      cache on a cold start (single pass) and across all passes.
+//   3. Sparse vs dense shortest paths: evaluate m ~ n topologies (MST plus
+//      a few chords — the shapes synthesis actually produces) at n = 80 and
+//      n = 120 with the solver forced dense vs sparse. Gate: sparse wins at
+//      both sizes.
+//
+// Every configuration is also checked for bit-identical costs (the engine's
+// exactness contract); any mismatch fails the run. Results go to
+// BENCH_evaluator.json (first argv, default ./).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/context.h"
+#include "cost/evaluator.h"
+#include "ga/genetic.h"
+#include "ga/objective.h"
+#include "graph/algorithms.h"
+
+namespace {
+
+using namespace cold;
+
+/// Records every topology the GA asks to score. clone() returns nullptr so
+/// the GA runs sequentially and the trace is the complete evaluation
+/// sequence in order.
+class RecordingObjective final : public Objective {
+ public:
+  RecordingObjective(Evaluator& eval, std::vector<Topology>& trace)
+      : eval_(&eval), trace_(&trace) {}
+
+  double cost(const Topology& g) override {
+    trace_->push_back(g);
+    return eval_->cost(g);
+  }
+  const Matrix<double>& lengths() const override { return eval_->lengths(); }
+
+ private:
+  Evaluator* eval_;
+  std::vector<Topology>* trace_;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Replays `trace` `passes` times through `eval`; returns evals/sec and
+/// appends every cost to `costs` (for the exactness cross-check).
+double replay(const std::vector<Topology>& trace, std::size_t passes,
+              Evaluator& eval, std::vector<double>& costs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (const Topology& g : trace) costs.push_back(eval.cost(g));
+  }
+  const double secs = seconds_since(t0);
+  return static_cast<double>(passes * trace.size()) / secs;
+}
+
+/// An m ~ n topology of the kind synthesis produces: the MST of random
+/// PoP locations plus ~n/8 random chords.
+Topology sparse_instance(const Context& ctx, std::uint64_t seed) {
+  Topology g = minimum_spanning_tree(ctx.distances);
+  const std::size_t n = g.num_nodes();
+  Rng rng(seed, /*stream=*/7);
+  for (std::size_t added = 0; added < n / 8;) {
+    const NodeId u = rng.uniform_index(n);
+    const NodeId v = rng.uniform_index(n);
+    if (u != v && g.add_edge(u, v)) ++added;
+  }
+  return g;
+}
+
+struct SparseSample {
+  std::size_t pops = 0;
+  std::size_t edges = 0;
+  double dense_eps = 0.0;   // evals/sec, solver forced dense
+  double sparse_eps = 0.0;  // evals/sec, solver forced sparse
+  bool auto_picks_sparse = false;
+  bool identical = false;
+};
+
+SparseSample measure_sparse_vs_dense(std::size_t n, std::size_t reps) {
+  ContextConfig ctx_cfg;
+  ctx_cfg.num_pops = n;
+  Rng ctx_rng(2 + n);
+  const Context ctx = generate_context(ctx_cfg, ctx_rng);
+  const Topology g = sparse_instance(ctx, 2 + n);
+
+  SparseSample s;
+  s.pops = n;
+  s.edges = g.num_edges();
+  s.auto_picks_sparse =
+      select_sp_algorithm(n, g.num_edges()) == SpAlgorithm::kSparse;
+
+  const CostParams costs{10.0, 1.0, 4e-4, 10.0};
+  double dense_cost = 0.0, sparse_cost = 0.0;
+  for (const SpAlgorithm algo : {SpAlgorithm::kDense, SpAlgorithm::kSparse}) {
+    EvalEngineConfig engine;
+    engine.sp_algorithm = algo;
+    Evaluator eval(ctx.distances, ctx.traffic, costs, engine);
+    eval.cost(g);  // warm the workspace outside the timed region
+    double last = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) last = eval.cost(g);
+    const double eps = static_cast<double>(reps) / seconds_since(t0);
+    if (algo == SpAlgorithm::kDense) {
+      s.dense_eps = eps;
+      dense_cost = last;
+    } else {
+      s.sparse_eps = eps;
+      sparse_cost = last;
+    }
+  }
+  s.identical = dense_cost == sparse_cost;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cold::bench::banner(
+      "Memoized + sparse evaluation engine",
+      ">= 3x evals/sec on a duplicate-heavy GA workload with the cache on; "
+      "heap Dijkstra beats the dense scan on m ~ n graphs from n = 80");
+
+  // --- Record a GA-shaped evaluation workload. -----------------------------
+  const std::size_t n = 40;
+  const std::size_t generations = cold::bench::trials(12, 60);
+  ContextConfig ctx_cfg;
+  ctx_cfg.num_pops = n;
+  Rng ctx_rng(1);
+  const Context ctx = generate_context(ctx_cfg, ctx_rng);
+
+  std::vector<Topology> trace;
+  const CostParams costs{10.0, 1.0, 4e-4, 10.0};
+  {
+    Evaluator eval(ctx.distances, ctx.traffic, costs);
+    RecordingObjective recorder(eval, trace);
+    GaRunOptions options;
+    options.config.population = 64;
+    options.config.generations = generations;
+    Rng rng(1);
+    run_ga(recorder, rng, options);
+  }
+  std::printf("recorded %zu evaluations from a %zu-generation GA run\n",
+              trace.size(), generations);
+
+  // --- Cache off vs on over the recorded trace. ----------------------------
+  const std::size_t passes = 5;
+  std::vector<double> costs_off, costs_on;
+  costs_off.reserve(passes * trace.size());
+  costs_on.reserve(passes * trace.size());
+
+  Evaluator eval_off(ctx.distances, ctx.traffic, costs);
+  const double eps_off = replay(trace, passes, eval_off, costs_off);
+
+  EvalEngineConfig cached_engine;
+  cached_engine.cache.enabled = true;
+  Evaluator eval_on(ctx.distances, ctx.traffic, costs, cached_engine);
+  std::vector<double> first_pass;
+  const double first_eps = replay(trace, 1, eval_on, first_pass);
+  const double cold_hit_rate = eval_on.cache_stats().hit_rate();
+  (void)first_eps;
+  const double eps_on = replay(trace, passes, eval_on, costs_on);
+  const double overall_hit_rate = eval_on.cache_stats().hit_rate();
+  const double speedup = eps_on / eps_off;
+
+  // Exactness: the cached replay must reproduce the uncached costs bit for
+  // bit (the first cached pass is checked against one uncached pass).
+  bool cache_identical = true;
+  for (std::size_t i = 0; i < first_pass.size(); ++i) {
+    cache_identical &= first_pass[i] == costs_off[i];
+  }
+  for (std::size_t i = 0; i < costs_on.size(); ++i) {
+    cache_identical &= costs_on[i] == costs_off[i % costs_off.size()];
+  }
+
+  std::printf(
+      "cache off %10.0f evals/s | on %10.0f evals/s | speedup %.2fx\n"
+      "hit rate: %.1f%% cold pass, %.1f%% over %zu passes | identical=%s\n",
+      eps_off, eps_on, speedup, 100.0 * cold_hit_rate,
+      100.0 * overall_hit_rate, passes + 1, cache_identical ? "yes" : "NO");
+
+  // --- Sparse vs dense on m ~ n instances. ---------------------------------
+  std::vector<SparseSample> sparse_samples;
+  for (const std::size_t size : {80u, 120u}) {
+    const std::size_t reps = cold::bench::trials(60, 300);
+    const SparseSample s = measure_sparse_vs_dense(size, reps);
+    sparse_samples.push_back(s);
+    std::printf(
+        "n=%3zu m=%3zu  dense %8.1f evals/s | sparse %8.1f evals/s | "
+        "%.2fx  auto=%s identical=%s\n",
+        s.pops, s.edges, s.dense_eps, s.sparse_eps,
+        s.sparse_eps / s.dense_eps, s.auto_picks_sparse ? "sparse" : "dense",
+        s.identical ? "yes" : "NO");
+  }
+
+  // --- JSON artifact. ------------------------------------------------------
+  const std::string path =
+      (argc > 1 ? std::string(argv[1]) : std::string(".")) +
+      "/BENCH_evaluator.json";
+  if (FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"evaluator\",\n"
+                 "  \"pops\": %zu,\n"
+                 "  \"trace_evaluations\": %zu,\n"
+                 "  \"replay_passes\": %zu,\n"
+                 "  \"cache\": {\"evals_per_sec_off\": %.1f, "
+                 "\"evals_per_sec_on\": %.1f, \"speedup\": %.3f, "
+                 "\"cold_hit_rate\": %.4f, \"overall_hit_rate\": %.4f, "
+                 "\"identical_costs\": %s},\n"
+                 "  \"sparse_vs_dense\": [\n",
+                 n, trace.size(), passes, eps_off, eps_on, speedup,
+                 cold_hit_rate, overall_hit_rate,
+                 cache_identical ? "true" : "false");
+    for (std::size_t i = 0; i < sparse_samples.size(); ++i) {
+      const SparseSample& s = sparse_samples[i];
+      std::fprintf(f,
+                   "    {\"pops\": %zu, \"edges\": %zu, "
+                   "\"evals_per_sec_dense\": %.1f, "
+                   "\"evals_per_sec_sparse\": %.1f, \"speedup\": %.3f, "
+                   "\"auto_picks_sparse\": %s, \"identical_costs\": %s}%s\n",
+                   s.pops, s.edges, s.dense_eps, s.sparse_eps,
+                   s.sparse_eps / s.dense_eps,
+                   s.auto_picks_sparse ? "true" : "false",
+                   s.identical ? "true" : "false",
+                   i + 1 < sparse_samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::printf("\ncould not write %s\n", path.c_str());
+    return 1;
+  }
+
+  bool pass = cache_identical && speedup >= 3.0;
+  for (const SparseSample& s : sparse_samples) {
+    pass &= s.identical && s.auto_picks_sparse && s.sparse_eps > s.dense_eps;
+  }
+  return pass ? 0 : 1;
+}

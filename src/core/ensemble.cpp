@@ -135,12 +135,18 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
     RunSummary summary;
     double best = std::numeric_limits<double>::infinity();
     std::size_t evaluations = 0;
+    EvalCacheStats cache;
     for (const SynthesisResult& r : result.runs) {
       best = std::min(best, r.ga.best_cost);
       evaluations += r.ga.evaluations;
+      cache += r.cache;
     }
     summary.best_cost = result.runs.empty() ? 0.0 : best;
     summary.evaluations = evaluations;  // GA evaluations across all runs
+    summary.cache_hits = cache.hits;
+    summary.cache_misses = cache.misses;
+    summary.cache_inserts = cache.inserts;
+    summary.cache_evictions = cache.evictions;
     summary.wall_ns = elapsed_ns(started);
     summary.stopped_early = result.stopped_early;
     summary.stop_reason = result.stop_reason;

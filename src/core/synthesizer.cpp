@@ -43,7 +43,8 @@ SynthesisResult Synthesizer::optimize(
     const Context& context, std::uint64_t seed,
     std::chrono::steady_clock::time_point started) const {
   RunObserver* observer = config_.observer;
-  Evaluator eval(context.distances, context.traffic, config_.costs);
+  Evaluator eval(context.distances, context.traffic, config_.costs,
+                 config_.engine);
   const auto eval_count = [&eval] { return eval.evaluations(); };
 
   SynthesisResult result;
@@ -75,6 +76,7 @@ SynthesisResult Synthesizer::optimize(
         build_network(result.ga.best, context.locations, context.populations,
                       context.traffic, config_.overprovision);
   }
+  result.cache = eval.cache_stats();  // includes merged GA worker caches
   if (observer != nullptr) {
     RunSummary summary;
     summary.best_cost = result.ga.best_cost;
@@ -82,6 +84,10 @@ SynthesisResult Synthesizer::optimize(
     summary.wall_ns = elapsed_ns(started);
     summary.stopped_early = result.ga.stopped_early;
     summary.stop_reason = result.ga.stop_reason;
+    summary.cache_hits = result.cache.hits;
+    summary.cache_misses = result.cache.misses;
+    summary.cache_inserts = result.cache.inserts;
+    summary.cache_evictions = result.cache.evictions;
     observer->on_run_end(summary);
   }
   return result;

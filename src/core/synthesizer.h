@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/context.h"
+#include "cost/cost_cache.h"
 #include "cost/cost_model.h"
 #include "ga/genetic.h"
 #include "heuristics/hub_heuristics.h"
@@ -30,6 +31,11 @@ struct SynthesisConfig {
   ContextConfig context;
   CostParams costs;
   GaConfig ga;
+
+  /// Evaluation-engine settings: the memoization cache and the
+  /// shortest-path solver. Every setting is exact (bit-identical costs), so
+  /// this is purely a performance knob — see cost/evaluator.h.
+  EvalEngineConfig engine;
 
   /// Seed the GA with the greedy heuristics' solutions ("initialized GA").
   /// On by default: it dominates both plain GA and every heuristic (§5).
@@ -73,6 +79,7 @@ struct SynthesisResult {
   CostBreakdown cost;    ///< cost decomposition of the winning topology
   GaResult ga;           ///< GA diagnostics (history, final population, ...)
   std::vector<HeuristicResult> heuristics;  ///< seeds, if enabled
+  EvalCacheStats cache;  ///< evaluation-cache counters (zeros when disabled)
 };
 
 class Synthesizer {

@@ -1,0 +1,104 @@
+#include "cost/cost_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cold {
+
+namespace {
+
+std::size_t sets_for_capacity(std::size_t capacity) {
+  // Round capacity / kWays up to a power of two so the set index is a mask.
+  const std::size_t want =
+      std::max<std::size_t>(1, (capacity + CostCache::kWays - 1) /
+                                   CostCache::kWays);
+  return std::bit_ceil(want);
+}
+
+}  // namespace
+
+CostCache::CostCache(const EvalCacheConfig& config)
+    : num_sets_(sets_for_capacity(config.capacity)),
+      table_(num_sets_ * kWays) {}
+
+std::size_t CostCache::set_base(std::uint64_t fingerprint) const {
+  // The fingerprint is already avalanched (SplitMix64-mixed edge keys), so
+  // the low bits index well.
+  return (fingerprint & (num_sets_ - 1)) * kWays;
+}
+
+void CostCache::pack_edges(const Topology& g, std::vector<std::uint64_t>& out) {
+  out.clear();
+  out.reserve(g.num_edges());
+  const std::size_t n = g.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.adjacency(u)) {
+      if (v > u) {
+        out.push_back(static_cast<std::uint64_t>(u) << 32 | v);
+      }
+    }
+  }
+}
+
+bool CostCache::matches(const Entry& e, const Topology& g) {
+  if (e.n != g.num_nodes() || e.m != g.num_edges()) return false;
+  // Equal edge counts make one-sided containment a full equality check.
+  for (const std::uint64_t packed : e.edges) {
+    const NodeId u = static_cast<NodeId>(packed >> 32);
+    const NodeId v = static_cast<NodeId>(packed & 0xffffffffULL);
+    if (!g.has_edge(u, v)) return false;
+  }
+  return true;
+}
+
+CostCache::Entry* CostCache::find_entry(const Topology& g) {
+  const std::uint64_t fp = g.fingerprint();
+  Entry* base = table_.data() + set_base(fp);
+  for (std::size_t w = 0; w < kWays; ++w) {
+    Entry& e = base[w];
+    if (e.stamp != 0 && e.fingerprint == fp && matches(e, g)) return &e;
+  }
+  return nullptr;
+}
+
+const CostBreakdown* CostCache::find(const Topology& g) {
+  Entry* e = find_entry(g);
+  if (e == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  e->stamp = ++clock_;
+  ++stats_.hits;
+  return &e->value;
+}
+
+void CostCache::insert(const Topology& g, const CostBreakdown& b) {
+  Entry* victim = find_entry(g);
+  if (victim == nullptr) {
+    // Prefer an empty way; otherwise evict the set's LRU entry.
+    Entry* base = table_.data() + set_base(g.fingerprint());
+    victim = base;
+    for (std::size_t w = 0; w < kWays; ++w) {
+      Entry& e = base[w];
+      if (e.stamp == 0) {
+        victim = &e;
+        break;
+      }
+      if (e.stamp < victim->stamp) victim = &e;
+    }
+    if (victim->stamp != 0) {
+      ++stats_.evictions;
+    } else {
+      ++live_;
+    }
+    victim->fingerprint = g.fingerprint();
+    victim->n = static_cast<std::uint32_t>(g.num_nodes());
+    victim->m = static_cast<std::uint32_t>(g.num_edges());
+    pack_edges(g, victim->edges);
+  }
+  victim->value = b;
+  victim->stamp = ++clock_;
+  ++stats_.inserts;
+}
+
+}  // namespace cold

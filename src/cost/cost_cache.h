@@ -1,0 +1,129 @@
+// Memoized cost evaluation — the cache behind the evaluation engine.
+//
+// GA populations revisit topologies constantly (elites survive unchanged,
+// crossover recreates parents, mutation round-trips), so a large fraction of
+// cost evaluations are exact repeats. CostCache memoizes CostBreakdown
+// results keyed by the topology's Zobrist fingerprint (graph/topology.h)
+// plus (n, m), turning a repeat from an O(n * (n+m) log n) routing sweep
+// into an O(m) verification.
+//
+// Organisation: a set-associative, open-addressed table. The fingerprint
+// selects a power-of-two set; each set holds kWays entries managed LRU by a
+// global access stamp. Eviction replaces the least-recently-used way of the
+// full set, which bounds memory at ~capacity entries with no rehashing and
+// no tombstones.
+//
+// Collision policy: fingerprints are 64-bit XORs of per-edge keys, so
+// distinct edge sets *can* collide. A hit is therefore only reported after
+// full-adjacency verification — the entry stores its packed edge list and
+// every stored edge is checked against the queried topology (equal edge
+// counts make one-sided containment sufficient). A verification failure
+// counts as a miss; correctness never rests on hash uniqueness.
+//
+// Determinism: the cache stores exact breakdowns, so cached and recomputed
+// results are bit-identical and enabling the cache cannot change any
+// optimization trajectory. One CostCache belongs to one Evaluator (no
+// internal locking); parallel engines give each worker clone its own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "graph/shortest_paths.h"
+#include "graph/topology.h"
+
+namespace cold {
+
+/// Tuning for an Evaluator's memoization cache.
+struct EvalCacheConfig {
+  bool enabled = false;        ///< off by default; --eval-cache turns it on
+  std::size_t capacity = 1 << 14;  ///< max resident entries (LRU-bounded)
+
+  friend bool operator==(const EvalCacheConfig&,
+                         const EvalCacheConfig&) = default;
+};
+
+/// Evaluation-engine knobs threaded from config/CLI down to the Evaluator.
+struct EvalEngineConfig {
+  EvalCacheConfig cache;
+  SpAlgorithm sp_algorithm = SpAlgorithm::kAuto;
+
+  friend bool operator==(const EvalEngineConfig&,
+                         const EvalEngineConfig&) = default;
+};
+
+/// Monotonic cache counters. Aggregates across worker clones the same way
+/// evaluation counts do (merge_stats transfers and resets).
+struct EvalCacheStats {
+  std::uint64_t hits = 0;       ///< verified fingerprint matches
+  std::uint64_t misses = 0;     ///< lookups that fell through to routing
+  std::uint64_t inserts = 0;    ///< entries written
+  std::uint64_t evictions = 0;  ///< LRU replacements of live entries
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const std::uint64_t total = lookups();
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+
+  EvalCacheStats& operator+=(const EvalCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    inserts += other.inserts;
+    evictions += other.evictions;
+    return *this;
+  }
+
+  friend bool operator==(const EvalCacheStats&,
+                         const EvalCacheStats&) = default;
+};
+
+/// Fingerprint-keyed memo table for CostBreakdown results. Not thread-safe;
+/// see file comment for sharing rules.
+class CostCache {
+ public:
+  explicit CostCache(const EvalCacheConfig& config);
+
+  /// Looks up `g`. Returns the cached breakdown after full-adjacency
+  /// verification, or nullptr (counting a miss, including on fingerprint
+  /// collisions that fail verification).
+  const CostBreakdown* find(const Topology& g);
+
+  /// Stores `b` as the breakdown for `g`, evicting the set's LRU way if
+  /// needed. Overwrites in place if `g` is already resident.
+  void insert(const Topology& g, const CostBreakdown& b);
+
+  const EvalCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = EvalCacheStats{}; }
+
+  std::size_t size() const { return live_; }
+  std::size_t capacity() const { return num_sets_ * kWays; }
+
+  static constexpr std::size_t kWays = 4;  ///< associativity per set
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t stamp = 0;  ///< LRU access clock; 0 marks an empty way
+    std::uint32_t n = 0;
+    std::uint32_t m = 0;
+    std::vector<std::uint64_t> edges;  ///< packed (u << 32 | v), u < v
+    CostBreakdown value;
+  };
+
+  std::size_t set_base(std::uint64_t fingerprint) const;
+  Entry* find_entry(const Topology& g);
+  static bool matches(const Entry& e, const Topology& g);
+  static void pack_edges(const Topology& g, std::vector<std::uint64_t>& out);
+
+  std::size_t num_sets_;
+  std::vector<Entry> table_;  ///< num_sets_ * kWays ways, set-major
+  std::uint64_t clock_ = 0;
+  std::size_t live_ = 0;
+  EvalCacheStats stats_;
+};
+
+}  // namespace cold

@@ -8,17 +8,18 @@
 namespace cold {
 
 Evaluator::Evaluator(Matrix<double> lengths, Matrix<double> traffic,
-                     CostParams params)
+                     CostParams params, EvalEngineConfig engine)
     : Evaluator(std::make_shared<const Matrix<double>>(std::move(lengths)),
                 std::make_shared<const Matrix<double>>(std::move(traffic)),
-                params) {}
+                params, engine) {}
 
 Evaluator::Evaluator(std::shared_ptr<const Matrix<double>> lengths,
                      std::shared_ptr<const Matrix<double>> traffic,
-                     CostParams params)
+                     CostParams params, EvalEngineConfig engine)
     : lengths_(std::move(lengths)),
       traffic_(std::move(traffic)),
-      params_(params) {
+      params_(params),
+      engine_(engine) {
   params_.validate();
   const std::size_t n = lengths_->rows();
   if (lengths_->cols() != n) {
@@ -29,29 +30,70 @@ Evaluator::Evaluator(std::shared_ptr<const Matrix<double>> lengths,
     throw std::invalid_argument("Evaluator: traffic/lengths size mismatch");
   }
   loads_ = Matrix<double>::square(n, 0.0);
+  if (engine_.cache.enabled) {
+    cache_ = std::make_unique<CostCache>(engine_.cache);
+  }
 }
 
 Evaluator Evaluator::clone() const {
-  return Evaluator(lengths_, traffic_, params_);
+  return Evaluator(lengths_, traffic_, params_, engine_);
+}
+
+EvalCacheStats Evaluator::take_cache_stats() {
+  EvalCacheStats s = merged_cache_stats_;
+  merged_cache_stats_ = EvalCacheStats{};
+  if (cache_) {
+    s += cache_->stats();
+    cache_->reset_stats();
+  }
+  return s;
 }
 
 void Evaluator::merge_stats(Evaluator& worker) {
   evaluations_ += worker.evaluations_;
   worker.evaluations_ = 0;
+  merged_cache_stats_ += worker.take_cache_stats();
+}
+
+EvalCacheStats Evaluator::cache_stats() const {
+  EvalCacheStats s = merged_cache_stats_;
+  if (cache_) s += cache_->stats();
+  return s;
+}
+
+const Matrix<double>& Evaluator::last_loads() const {
+  if (!loads_valid_) {
+    throw std::logic_error(
+        "Evaluator::last_loads: no feasible routing backs the loads (the "
+        "last evaluation was infeasible, served from cache, or never ran)");
+  }
+  return loads_;
 }
 
 CostBreakdown Evaluator::breakdown(const Topology& g) {
   if (g.num_nodes() != num_nodes()) {
     throw std::invalid_argument("Evaluator: topology size mismatch");
   }
+  // Cache hits count: evaluations_ tracks requested evaluations so budgets
+  // and traces are identical whether or not the cache is enabled.
   ++evaluations_;
+  if (cache_ != nullptr) {
+    if (const CostBreakdown* hit = cache_->find(g)) {
+      loads_valid_ = false;  // hit skips routing; loads_ is stale
+      return *hit;
+    }
+  }
   const Matrix<double>& lengths = *lengths_;
   CostBreakdown b;
-  if (!route_loads(g, lengths, *traffic_, loads_, ws_)) {
+  if (!route_loads(g, lengths, *traffic_, loads_, ws_,
+                   engine_.sp_algorithm)) {
     b.feasible = false;  // disconnected: cannot carry the traffic
+    loads_valid_ = false;
+    if (cache_ != nullptr) cache_->insert(g, b);
     return b;
   }
   b.feasible = true;
+  loads_valid_ = true;
   const std::size_t n = g.num_nodes();
   double sum_len = 0.0, sum_bw_len = 0.0;
   for (NodeId i = 0; i < n; ++i) {
@@ -66,6 +108,7 @@ CostBreakdown Evaluator::breakdown(const Topology& g) {
   b.length = params_.k1 * sum_len;
   b.bandwidth = params_.k2 * sum_bw_len;
   b.node = params_.k3 * static_cast<double>(g.num_core_nodes());
+  if (cache_ != nullptr) cache_->insert(g, b);
   return b;
 }
 

@@ -7,11 +7,20 @@
 // Evaluator must not be shared across threads. For parallel scoring, make a
 // clone() per thread: clones share the immutable context matrices (cheap,
 // read-only) and own private scratch.
+//
+// The evaluation engine (EvalEngineConfig) adds two orthogonal levers:
+//   * a memoization cache (cost/cost_cache.h) that short-circuits repeat
+//     evaluations by Zobrist fingerprint with full-adjacency verification;
+//   * the shortest-path solver choice (graph/shortest_paths.h).
+// Both are exact: every configuration yields bit-identical costs, so GA
+// trajectories do not depend on engine settings. Cache hits still count as
+// evaluations() — budgets and traces agree whether or not the cache is on.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 
+#include "cost/cost_cache.h"
 #include "cost/cost_model.h"
 #include "net/routing.h"
 #include "util/matrix.h"
@@ -22,17 +31,20 @@ class Evaluator {
  public:
   /// `lengths`: symmetric PoP distance matrix. `traffic`: demand matrix
   /// (ordered pairs, symmetric under the gravity model). Both n x n.
-  Evaluator(Matrix<double> lengths, Matrix<double> traffic, CostParams params);
+  Evaluator(Matrix<double> lengths, Matrix<double> traffic, CostParams params,
+            EvalEngineConfig engine = {});
 
   /// A thread-private copy: shares `lengths`/`traffic` with this evaluator
   /// (immutable, so concurrent reads are safe) but owns fresh `loads`/
-  /// routing scratch and starts with an evaluation count of zero. The clone
-  /// and the original may then be used concurrently from different threads.
+  /// routing scratch, a private cache (same engine config), and zeroed
+  /// statistics. The clone and the original may then be used concurrently
+  /// from different threads.
   Evaluator clone() const;
 
-  /// Folds a clone's statistics into this evaluator and resets the clone's,
-  /// so merging is idempotent per unit of work. After merging every clone,
-  /// evaluations() reports the exact total across all threads.
+  /// Folds a clone's statistics (evaluation count and cache counters) into
+  /// this evaluator and resets the clone's, so merging is idempotent per
+  /// unit of work. After merging every clone, evaluations() and
+  /// cache_stats() report exact totals across all threads.
   void merge_stats(Evaluator& worker);
 
   /// Total cost of the topology; +infinity if it cannot carry the traffic
@@ -42,29 +54,49 @@ class Evaluator {
   /// Full per-component breakdown (same feasibility semantics).
   CostBreakdown breakdown(const Topology& g);
 
-  /// Link loads from the most recent cost()/breakdown() call on a feasible
-  /// topology; invalidated by subsequent calls.
-  const Matrix<double>& last_loads() const { return loads_; }
+  /// Link loads from the most recent breakdown that actually routed a
+  /// feasible topology. Throws std::logic_error when no such loads are
+  /// available: before the first evaluation, after an infeasible one, and
+  /// after a cache hit (which skips routing entirely).
+  const Matrix<double>& last_loads() const;
+
+  /// Whether last_loads() is currently backed by a fresh feasible routing.
+  bool has_last_loads() const { return loads_valid_; }
 
   std::size_t num_nodes() const { return lengths_->rows(); }
   const Matrix<double>& lengths() const { return *lengths_; }
   const Matrix<double>& traffic() const { return *traffic_; }
   const CostParams& params() const { return params_; }
+  const EvalEngineConfig& engine() const { return engine_; }
 
   /// Number of cost evaluations performed by *this* instance (clones count
-  /// separately until merge_stats() folds them back in).
+  /// separately until merge_stats() folds them back in). Cache hits are
+  /// included — the counter tracks requested evaluations, not routings.
   std::size_t evaluations() const { return evaluations_; }
+
+  /// Cache counters: this instance's live cache plus everything folded in
+  /// via merge_stats(). All zeros when the cache is disabled.
+  EvalCacheStats cache_stats() const;
 
  private:
   Evaluator(std::shared_ptr<const Matrix<double>> lengths,
-            std::shared_ptr<const Matrix<double>> traffic, CostParams params);
+            std::shared_ptr<const Matrix<double>> traffic, CostParams params,
+            EvalEngineConfig engine);
+
+  /// Returns this instance's cache counters and zeroes them (both the live
+  /// cache's and the merged accumulator's).
+  EvalCacheStats take_cache_stats();
 
   // The context is shared across clones and never mutated after
-  // construction; scratch and counters are per-instance.
+  // construction; scratch, cache and counters are per-instance.
   std::shared_ptr<const Matrix<double>> lengths_;
   std::shared_ptr<const Matrix<double>> traffic_;
   CostParams params_;
+  EvalEngineConfig engine_;
+  std::unique_ptr<CostCache> cache_;  ///< null when disabled
+  EvalCacheStats merged_cache_stats_;  ///< folded in from workers
   Matrix<double> loads_;
+  bool loads_valid_ = false;
   RoutingWorkspace ws_;
   std::size_t evaluations_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "graph/shortest_paths.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <stdexcept>
 
@@ -10,6 +11,119 @@ namespace cold {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Strict-weak order on the composite settle key. The heap pops the
+/// smallest (dist, hops, id) — exactly the node the dense scan selects.
+struct HeapGreater {
+  bool operator()(const ShortestPathTree::HeapItem& a,
+                  const ShortestPathTree::HeapItem& b) const {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    if (a.hops != b.hops) return a.hops > b.hops;
+    return a.id > b.id;
+  }
+};
+
+void shortest_path_tree_dense(const Topology& g, const Matrix<double>& lengths,
+                              ShortestPathTree& out) {
+  const std::size_t n = g.num_nodes();
+  // O(n^2) Dijkstra: repeatedly settle the unsettled node with the smallest
+  // (dist, hops, id) key. The composite key is the deterministic tie-break
+  // documented in DESIGN.md.
+  for (std::size_t round = 0; round < n; ++round) {
+    NodeId best = n;
+    for (NodeId v = 0; v < n; ++v) {
+      if (out.settled[v] || out.dist[v] == kInf) continue;
+      if (best == n || out.dist[v] < out.dist[best] ||
+          (out.dist[v] == out.dist[best] &&
+           (out.hops[v] < out.hops[best] ||
+            (out.hops[v] == out.hops[best] && v < best)))) {
+        best = v;
+      }
+    }
+    if (best == n) break;  // remaining nodes unreachable
+    out.settled[best] = 1;
+    out.order.push_back(best);
+    const std::uint8_t* r = g.row(best);
+    for (NodeId u = 0; u < n; ++u) {
+      if (!r[u] || out.settled[u]) continue;
+      const double cand = out.dist[best] + lengths(best, u);
+      const int cand_hops = out.hops[best] + 1;
+      const bool better =
+          cand < out.dist[u] ||
+          (cand == out.dist[u] &&
+           (cand_hops < out.hops[u] ||
+            (cand_hops == out.hops[u] && out.dist[u] != kInf &&
+             best < out.parent[u])));
+      if (better) {
+        out.dist[u] = cand;
+        out.hops[u] = cand_hops;
+        out.parent[u] = best;
+      }
+    }
+  }
+}
+
+void shortest_path_tree_sparse(const Topology& g, const Matrix<double>& lengths,
+                               NodeId source, ShortestPathTree& out) {
+  // Heap Dijkstra with lazy deletion. Entries carry the full composite
+  // (dist, hops, id) key, so the valid heap minimum coincides with the
+  // dense scan's selection at every step; stale entries (superseded by a
+  // strictly better label) are recognised by key mismatch and skipped.
+  // The relaxation rule — including the equal-(dist, hops) smallest-parent
+  // tie-break — is byte-for-byte the dense one, so the two solvers return
+  // identical trees.
+  auto& heap = out.heap;
+  heap.clear();
+  heap.push_back({0.0, 0, source});
+  const HeapGreater greater;
+  while (!heap.empty()) {
+    const ShortestPathTree::HeapItem top = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    heap.pop_back();
+    const NodeId v = top.id;
+    if (out.settled[v] || top.dist != out.dist[v] || top.hops != out.hops[v]) {
+      continue;  // settled or stale
+    }
+    out.settled[v] = 1;
+    out.order.push_back(v);
+    for (const NodeId u : g.adjacency(v)) {
+      if (out.settled[u]) continue;
+      const double cand = out.dist[v] + lengths(v, u);
+      const int cand_hops = out.hops[v] + 1;
+      const bool better =
+          cand < out.dist[u] ||
+          (cand == out.dist[u] &&
+           (cand_hops < out.hops[u] ||
+            (cand_hops == out.hops[u] && out.dist[u] != kInf &&
+             v < out.parent[u])));
+      if (better) {
+        // A parent-only improvement keeps (dist, hops): the entry already
+        // in the heap stays valid, so only key changes need a push.
+        const bool key_changed =
+            cand != out.dist[u] || cand_hops != out.hops[u];
+        out.dist[u] = cand;
+        out.hops[u] = cand_hops;
+        out.parent[u] = v;
+        if (key_changed) {
+          heap.push_back({cand, cand_hops, u});
+          std::push_heap(heap.begin(), heap.end(), greater);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SpAlgorithm select_sp_algorithm(std::size_t n, std::size_t m) {
+  // Dense does ~n^2 cheap scan steps per source; the heap does ~(n + m)
+  // pushes/pops, each costing a log n sift of a 16-byte entry (~4x a scan
+  // step). Cross-over: sparse once 4 (n + m) log2 n < n^2 — i.e. on the
+  // m ≈ n graphs synthesis produces from n ≈ 70 up, never on near-cliques.
+  if (n < 2) return SpAlgorithm::kDense;
+  const std::size_t log2n = std::bit_width(n);
+  return 4 * (n + m) * log2n < n * n ? SpAlgorithm::kSparse
+                                     : SpAlgorithm::kDense;
 }
 
 void ShortestPathTree::resize(std::size_t n) {
@@ -18,6 +132,7 @@ void ShortestPathTree::resize(std::size_t n) {
   parent.assign(n, 0);
   order.clear();
   order.reserve(n);
+  settled.assign(n, 0);
 }
 
 std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
@@ -37,7 +152,8 @@ std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
 }
 
 void shortest_path_tree(const Topology& g, const Matrix<double>& lengths,
-                        NodeId source, ShortestPathTree& out) {
+                        NodeId source, ShortestPathTree& out,
+                        SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
   if (lengths.rows() != n || lengths.cols() != n) {
     throw std::invalid_argument("shortest_path_tree: length shape mismatch");
@@ -51,49 +167,21 @@ void shortest_path_tree(const Topology& g, const Matrix<double>& lengths,
   out.hops[source] = 0;
   out.parent[source] = source;
 
-  // O(n^2) Dijkstra: repeatedly settle the unsettled node with the smallest
-  // (dist, hops, parent) key. The composite key is the deterministic
-  // tie-break documented in DESIGN.md.
-  std::vector<std::uint8_t> settled(n, 0);
-  for (std::size_t round = 0; round < n; ++round) {
-    NodeId best = n;
-    for (NodeId v = 0; v < n; ++v) {
-      if (settled[v] || out.dist[v] == kInf) continue;
-      if (best == n || out.dist[v] < out.dist[best] ||
-          (out.dist[v] == out.dist[best] &&
-           (out.hops[v] < out.hops[best] ||
-            (out.hops[v] == out.hops[best] && v < best)))) {
-        best = v;
-      }
-    }
-    if (best == n) break;  // remaining nodes unreachable
-    settled[best] = 1;
-    out.order.push_back(best);
-    const std::uint8_t* r = g.row(best);
-    for (NodeId u = 0; u < n; ++u) {
-      if (!r[u] || settled[u]) continue;
-      const double cand = out.dist[best] + lengths(best, u);
-      const int cand_hops = out.hops[best] + 1;
-      const bool better =
-          cand < out.dist[u] ||
-          (cand == out.dist[u] &&
-           (cand_hops < out.hops[u] ||
-            (cand_hops == out.hops[u] && out.dist[u] != kInf &&
-             best < out.parent[u])));
-      if (better) {
-        out.dist[u] = cand;
-        out.hops[u] = cand_hops;
-        out.parent[u] = best;
-      }
-    }
+  if (algo == SpAlgorithm::kAuto) {
+    algo = select_sp_algorithm(n, g.num_edges());
+  }
+  if (algo == SpAlgorithm::kSparse) {
+    shortest_path_tree_sparse(g, lengths, source, out);
+  } else {
+    shortest_path_tree_dense(g, lengths, out);
   }
 }
 
 ShortestPathTree shortest_path_tree(const Topology& g,
                                     const Matrix<double>& lengths,
-                                    NodeId source) {
+                                    NodeId source, SpAlgorithm algo) {
   ShortestPathTree tree;
-  shortest_path_tree(g, lengths, source, tree);
+  shortest_path_tree(g, lengths, source, tree, algo);
   return tree;
 }
 

@@ -2,9 +2,16 @@
 //
 // COLD routes all traffic on shortest (physical-length) paths (§3.2.1), so
 // each cost evaluation runs one single-source shortest-path computation per
-// node. PoP graphs are small and dense-ish, so we use the O(n^2) Dijkstra
-// variant: no heap, no allocation (with a reused tree object), and fully
-// deterministic tie-breaking.
+// node. Two interchangeable solvers share one deterministic contract:
+//
+//   * dense: the O(n^2) scan — no heap, great constants on dense-ish graphs;
+//   * sparse: binary-heap Dijkstra over the adjacency lists, O((n+m) log n)
+//     — the winner on the m ≈ n graphs PoP synthesis actually produces.
+//
+// Both settle nodes in exactly the same order — smallest composite
+// (dist, hops, id) key first — and apply the same relaxation tie-break, so
+// dist/hops/parent/order are bit-identical between them on every input.
+// select_sp_algorithm() picks by density; SpAlgorithm overrides.
 #pragma once
 
 #include <vector>
@@ -13,6 +20,18 @@
 #include "util/matrix.h"
 
 namespace cold {
+
+/// Which single-source shortest-path solver to run.
+enum class SpAlgorithm {
+  kAuto,    ///< choose by density (select_sp_algorithm)
+  kDense,   ///< O(n^2) scan
+  kSparse,  ///< binary-heap over adjacency lists, O((n+m) log n)
+};
+
+/// Density heuristic behind SpAlgorithm::kAuto: sparse once the heap's
+/// log-factor is paid for, i.e. on all but small or near-dense graphs.
+/// Deterministic — depends only on (n, m).
+SpAlgorithm select_sp_algorithm(std::size_t n, std::size_t m);
 
 /// Single-source shortest-path tree.
 struct ShortestPathTree {
@@ -26,19 +45,32 @@ struct ShortestPathTree {
 
   /// Reconstructs the path source -> target (inclusive). Empty if unreachable.
   std::vector<NodeId> path_to(NodeId target) const;
+
+  /// Solver scratch, reused across calls so the steady state allocates
+  /// nothing. Not part of the tree's logical state.
+  struct HeapItem {
+    double dist;
+    int hops;
+    NodeId id;
+  };
+  std::vector<std::uint8_t> settled;
+  std::vector<HeapItem> heap;
 };
 
 /// Dijkstra from `source` over the edges of `g` weighted by `lengths`.
 /// Ties are broken deterministically by (distance, hops, predecessor id),
 /// which makes routing — and therefore link loads and cost — reproducible.
-/// `out` is reused across calls to avoid allocation.
+/// `out` is reused across calls to avoid allocation. `algo` selects the
+/// solver; every choice produces bit-identical trees.
 void shortest_path_tree(const Topology& g, const Matrix<double>& lengths,
-                        NodeId source, ShortestPathTree& out);
+                        NodeId source, ShortestPathTree& out,
+                        SpAlgorithm algo = SpAlgorithm::kAuto);
 
 /// Convenience allocating wrapper.
 ShortestPathTree shortest_path_tree(const Topology& g,
                                     const Matrix<double>& lengths,
-                                    NodeId source);
+                                    NodeId source,
+                                    SpAlgorithm algo = SpAlgorithm::kAuto);
 
 /// All-pairs shortest path lengths via Floyd–Warshall. O(n^3); used for
 /// cross-checking Dijkstra and for small-instance analysis.

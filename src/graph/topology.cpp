@@ -1,5 +1,6 @@
 #include "graph/topology.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cold {
@@ -9,8 +10,21 @@ Edge make_edge(NodeId a, NodeId b) {
   return a < b ? Edge{a, b} : Edge{b, a};
 }
 
+std::uint64_t Topology::edge_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  // SplitMix64 finalizer over the packed canonical pair. Stateless (no key
+  // table), so fingerprints agree across Topology instances, runs and
+  // processes — a requirement for cross-evaluator cache reuse.
+  std::uint64_t z = (static_cast<std::uint64_t>(a) << 32) ^
+                    static_cast<std::uint64_t>(b);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 Topology::Topology(std::size_t n)
-    : n_(n), adj_(n * n, 0), degree_(n, 0) {}
+    : n_(n), adj_(n * n, 0), degree_(n, 0), nbrs_(n) {}
 
 Topology Topology::complete(std::size_t n) {
   Topology t(n);
@@ -49,6 +63,11 @@ bool Topology::add_edge(NodeId a, NodeId b) {
   ++degree_[a];
   ++degree_[b];
   ++num_edges_;
+  fingerprint_ ^= edge_key(a, b);
+  auto& na = nbrs_[a];
+  na.insert(std::lower_bound(na.begin(), na.end(), b), b);
+  auto& nb = nbrs_[b];
+  nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
   return true;
 }
 
@@ -62,6 +81,11 @@ bool Topology::remove_edge(NodeId a, NodeId b) {
   --degree_[a];
   --degree_[b];
   --num_edges_;
+  fingerprint_ ^= edge_key(a, b);
+  auto& na = nbrs_[a];
+  na.erase(std::lower_bound(na.begin(), na.end(), b));
+  auto& nb = nbrs_[b];
+  nb.erase(std::lower_bound(nb.begin(), nb.end(), a));
   return true;
 }
 
@@ -77,9 +101,8 @@ std::vector<Edge> Topology::edges() const {
   std::vector<Edge> out;
   out.reserve(num_edges_);
   for (NodeId i = 0; i < n_; ++i) {
-    const std::uint8_t* r = row(i);
-    for (NodeId j = i + 1; j < n_; ++j) {
-      if (r[j]) out.push_back(Edge{i, j});
+    for (NodeId j : nbrs_[i]) {
+      if (j > i) out.push_back(Edge{i, j});
     }
   }
   return out;
@@ -87,13 +110,7 @@ std::vector<Edge> Topology::edges() const {
 
 std::vector<NodeId> Topology::neighbors(NodeId v) const {
   if (v >= n_) throw std::out_of_range("neighbors: node out of range");
-  std::vector<NodeId> out;
-  out.reserve(static_cast<std::size_t>(degree_[v]));
-  const std::uint8_t* r = row(v);
-  for (NodeId j = 0; j < n_; ++j) {
-    if (r[j]) out.push_back(j);
-  }
-  return out;
+  return nbrs_[v];
 }
 
 std::size_t Topology::num_core_nodes() const {
@@ -115,7 +132,9 @@ std::size_t Topology::num_leaf_nodes() const {
 void Topology::clear_edges() {
   std::fill(adj_.begin(), adj_.end(), 0);
   std::fill(degree_.begin(), degree_.end(), 0);
+  for (auto& list : nbrs_) list.clear();
   num_edges_ = 0;
+  fingerprint_ = 0;
 }
 
 std::size_t Topology::edge_difference(const Topology& a, const Topology& b) {

@@ -3,7 +3,15 @@
 // This is the GA chromosome (paper §4: "each candidate topology ... is
 // stored as an n by n adjacency matrix"). PoP-level networks are small
 // (n rarely exceeds ~100, §5), so a dense symmetric byte matrix gives O(1)
-// edge tests, O(n) neighbour scans and O(n^2) crossover with tiny constants.
+// edge tests and O(n^2) crossover with tiny constants. Alongside the matrix
+// the graph keeps two structures in sync on every edge flip:
+//
+//   * sorted per-node adjacency lists, so sparse algorithms (heap Dijkstra,
+//     m ≈ n on PoP graphs) can iterate neighbours in O(deg) instead of O(n);
+//   * a 64-bit Zobrist fingerprint — the XOR of a fixed per-edge key over
+//     the present edges — updated in O(1) per flip. Equal graphs always have
+//     equal fingerprints, so the fingerprint is a cheap cache/dedup key
+//     (collisions are possible and must be verified against the adjacency).
 #pragma once
 
 #include <cstdint>
@@ -63,8 +71,12 @@ class Topology {
   /// All edges as canonical (u < v) pairs in lexicographic order.
   std::vector<Edge> edges() const;
 
-  /// Neighbours of v in increasing id order.
+  /// Neighbours of v in increasing id order (a copy; see adjacency()).
   std::vector<NodeId> neighbors(NodeId v) const;
+
+  /// Neighbours of v in increasing id order, by reference — the sparse hot
+  /// path. Valid until the next edge mutation.
+  const std::vector<NodeId>& adjacency(NodeId v) const { return nbrs_[v]; }
 
   /// Nodes with degree > 1 — the paper's "core" PoPs, which pay the k3 cost.
   std::size_t num_core_nodes() const;
@@ -78,6 +90,18 @@ class Topology {
   /// Raw row for hot loops: row(v)[u] != 0 iff edge (v,u) exists.
   const std::uint8_t* row(NodeId v) const { return adj_.data() + v * n_; }
 
+  /// Zobrist hash of the edge set: XOR of edge_key(u, v) over all present
+  /// edges, maintained incrementally (O(1) per edge flip). Two graphs with
+  /// the same node count and the same edge set always have the same
+  /// fingerprint, regardless of construction order; differing fingerprints
+  /// imply differing edge sets. The converse can fail (64-bit collisions),
+  /// so consumers keying on the fingerprint must verify the adjacency.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// The fixed Zobrist key of an (unordered) node pair. Deterministic across
+  /// runs and platforms: a SplitMix64-style mix of the canonical (u, v).
+  static std::uint64_t edge_key(NodeId a, NodeId b);
+
   /// Number of edges differing between two same-size graphs (graph edit
   /// distance restricted to edge flips).
   static std::size_t edge_difference(const Topology& a, const Topology& b);
@@ -89,8 +113,10 @@ class Topology {
  private:
   std::size_t n_ = 0;
   std::size_t num_edges_ = 0;
+  std::uint64_t fingerprint_ = 0;
   std::vector<std::uint8_t> adj_;  // n*n symmetric, zero diagonal
   std::vector<int> degree_;
+  std::vector<std::vector<NodeId>> nbrs_;  // sorted, mirrors adj_
 };
 
 }  // namespace cold

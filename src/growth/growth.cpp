@@ -17,8 +17,9 @@ namespace cold {
 GrowthEvaluator::GrowthEvaluator(Matrix<double> lengths,
                                  Matrix<double> traffic, CostParams params,
                                  std::vector<Edge> installed,
-                                 double decommission_factor)
-    : inner_(std::move(lengths), std::move(traffic), params),
+                                 double decommission_factor,
+                                 EvalEngineConfig engine)
+    : inner_(std::move(lengths), std::move(traffic), params, engine),
       installed_(std::move(installed)),
       decommission_factor_(decommission_factor) {
   if (decommission_factor < 0) {
@@ -121,7 +122,8 @@ GrowthResult grow_network(const Network& base, const GrowthConfig& config,
   // Installed plant.
   std::vector<Edge> installed = base.topology.edges();
   GrowthEvaluator eval(result.context.distances, result.context.traffic,
-                       config.costs, installed, config.decommission_factor);
+                       config.costs, installed, config.decommission_factor,
+                       config.engine);
   GrowthObjective objective(eval);
 
   // Seeds: (a) the brownfield seed — existing network plus each new PoP
@@ -168,6 +170,11 @@ GrowthResult grow_network(const Network& base, const GrowthConfig& config,
     summary.wall_ns = elapsed_ns(started);
     summary.stopped_early = ga.stopped_early;
     summary.stop_reason = ga.stop_reason;
+    const EvalCacheStats cache = eval.inner().cache_stats();
+    summary.cache_hits = cache.hits;
+    summary.cache_misses = cache.misses;
+    summary.cache_inserts = cache.inserts;
+    summary.cache_evictions = cache.evictions;
     config.observer->on_run_end(summary);
   }
   return result;

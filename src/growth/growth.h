@@ -29,6 +29,10 @@ struct GrowthConfig {
   CostParams costs;
   GaConfig ga;
 
+  /// Evaluation-engine settings for the inner Evaluator (cache and
+  /// shortest-path solver); exact, performance-only — see cost/evaluator.h.
+  EvalEngineConfig engine;
+
   /// Borrowed, may be null: telemetry observer and cooperative stop for
   /// the re-optimization GA (same semantics as SynthesisConfig's fields).
   RunObserver* observer = nullptr;
@@ -57,7 +61,7 @@ class GrowthEvaluator {
  public:
   GrowthEvaluator(Matrix<double> lengths, Matrix<double> traffic,
                   CostParams params, std::vector<Edge> installed,
-                  double decommission_factor);
+                  double decommission_factor, EvalEngineConfig engine = {});
 
   double cost(const Topology& g);
   Evaluator& inner() { return inner_; }

@@ -62,7 +62,7 @@ Network build_network(const Topology& topology,
     link.capacity = overprovision * link.load;
     net.links.push_back(link);
   }
-  net.routing = routing_matrix(topology, net.lengths);
+  net.routing = routing_matrix(topology, net.lengths, ws);
   return net;
 }
 

@@ -7,7 +7,7 @@ namespace cold {
 
 bool route_loads(const Topology& g, const Matrix<double>& lengths,
                  const Matrix<double>& traffic, Matrix<double>& loads,
-                 RoutingWorkspace& ws) {
+                 RoutingWorkspace& ws, SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
   if (traffic.rows() != n || traffic.cols() != n) {
     throw std::invalid_argument("route_loads: traffic shape mismatch");
@@ -18,9 +18,13 @@ bool route_loads(const Topology& g, const Matrix<double>& lengths,
     loads.fill(0.0);
   }
   ws.aggregate.assign(n, 0.0);
+  // Resolve the auto-selection once per sweep, not per source.
+  if (algo == SpAlgorithm::kAuto) {
+    algo = select_sp_algorithm(n, g.num_edges());
+  }
 
   for (NodeId s = 0; s < n; ++s) {
-    shortest_path_tree(g, lengths, s, ws.tree);
+    shortest_path_tree(g, lengths, s, ws.tree, algo);
     if (ws.tree.order.size() != n) return false;  // disconnected
     // Push demands down the shortest-path tree: walking nodes in
     // decreasing-distance order, each node hands its subtree demand to its
@@ -39,39 +43,58 @@ bool route_loads(const Topology& g, const Matrix<double>& lengths,
 
 double total_demand_weighted_length(const Topology& g,
                                     const Matrix<double>& lengths,
-                                    const Matrix<double>& traffic) {
+                                    const Matrix<double>& traffic,
+                                    RoutingWorkspace& ws, SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
-  ShortestPathTree tree;
+  if (algo == SpAlgorithm::kAuto) {
+    algo = select_sp_algorithm(n, g.num_edges());
+  }
   double total = 0.0;
   for (NodeId s = 0; s < n; ++s) {
-    shortest_path_tree(g, lengths, s, tree);
-    if (tree.order.size() != n) {
+    shortest_path_tree(g, lengths, s, ws.tree, algo);
+    if (ws.tree.order.size() != n) {
       return std::numeric_limits<double>::infinity();
     }
-    for (NodeId t = 0; t < n; ++t) total += traffic(s, t) * tree.dist[t];
+    for (NodeId t = 0; t < n; ++t) total += traffic(s, t) * ws.tree.dist[t];
   }
   return total;
 }
 
-Matrix<NodeId> routing_matrix(const Topology& g, const Matrix<double>& lengths) {
+double total_demand_weighted_length(const Topology& g,
+                                    const Matrix<double>& lengths,
+                                    const Matrix<double>& traffic) {
+  RoutingWorkspace ws;
+  return total_demand_weighted_length(g, lengths, traffic, ws);
+}
+
+Matrix<NodeId> routing_matrix(const Topology& g, const Matrix<double>& lengths,
+                              RoutingWorkspace& ws, SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
   Matrix<NodeId> next_hop = Matrix<NodeId>::square(n, 0);
-  ShortestPathTree tree;
+  if (algo == SpAlgorithm::kAuto) {
+    algo = select_sp_algorithm(n, g.num_edges());
+  }
   for (NodeId s = 0; s < n; ++s) {
-    shortest_path_tree(g, lengths, s, tree);
-    if (tree.order.size() != n) {
+    shortest_path_tree(g, lengths, s, ws.tree, algo);
+    if (ws.tree.order.size() != n) {
       throw std::invalid_argument("routing_matrix: graph is disconnected");
     }
     next_hop(s, s) = s;
     // Nodes settle in increasing-distance order, so a node's parent has
     // already had its next hop assigned.
-    for (std::size_t i = 1; i < tree.order.size(); ++i) {
-      const NodeId t = tree.order[i];
-      const NodeId p = tree.parent[t];
+    for (std::size_t i = 1; i < ws.tree.order.size(); ++i) {
+      const NodeId t = ws.tree.order[i];
+      const NodeId p = ws.tree.parent[t];
       next_hop(s, t) = (p == s) ? t : next_hop(s, p);
     }
   }
   return next_hop;
+}
+
+Matrix<NodeId> routing_matrix(const Topology& g,
+                              const Matrix<double>& lengths) {
+  RoutingWorkspace ws;
+  return routing_matrix(g, lengths, ws);
 }
 
 std::vector<NodeId> route_path(const Matrix<NodeId>& next_hop, NodeId s,

@@ -3,8 +3,10 @@
 // COLD routes every demand on its shortest physical path; the bandwidth a
 // link must carry (w_i) is the sum of all demands routed across it. This is
 // the dominant cost of evaluating a candidate topology, so the hot entry
-// point (`route_loads`) reuses caller-provided workspace and does no
-// allocation in the steady state.
+// points reuse caller-provided workspace (RoutingWorkspace) and do no
+// allocation in the steady state, and every n-source sweep takes an
+// SpAlgorithm: dense scan, sparse heap Dijkstra, or automatic selection by
+// density (the solvers are bit-identical — see graph/shortest_paths.h).
 //
 // Direction convention: the traffic matrix is interpreted as ordered-pair
 // demands; an undirected link's load is the sum over both directions
@@ -33,21 +35,31 @@ struct RoutingWorkspace {
 /// is disconnected (some demand is unroutable; loads are then partial and
 /// must not be used).
 ///
-/// Complexity: O(n * (n^2)) — one O(n^2) Dijkstra plus an O(n) aggregation
-/// per source.
+/// Complexity: one shortest-path tree plus an O(n) aggregation per source —
+/// O(n^3) with the dense solver, O(n (n+m) log n) with the sparse one.
 bool route_loads(const Topology& g, const Matrix<double>& lengths,
                  const Matrix<double>& traffic, Matrix<double>& loads,
-                 RoutingWorkspace& ws);
+                 RoutingWorkspace& ws, SpAlgorithm algo = SpAlgorithm::kAuto);
 
 /// Sum over routes of demand * route physical length (the paper's
 /// sum_r t_r L_r from eq. (1)). Returns infinity if disconnected.
+/// The workspace overload is allocation-free in the steady state; the
+/// 3-argument form is a thin allocating wrapper around it.
+double total_demand_weighted_length(const Topology& g,
+                                    const Matrix<double>& lengths,
+                                    const Matrix<double>& traffic,
+                                    RoutingWorkspace& ws,
+                                    SpAlgorithm algo = SpAlgorithm::kAuto);
 double total_demand_weighted_length(const Topology& g,
                                     const Matrix<double>& lengths,
                                     const Matrix<double>& traffic);
 
 /// Full next-hop routing matrix: next_hop(s, t) is the neighbour of s on the
 /// chosen shortest path toward t; next_hop(s, s) == s. Throws if `g` is
-/// disconnected.
+/// disconnected. Same wrapper arrangement as total_demand_weighted_length.
+Matrix<NodeId> routing_matrix(const Topology& g, const Matrix<double>& lengths,
+                              RoutingWorkspace& ws,
+                              SpAlgorithm algo = SpAlgorithm::kAuto);
 Matrix<NodeId> routing_matrix(const Topology& g, const Matrix<double>& lengths);
 
 /// Extracts the node sequence s -> t implied by a next-hop matrix.

@@ -43,7 +43,7 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
                            bool include_timing) {
   JsonObject root;
   root["schema"] = "cold-run-report";
-  root["version"] = 1;
+  root["version"] = 2;  // v2 added result.cache; see report.h
 
   JsonObject run;
   run["seed"] = static_cast<double>(report.seed);
@@ -55,6 +55,12 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
   result["evaluations"] = report.evaluations;
   result["stopped_early"] = report.stopped_early;
   result["stop_reason"] = to_string(report.stop_reason);
+  JsonObject cache;
+  cache["hits"] = static_cast<double>(report.cache_hits);
+  cache["misses"] = static_cast<double>(report.cache_misses);
+  cache["inserts"] = static_cast<double>(report.cache_inserts);
+  cache["evictions"] = static_cast<double>(report.cache_evictions);
+  result["cache"] = std::move(cache);
   put_wall(result, report.wall_ns, include_timing);
   root["result"] = std::move(result);
 
@@ -131,6 +137,17 @@ RunReport run_report_from_json(const std::string& json) {
       static_cast<std::size_t>(result.field("evaluations").number());
   report.stopped_early = result.field("stopped_early").boolean();
   report.stop_reason = stop_reason_from_string(result.field("stop_reason").str());
+  if (result.has("cache")) {  // absent in v1 reports
+    const JsonValue& cache = result.field("cache");
+    report.cache_hits =
+        static_cast<std::uint64_t>(cache.field("hits").number());
+    report.cache_misses =
+        static_cast<std::uint64_t>(cache.field("misses").number());
+    report.cache_inserts =
+        static_cast<std::uint64_t>(cache.field("inserts").number());
+    report.cache_evictions =
+        static_cast<std::uint64_t>(cache.field("evictions").number());
+  }
   report.wall_ns = get_wall(result);
 
   for (const JsonValue& p : doc.field("phases").array()) {
@@ -203,6 +220,10 @@ void JsonReportSink::on_run_end(const RunSummary& e) {
   report_.wall_ns = e.wall_ns;
   report_.stopped_early = e.stopped_early;
   report_.stop_reason = e.stop_reason;
+  report_.cache_hits = e.cache_hits;
+  report_.cache_misses = e.cache_misses;
+  report_.cache_inserts = e.cache_inserts;
+  report_.cache_evictions = e.cache_evictions;
 }
 
 }  // namespace cold

@@ -9,10 +9,12 @@
 //
 //   {
 //     "schema": "cold-run-report",
-//     "version": 1,
+//     "version": 2,
 //     "run": {"seed": u64, "num_pops": n},
 //     "result": {"best_cost": x, "evaluations": n,
 //                "stopped_early": bool, "stop_reason": str,
+//                "cache": {"hits": n, "misses": n,
+//                          "inserts": n, "evictions": n},
 //                ["wall_ns": n]},
 //     "phases": [{"name": str, "evaluations": n, ["wall_ns": n]}, ...],
 //     "heuristics": [{"name": str, "cost": x, ["wall_ns": n]}, ...],
@@ -22,6 +24,9 @@
 //     "ensemble_runs": [{"index": n, "seed": u64, "best_cost": x,
 //                        ["wall_ns": n]}, ...]
 //   }
+//
+// Version history: v1 had no "cache" object; the parser accepts both (v1
+// reports read back with zeroed cache counters), the writer always emits v2.
 //
 // Round-trips through io/json: run_report_from_json(run_report_to_json(r))
 // reproduces every field (wall times included when serialized with timing).
@@ -45,6 +50,10 @@ struct RunReport {
   std::uint64_t wall_ns = 0;
   bool stopped_early = false;
   StopReason stop_reason = StopReason::kNone;
+  std::uint64_t cache_hits = 0;  ///< evaluation-cache counters (schema v2)
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;
 
   std::vector<PhaseStats> phases;           ///< in completion order
   std::vector<HeuristicDone> heuristics;    ///< in run order

@@ -68,7 +68,11 @@ struct CanonicalPrinter {
   void operator()(const RunSummary& e) const {
     os << "run_end best=" << num(e.best_cost) << " evals=" << e.evaluations
        << " stopped_early=" << (e.stopped_early ? 1 : 0)
-       << " stop_reason=" << to_string(e.stop_reason);
+       << " stop_reason=" << to_string(e.stop_reason)
+       << " cache_hits=" << e.cache_hits
+       << " cache_misses=" << e.cache_misses
+       << " cache_inserts=" << e.cache_inserts
+       << " cache_evictions=" << e.cache_evictions;
     if (timing) os << " wall_ns=" << e.wall_ns;
     os << "\n";
   }
@@ -125,6 +129,10 @@ void ProgressSink::on_run_end(const RunSummary& e) {
       << " evaluations, " << std::fixed << std::setprecision(1)
       << ms(e.wall_ns) << " ms";
   os_.unsetf(std::ios::fixed);
+  if (e.cache_hits + e.cache_misses > 0) {
+    os_ << ", cache " << e.cache_hits << "/"
+        << (e.cache_hits + e.cache_misses) << " hits";
+  }
   if (e.stopped_early) {
     os_ << " — stopped early (" << to_string(e.stop_reason) << ")";
   }

@@ -106,12 +106,24 @@ struct EnsembleRunDone {
 };
 
 /// A run ended (normally or via the stop condition).
+///
+/// The cache_* counters aggregate the evaluation cache (cost/cost_cache.h)
+/// across every evaluator clone of the run; all zeros when the cache is
+/// disabled. Note they are the one part of the event stream that is *not*
+/// invariant across thread counts when the cache is on: each worker owns a
+/// private cache, so the hit/miss split depends on how offspring were
+/// partitioned (hits + misses stays deterministic). Costs and trajectories
+/// are unaffected either way.
 struct RunSummary {
   double best_cost = 0.0;
   std::size_t evaluations = 0;  ///< total objective evaluations in the run
   std::uint64_t wall_ns = 0;
   bool stopped_early = false;
   StopReason stop_reason = StopReason::kNone;
+  std::uint64_t cache_hits = 0;       ///< verified evaluation-cache hits
+  std::uint64_t cache_misses = 0;     ///< lookups that recomputed
+  std::uint64_t cache_inserts = 0;    ///< cache entries written
+  std::uint64_t cache_evictions = 0;  ///< LRU replacements
 };
 
 // ---------------------------------------------------------------------------

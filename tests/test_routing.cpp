@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "baselines/erdos_renyi.h"
@@ -126,6 +127,78 @@ TEST(RoutingMatrix, NextHopsFollowShortestPaths) {
   const auto path = route_path(next, 1, 3);
   ASSERT_EQ(path.size(), 3u);
   EXPECT_EQ(path[1], 0u);
+}
+
+// Property test: on ~100 random connected geometric graphs, the loads the
+// tree aggregation reports equal what walking every demand's next-hop route
+// (routing_matrix + route_path) deposits on each link — for both
+// shortest-path solvers, which must also agree with each other exactly.
+TEST(RouteLoads, MatchesRoutePathWalksOnRandomGraphs) {
+  Rng rng(42);
+  RoutingWorkspace ws;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 6 + rng.uniform_index(19);
+    const auto pts = UniformProcess().sample(n, Rectangle(), rng);
+    const auto len = distance_matrix(pts);
+    Topology g = erdos_renyi_gnp(n, 0.05 + 0.4 * rng.uniform(), rng);
+    connect_components(g, len);
+    std::vector<double> pops;
+    for (std::size_t i = 0; i < n; ++i) pops.push_back(rng.exponential(30.0));
+    const auto traffic = gravity_matrix(pops);
+
+    Matrix<double> loads_dense, loads_sparse;
+    ASSERT_TRUE(route_loads(g, len, traffic, loads_dense, ws,
+                            SpAlgorithm::kDense));
+    ASSERT_TRUE(route_loads(g, len, traffic, loads_sparse, ws,
+                            SpAlgorithm::kSparse));
+    const auto next = routing_matrix(g, len, ws);
+
+    Matrix<double> walked = Matrix<double>::square(n, 0.0);
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (s == t) continue;
+        const auto path = route_path(next, s, t);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          walked(path[i], path[i + 1]) += traffic(s, t);
+          walked(path[i + 1], path[i]) += traffic(s, t);
+        }
+      }
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        // Both solvers pick identical trees, so their loads are bitwise
+        // equal; the walk accumulates in a different order, so compare it
+        // with a tolerance.
+        ASSERT_EQ(loads_dense(i, j), loads_sparse(i, j));
+        ASSERT_NEAR(loads_dense(i, j), walked(i, j),
+                    1e-9 * std::max(1.0, walked(i, j)));
+      }
+    }
+  }
+}
+
+TEST(RoutingWorkspaceOverloads, MatchAllocatingWrappers) {
+  Rng rng(3);
+  const std::size_t n = 14;
+  const auto pts = UniformProcess().sample(n, Rectangle(), rng);
+  const auto len = distance_matrix(pts);
+  Topology g = erdos_renyi_gnp(n, 0.25, rng);
+  connect_components(g, len);
+  std::vector<double> pops;
+  for (std::size_t i = 0; i < n; ++i) pops.push_back(rng.exponential(30.0));
+  const auto traffic = gravity_matrix(pops);
+
+  RoutingWorkspace ws;
+  // Same workspace reused across calls and entry points: results must not
+  // depend on leftover scratch state.
+  EXPECT_EQ(total_demand_weighted_length(g, len, traffic, ws),
+            total_demand_weighted_length(g, len, traffic));
+  const auto with_ws = routing_matrix(g, len, ws);
+  const auto wrapper = routing_matrix(g, len);
+  EXPECT_TRUE(with_ws == wrapper);
+  EXPECT_EQ(total_demand_weighted_length(g, len, traffic, ws),
+            total_demand_weighted_length(g, len, traffic, ws,
+                                         SpAlgorithm::kSparse));
 }
 
 TEST(RoutingMatrix, ThrowsOnDisconnected) {

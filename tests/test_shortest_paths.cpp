@@ -114,6 +114,62 @@ TEST(ShortestPathTree, ValidatesInput) {
   EXPECT_THROW(shortest_path_tree(g, len, 5, tree), std::out_of_range);
 }
 
+TEST(SpAlgorithm, SelectionFollowsDensity) {
+  // Trees and m ~ n graphs at realistic synthesis sizes go sparse...
+  EXPECT_EQ(select_sp_algorithm(100, 110), SpAlgorithm::kSparse);
+  EXPECT_EQ(select_sp_algorithm(200, 260), SpAlgorithm::kSparse);
+  // ...near-cliques and tiny instances stay on the dense scan.
+  EXPECT_EQ(select_sp_algorithm(100, 100 * 99 / 2), SpAlgorithm::kDense);
+  EXPECT_EQ(select_sp_algorithm(1, 0), SpAlgorithm::kDense);
+  EXPECT_EQ(select_sp_algorithm(8, 10), SpAlgorithm::kDense);
+}
+
+// The engine's core determinism claim: the heap solver reproduces the dense
+// scan bit for bit — dist, hops, parent AND settle order — on arbitrary
+// connected and disconnected graphs, dense and sparse alike.
+TEST(SpAlgorithm, SparseIsBitIdenticalToDense) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 5 + rng.uniform_index(45);
+    const auto pts = UniformProcess().sample(n, Rectangle(), rng);
+    const auto len = distance_matrix(pts);
+    const double p = 0.05 + 0.5 * rng.uniform();
+    Topology g = erdos_renyi_gnp(n, p, rng);
+    if (trial % 3 != 0) connect_components(g, len);  // keep some disconnected
+    ShortestPathTree dense, sparse;
+    for (NodeId s = 0; s < n; ++s) {
+      shortest_path_tree(g, len, s, dense, SpAlgorithm::kDense);
+      shortest_path_tree(g, len, s, sparse, SpAlgorithm::kSparse);
+      ASSERT_EQ(dense.order, sparse.order);
+      ASSERT_EQ(dense.parent, sparse.parent);
+      ASSERT_EQ(dense.hops, sparse.hops);
+      for (NodeId t = 0; t < n; ++t) {
+        // Exact equality, not near: both solvers add the same doubles in
+        // the same order along every chosen path.
+        ASSERT_EQ(dense.dist[t], sparse.dist[t]);
+      }
+    }
+  }
+}
+
+TEST(SpAlgorithm, SparseHandlesEqualLengthTies) {
+  // Unit lengths maximize (dist, hops) collisions; the composite key and
+  // smallest-parent rule must still agree with the dense scan.
+  Rng rng(11);
+  const std::size_t n = 24;
+  Matrix<double> len = Matrix<double>::square(n, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    Topology g = erdos_renyi_gnp(n, 0.2, rng);
+    connect_components(g, len);
+    for (NodeId s = 0; s < n; ++s) {
+      const auto dense = shortest_path_tree(g, len, s, SpAlgorithm::kDense);
+      const auto sparse = shortest_path_tree(g, len, s, SpAlgorithm::kSparse);
+      ASSERT_EQ(dense.order, sparse.order);
+      ASSERT_EQ(dense.parent, sparse.parent);
+    }
+  }
+}
+
 TEST(FloydWarshall, DisconnectedIsInfinite) {
   Topology g(3);
   g.add_edge(0, 1);

@@ -431,6 +431,59 @@ TEST(RunReport, StoppedRunProducesValidReport) {
   EXPECT_GT(parsed.generations.size(), 0u);
 }
 
+TEST(RunReport, EmitsV2WithCacheCountersWhenCacheEnabled) {
+  SynthesisConfig cfg = small_config();
+  cfg.engine.cache.enabled = true;
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(5);
+
+  const RunReport& report = sink.report();
+  EXPECT_GT(report.cache_hits, 0u);  // elites re-score as hits
+  EXPECT_GT(report.cache_inserts, 0u);
+  EXPECT_EQ(report.cache_misses, report.cache_inserts);  // every miss inserts
+
+  const std::string json = run_report_to_json(report);
+  EXPECT_EQ(parse_json(json).field("version").number(), 2.0);
+  const RunReport parsed = run_report_from_json(json);
+  EXPECT_EQ(parsed.cache_hits, report.cache_hits);
+  EXPECT_EQ(parsed.cache_misses, report.cache_misses);
+  EXPECT_EQ(parsed.cache_inserts, report.cache_inserts);
+  EXPECT_EQ(parsed.cache_evictions, report.cache_evictions);
+}
+
+TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
+  SynthesisConfig cfg = small_config();
+  cfg.ga.generations = 4;
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(8);
+
+  // Rewrite the emitted document into its v1 form: drop result.cache (the
+  // object has no nested braces) and downgrade the version stamp.
+  std::string json = run_report_to_json(sink.report());
+  const std::size_t cache_pos = json.find("\"cache\": {");
+  ASSERT_NE(cache_pos, std::string::npos);
+  std::size_t end = json.find('}', cache_pos);
+  ASSERT_NE(end, std::string::npos);
+  ASSERT_EQ(json[end + 1], ',');
+  json.erase(cache_pos, end + 2 - cache_pos);
+  const std::size_t ver = json.find("\"version\": 2");
+  ASSERT_NE(ver, std::string::npos);
+  json[ver + std::string("\"version\": ").size()] = '1';
+
+  const RunReport parsed = run_report_from_json(json);
+  EXPECT_EQ(parsed.seed, 8u);
+  EXPECT_EQ(parsed.best_cost, sink.report().best_cost);
+  EXPECT_EQ(parsed.cache_hits, 0u);
+  EXPECT_EQ(parsed.cache_misses, 0u);
+  EXPECT_EQ(parsed.cache_inserts, 0u);
+  EXPECT_EQ(parsed.cache_evictions, 0u);
+  // Re-serializing a v1-sourced report upgrades it to the current schema.
+  EXPECT_EQ(parse_json(run_report_to_json(parsed)).field("version").number(),
+            2.0);
+}
+
 TEST(RunReport, RejectsMalformedInput) {
   EXPECT_THROW(run_report_from_json("not json"), std::runtime_error);
   EXPECT_THROW(run_report_from_json("{}"), std::runtime_error);

@@ -137,5 +137,77 @@ TEST(Topology, RowPointerMatchesHasEdge) {
   EXPECT_EQ(r[0], 0);
 }
 
+TEST(Topology, AdjacencyListsStaySorted) {
+  Topology g(6);
+  g.add_edge(3, 5);
+  g.add_edge(3, 0);
+  g.add_edge(3, 4);
+  const std::vector<NodeId> want{0, 4, 5};
+  EXPECT_EQ(g.adjacency(3), want);
+  g.remove_edge(3, 4);
+  const std::vector<NodeId> after{0, 5};
+  EXPECT_EQ(g.adjacency(3), after);
+  EXPECT_TRUE(g.adjacency(1).empty());
+}
+
+TEST(TopologyFingerprint, EmptyIsZeroAndOrderIndependent) {
+  EXPECT_EQ(Topology(7).fingerprint(), 0u);
+  Topology a(5), b(5);
+  a.add_edge(0, 1);
+  a.add_edge(2, 3);
+  b.add_edge(2, 3);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), 0u);
+}
+
+TEST(TopologyFingerprint, EdgeKeyCanonicalizesEndpoints) {
+  EXPECT_EQ(Topology::edge_key(2, 7), Topology::edge_key(7, 2));
+  EXPECT_NE(Topology::edge_key(0, 1), Topology::edge_key(0, 2));
+}
+
+TEST(TopologyFingerprint, AddRemoveRoundTrips) {
+  Topology g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const std::uint64_t before = g.fingerprint();
+  g.add_edge(4, 5);
+  EXPECT_NE(g.fingerprint(), before);
+  g.remove_edge(4, 5);
+  EXPECT_EQ(g.fingerprint(), before);
+  g.set_edge(2, 3, true);
+  g.set_edge(2, 3, false);
+  EXPECT_EQ(g.fingerprint(), before);
+}
+
+TEST(TopologyFingerprint, FromEdgesMatchesIncremental) {
+  Topology inc(8);
+  inc.add_edge(6, 7);
+  inc.add_edge(0, 3);
+  inc.add_edge(2, 5);
+  const Topology bulk = Topology::from_edges(8, {{2, 5}, {6, 7}, {0, 3}});
+  EXPECT_EQ(inc.fingerprint(), bulk.fingerprint());
+  // Stateless keys: a fresh instance with the same edges agrees too.
+  EXPECT_EQ(Topology::from_edges(8, {{0, 3}, {2, 5}, {6, 7}}).fingerprint(),
+            inc.fingerprint());
+}
+
+TEST(TopologyFingerprint, CopySemanticsAndClear) {
+  Topology g = Topology::complete(5);
+  const Topology copy = g;
+  EXPECT_EQ(copy.fingerprint(), g.fingerprint());
+  g.remove_edge(0, 1);
+  EXPECT_NE(copy.fingerprint(), g.fingerprint());  // copy is independent
+  g.clear_edges();
+  EXPECT_EQ(g.fingerprint(), 0u);
+  EXPECT_EQ(g.adjacency(0).size(), 0u);
+}
+
+TEST(TopologyFingerprint, DistinguishesEdgeSetsOfEqualSize) {
+  const Topology a = Topology::from_edges(4, {{0, 1}, {2, 3}});
+  const Topology b = Topology::from_edges(4, {{0, 2}, {1, 3}});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
 }  // namespace
 }  // namespace cold

@@ -3,7 +3,8 @@
 //   cold synth    [--pops N] [--k0 X --k2 X --k3 X] [--seed S]
 //                 [--format dot|json|graphml] [--out FILE]
 //                 [--report FILE] [--progress] [--max-seconds T]
-//                 [--max-evals N]
+//                 [--max-evals N] [--eval-cache] [--eval-cache-size N]
+//                 [--dijkstra auto|dense|sparse]
 //   cold ensemble [--count N] + synth options
 //   cold metrics  --in FILE [--format text|json] [--out FILE]
 //   cold estimate --in FILE [--draws N] [--epsilon E] [--seed S]
@@ -61,6 +62,14 @@ const std::vector<OptionSpec> kGaOpts = {
     {"threads", true, "K (0 = all cores)"},
 };
 
+// Evaluation-engine knobs (cost/cost_cache.h). Exact: any combination
+// produces bit-identical networks; these trade memory for speed.
+const std::vector<OptionSpec> kEngineOpts = {
+    {"eval-cache", false, "memoize cost evaluations"},
+    {"eval-cache-size", true, "N entries (16384)"},
+    {"dijkstra", true, "auto|dense|sparse (auto)"},
+};
+
 const std::vector<OptionSpec> kOutputOpts = {
     {"format", true, "dot|json|graphml (json)"},
     {"out", true, "FILE (stdout)"},
@@ -82,6 +91,7 @@ std::vector<OptionSpec> synth_specs() {
                         {"overprovision", true, "O (1)"}},
                        kCostOpts,
                        kGaOpts,
+                       kEngineOpts,
                        kOutputOpts,
                        kReportOpt,
                        kRunControlOpts});
@@ -114,8 +124,8 @@ CliOptions spec_for(const std::string& command) {
                                    {"growth", true, "F (1.2)"},
                                    {"decommission", true, "D (1.0)"},
                                    {"seed", true, "S (1)"}},
-                                  kCostOpts, kGaOpts, kOutputOpts, kReportOpt,
-                                  kRunControlOpts})};
+                                  kCostOpts, kGaOpts, kEngineOpts, kOutputOpts,
+                                  kReportOpt, kRunControlOpts})};
   }
   throw std::invalid_argument("unknown command: " + command);
 }
@@ -142,7 +152,11 @@ void print_usage() {
       "  telemetry (all commands): --report FILE writes a JSON run report;\n"
       "            synth/ensemble/grow also take --progress, --max-seconds T\n"
       "            and --max-evals N (stop budgets; partial results stay\n"
-      "            valid)\n";
+      "            valid)\n"
+      "  engine    (synth/ensemble/grow): --eval-cache memoizes cost\n"
+      "            evaluations, --eval-cache-size N bounds it (16384), and\n"
+      "            --dijkstra auto|dense|sparse picks the shortest-path\n"
+      "            solver; all are exact and change performance only\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -197,6 +211,25 @@ class CliTelemetry {
 // Shared helpers.
 // ---------------------------------------------------------------------------
 
+EvalEngineConfig engine_from(const CliOptions& args) {
+  EvalEngineConfig engine;
+  engine.cache.enabled = args.has("eval-cache");
+  engine.cache.capacity =
+      args.uint("eval-cache-size", engine.cache.capacity);
+  const std::string algo = args.get("dijkstra", "auto");
+  if (algo == "auto") {
+    engine.sp_algorithm = SpAlgorithm::kAuto;
+  } else if (algo == "dense") {
+    engine.sp_algorithm = SpAlgorithm::kDense;
+  } else if (algo == "sparse") {
+    engine.sp_algorithm = SpAlgorithm::kSparse;
+  } else {
+    throw std::invalid_argument("unknown --dijkstra: " + algo +
+                                " (expected auto, dense or sparse)");
+  }
+  return engine;
+}
+
 SynthesisConfig config_from(const CliOptions& args) {
   SynthesisConfig cfg;
   cfg.context.num_pops = args.uint("pops", 30);
@@ -207,6 +240,7 @@ SynthesisConfig config_from(const CliOptions& args) {
   cfg.ga.population = args.uint("population", 48);
   cfg.ga.generations = args.uint("generations", 40);
   cfg.overprovision = args.num("overprovision", 1.0);
+  cfg.engine = engine_from(args);
   // 0 = all hardware threads; any value yields bit-identical output.
   const std::size_t threads = args.uint("threads", 0);
   cfg.ga.parallel.num_threads = threads;
@@ -258,6 +292,10 @@ int cmd_synth(const CliOptions& args) {
   std::cerr << "cost " << r.cost.total() << " ("
             << synth.config().costs.to_string() << "), "
             << r.network.num_links() << " links";
+  if (r.cache.lookups() > 0) {
+    std::cerr << ", cache " << r.cache.hits << "/" << r.cache.lookups()
+              << " hits";
+  }
   if (r.ga.stopped_early) {
     std::cerr << " [stopped early: " << to_string(r.ga.stop_reason) << "]";
   }
@@ -440,6 +478,7 @@ int cmd_grow(const CliOptions& args) {
   cfg.ga.population = args.uint("population", 48);
   cfg.ga.generations = args.uint("generations", 40);
   cfg.ga.parallel.num_threads = args.uint("threads", 0);
+  cfg.engine = engine_from(args);
   cfg.observer = telemetry.observer();
   cfg.stop = telemetry.stop();
   const std::uint64_t seed = args.uint("seed", 1);
