@@ -8,7 +8,11 @@
 //      with the cache off vs on. Gate: >= 3x evals/sec with the cache.
 //   2. Cache hit rate: the fraction of the recorded workload served from
 //      cache on a cold start (single pass) and across all passes.
-//   3. Sparse vs dense shortest paths: evaluate m ~ n topologies (MST plus
+//   3. Multi-worker replay: partition the trace round-robin over 2 and 4
+//      Evaluator clones, comparing private per-clone caches against one
+//      SharedCostCache. Gate: the shared hit rate strictly beats the
+//      private one at every worker count.
+//   4. Sparse vs dense shortest paths: evaluate m ~ n topologies (MST plus
 //      a few chords — the shapes synthesis actually produces) at n = 80 and
 //      n = 120 with the solver forced dense vs sparse. Gate: sparse wins at
 //      both sizes.
@@ -80,6 +84,45 @@ Topology sparse_instance(const Context& ctx, std::uint64_t seed) {
     if (u != v && g.add_edge(u, v)) ++added;
   }
   return g;
+}
+
+struct ReplaySample {
+  std::size_t workers = 0;
+  double private_hit_rate = 0.0;  // per-worker private CostCaches
+  double shared_hit_rate = 0.0;   // one SharedCostCache across workers
+  bool identical = false;
+};
+
+/// Replays `trace` round-robin over `workers` Evaluator clones (trace item i
+/// goes to clone i % workers — the deterministic analogue of the GA's
+/// offspring partition), once with private per-clone caches and once with
+/// one shared cache. Workers run on the calling thread: this measures hit
+/// rates, not contention, so the comparison is exact and machine-independent.
+ReplaySample replay_multi_worker(const Context& ctx, const CostParams& costs,
+                                 const std::vector<Topology>& trace,
+                                 const std::vector<double>& reference,
+                                 std::size_t workers) {
+  ReplaySample s;
+  s.workers = workers;
+  s.identical = true;
+  for (const bool shared : {false, true}) {
+    EvalEngineConfig engine;
+    engine.cache.enabled = true;
+    engine.cache.shared = shared;
+    Evaluator primary(ctx.distances, ctx.traffic, costs, engine);
+    std::vector<Evaluator> clones;
+    clones.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      clones.push_back(primary.clone());
+    }
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      s.identical &= clones[i % workers].cost(trace[i]) == reference[i];
+    }
+    for (Evaluator& c : clones) primary.merge_stats(c);
+    (shared ? s.shared_hit_rate : s.private_hit_rate) =
+        primary.cache_stats().hit_rate();
+  }
+  return s;
 }
 
 struct SparseSample {
@@ -193,6 +236,24 @@ int main(int argc, char** argv) {
       eps_off, eps_on, speedup, 100.0 * cold_hit_rate,
       100.0 * overall_hit_rate, passes + 1, cache_identical ? "yes" : "NO");
 
+  // --- Multi-worker replay: shared vs private caches. ----------------------
+  // A duplicate lands on a different worker than its first evaluation did,
+  // so private caches miss where the shared cache hits. Gate: the shared
+  // hit rate strictly beats the private one at every worker count.
+  const std::vector<double> reference(costs_off.begin(),
+                                      costs_off.begin() + trace.size());
+  std::vector<ReplaySample> replay_samples;
+  for (const std::size_t workers : {2u, 4u}) {
+    const ReplaySample s =
+        replay_multi_worker(ctx, costs, trace, reference, workers);
+    replay_samples.push_back(s);
+    std::printf(
+        "workers=%zu  hit rate: private %.1f%% | shared %.1f%% | "
+        "identical=%s\n",
+        s.workers, 100.0 * s.private_hit_rate, 100.0 * s.shared_hit_rate,
+        s.identical ? "yes" : "NO");
+  }
+
   // --- Sparse vs dense on m ~ n instances. ---------------------------------
   std::vector<SparseSample> sparse_samples;
   for (const std::size_t size : {80u, 120u}) {
@@ -222,10 +283,20 @@ int main(int argc, char** argv) {
                  "\"evals_per_sec_on\": %.1f, \"speedup\": %.3f, "
                  "\"cold_hit_rate\": %.4f, \"overall_hit_rate\": %.4f, "
                  "\"identical_costs\": %s},\n"
-                 "  \"sparse_vs_dense\": [\n",
+                 "  \"parallel_replay\": [\n",
                  n, trace.size(), passes, eps_off, eps_on, speedup,
                  cold_hit_rate, overall_hit_rate,
                  cache_identical ? "true" : "false");
+    for (std::size_t i = 0; i < replay_samples.size(); ++i) {
+      const ReplaySample& s = replay_samples[i];
+      std::fprintf(f,
+                   "    {\"workers\": %zu, \"private_hit_rate\": %.4f, "
+                   "\"shared_hit_rate\": %.4f, \"identical_costs\": %s}%s\n",
+                   s.workers, s.private_hit_rate, s.shared_hit_rate,
+                   s.identical ? "true" : "false",
+                   i + 1 < replay_samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"sparse_vs_dense\": [\n");
     for (std::size_t i = 0; i < sparse_samples.size(); ++i) {
       const SparseSample& s = sparse_samples[i];
       std::fprintf(f,
@@ -248,6 +319,9 @@ int main(int argc, char** argv) {
   }
 
   bool pass = cache_identical && speedup >= 3.0;
+  for (const ReplaySample& s : replay_samples) {
+    pass &= s.identical && s.shared_hit_rate > s.private_hit_rate;
+  }
   for (const SparseSample& s : sparse_samples) {
     pass &= s.identical && s.auto_picks_sparse && s.sparse_eps > s.dense_eps;
   }

@@ -64,7 +64,26 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
   std::vector<std::uint64_t> run_wall(count, 0);
   std::size_t completed = 0;
   {
-    PhaseTimer phase(observer, Phase::kEnsemble);
+    // Phase counters sum over the per-run results. Safe: the timer samples
+    // at construction (runs untouched) and destruction (after the last
+    // join); slots beyond `completed` are default-constructed zeros.
+    const auto eval_count = [&result] {
+      std::size_t n = 0;
+      for (const SynthesisResult& r : result.runs) n += r.ga.evaluations;
+      return n;
+    };
+    const auto engine_count = [&result] {
+      EngineCounters c;
+      for (const SynthesisResult& r : result.runs) {
+        c.cache_hits += r.cache.hits;
+        c.cache_misses += r.cache.misses;
+        c.cache_inserts += r.cache.inserts;
+        c.cache_evictions += r.cache.evictions;
+        c.dedup_skipped += r.ga.dedup_skipped;
+      }
+      return c;
+    };
+    PhaseTimer phase(observer, Phase::kEnsemble, eval_count, engine_count);
     // Dispatch in waves of one index per worker so the stop condition gets
     // a run-granular checkpoint; inside a wave each run also honors the
     // condition at its own generation boundaries.
@@ -135,10 +154,12 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
     RunSummary summary;
     double best = std::numeric_limits<double>::infinity();
     std::size_t evaluations = 0;
+    std::size_t dedup_skipped = 0;
     EvalCacheStats cache;
     for (const SynthesisResult& r : result.runs) {
       best = std::min(best, r.ga.best_cost);
       evaluations += r.ga.evaluations;
+      dedup_skipped += r.ga.dedup_skipped;
       cache += r.cache;
     }
     summary.best_cost = result.runs.empty() ? 0.0 : best;
@@ -147,6 +168,7 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
     summary.cache_misses = cache.misses;
     summary.cache_inserts = cache.inserts;
     summary.cache_evictions = cache.evictions;
+    summary.dedup_skipped = dedup_skipped;
     summary.wall_ns = elapsed_ns(started);
     summary.stopped_early = result.stopped_early;
     summary.stop_reason = result.stop_reason;

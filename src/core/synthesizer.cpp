@@ -46,6 +46,19 @@ SynthesisResult Synthesizer::optimize(
   Evaluator eval(context.distances, context.traffic, config_.costs,
                  config_.engine);
   const auto eval_count = [&eval] { return eval.evaluations(); };
+  // Per-phase engine-counter deltas (report schema v3). Sampled by the
+  // PhaseTimers on this thread, outside any parallel section — worker-clone
+  // counters are merged before the GA phase ends.
+  const auto engine_count = [&eval] {
+    EngineCounters c;
+    const EvalCacheStats s = eval.cache_stats();
+    c.cache_hits = s.hits;
+    c.cache_misses = s.misses;
+    c.cache_inserts = s.inserts;
+    c.cache_evictions = s.evictions;
+    c.dedup_skipped = eval.dedup_skipped();
+    return c;
+  };
 
   SynthesisResult result;
   result.context = context;
@@ -53,7 +66,7 @@ SynthesisResult Synthesizer::optimize(
   Rng opt_rng(seed, /*stream=*/1);
   std::vector<Topology> seeds;
   if (config_.seed_with_heuristics) {
-    PhaseTimer timer(observer, Phase::kHeuristics, eval_count);
+    PhaseTimer timer(observer, Phase::kHeuristics, eval_count, engine_count);
     result.heuristics = run_all_heuristics(
         eval, opt_rng, config_.heuristic_options, observer, config_.stop);
     for (const HeuristicResult& h : result.heuristics) {
@@ -61,7 +74,7 @@ SynthesisResult Synthesizer::optimize(
     }
   }
   {
-    PhaseTimer timer(observer, Phase::kGa, eval_count);
+    PhaseTimer timer(observer, Phase::kGa, eval_count, engine_count);
     GaRunOptions ga_options;
     ga_options.config = config_.ga;
     ga_options.seeds = std::move(seeds);
@@ -70,7 +83,7 @@ SynthesisResult Synthesizer::optimize(
     result.ga = run_ga(eval, opt_rng, ga_options);
   }
   {
-    PhaseTimer timer(observer, Phase::kAssembly, eval_count);
+    PhaseTimer timer(observer, Phase::kAssembly, eval_count, engine_count);
     result.cost = eval.breakdown(result.ga.best);
     result.network =
         build_network(result.ga.best, context.locations, context.populations,
@@ -88,6 +101,7 @@ SynthesisResult Synthesizer::optimize(
     summary.cache_misses = result.cache.misses;
     summary.cache_inserts = result.cache.inserts;
     summary.cache_evictions = result.cache.evictions;
+    summary.dedup_skipped = eval.dedup_skipped();
     observer->on_run_end(summary);
   }
   return result;

@@ -5,29 +5,16 @@
 
 namespace cold {
 
-namespace {
+namespace cache_detail {
 
-std::size_t sets_for_capacity(std::size_t capacity) {
-  // Round capacity / kWays up to a power of two so the set index is a mask.
+std::size_t sets_for_capacity(std::size_t capacity, std::size_t ways) {
+  // Round capacity / ways up to a power of two so the set index is a mask.
   const std::size_t want =
-      std::max<std::size_t>(1, (capacity + CostCache::kWays - 1) /
-                                   CostCache::kWays);
+      std::max<std::size_t>(1, (capacity + ways - 1) / ways);
   return std::bit_ceil(want);
 }
 
-}  // namespace
-
-CostCache::CostCache(const EvalCacheConfig& config)
-    : num_sets_(sets_for_capacity(config.capacity)),
-      table_(num_sets_ * kWays) {}
-
-std::size_t CostCache::set_base(std::uint64_t fingerprint) const {
-  // The fingerprint is already avalanched (SplitMix64-mixed edge keys), so
-  // the low bits index well.
-  return (fingerprint & (num_sets_ - 1)) * kWays;
-}
-
-void CostCache::pack_edges(const Topology& g, std::vector<std::uint64_t>& out) {
+void pack_edges(const Topology& g, std::vector<std::uint64_t>& out) {
   out.clear();
   out.reserve(g.num_edges());
   const std::size_t n = g.num_nodes();
@@ -40,7 +27,7 @@ void CostCache::pack_edges(const Topology& g, std::vector<std::uint64_t>& out) {
   }
 }
 
-bool CostCache::matches(const Entry& e, const Topology& g) {
+bool matches(const Entry& e, const Topology& g) {
   if (e.n != g.num_nodes() || e.m != g.num_edges()) return false;
   // Equal edge counts make one-sided containment a full equality check.
   for (const std::uint64_t packed : e.edges) {
@@ -51,12 +38,26 @@ bool CostCache::matches(const Entry& e, const Topology& g) {
   return true;
 }
 
+}  // namespace cache_detail
+
+CostCache::CostCache(const EvalCacheConfig& config)
+    : num_sets_(cache_detail::sets_for_capacity(config.capacity, kWays)),
+      table_(num_sets_ * kWays) {}
+
+std::size_t CostCache::set_base(std::uint64_t fingerprint) const {
+  // The fingerprint is already avalanched (SplitMix64-mixed edge keys), so
+  // the low bits index well.
+  return (fingerprint & (num_sets_ - 1)) * kWays;
+}
+
 CostCache::Entry* CostCache::find_entry(const Topology& g) {
   const std::uint64_t fp = g.fingerprint();
   Entry* base = table_.data() + set_base(fp);
   for (std::size_t w = 0; w < kWays; ++w) {
     Entry& e = base[w];
-    if (e.stamp != 0 && e.fingerprint == fp && matches(e, g)) return &e;
+    if (e.stamp != 0 && e.fingerprint == fp && cache_detail::matches(e, g)) {
+      return &e;
+    }
   }
   return nullptr;
 }
@@ -94,7 +95,7 @@ void CostCache::insert(const Topology& g, const CostBreakdown& b) {
     victim->fingerprint = g.fingerprint();
     victim->n = static_cast<std::uint32_t>(g.num_nodes());
     victim->m = static_cast<std::uint32_t>(g.num_edges());
-    pack_edges(g, victim->edges);
+    cache_detail::pack_edges(g, victim->edges);
   }
   victim->value = b;
   victim->stamp = ++clock_;

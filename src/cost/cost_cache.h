@@ -41,6 +41,13 @@ struct EvalCacheConfig {
   bool enabled = false;        ///< off by default; --eval-cache turns it on
   std::size_t capacity = 1 << 14;  ///< max resident entries (LRU-bounded)
 
+  /// Share one lock-striped cache (cost/shared_cost_cache.h) across every
+  /// worker clone of the run instead of giving each clone a private
+  /// CostCache: an elite scored on worker 0 then hits on worker 3.
+  /// Exact either way — hits return stored breakdowns bit-for-bit, so the
+  /// setting changes hit rates, never results. --shared-cache on the CLI.
+  bool shared = false;
+
   friend bool operator==(const EvalCacheConfig&,
                          const EvalCacheConfig&) = default;
 };
@@ -81,6 +88,33 @@ struct EvalCacheStats {
                          const EvalCacheStats&) = default;
 };
 
+/// Internals shared between CostCache (per-worker, unlocked) and
+/// SharedCostCache (cross-worker, lock-striped): the stored-entry layout and
+/// the full edge-set verification that makes fingerprint collisions harmless.
+namespace cache_detail {
+
+struct Entry {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t stamp = 0;  ///< LRU access clock; 0 marks an empty way
+  std::uint32_t n = 0;
+  std::uint32_t m = 0;
+  std::vector<std::uint64_t> edges;  ///< packed (u << 32 | v), u < v
+  CostBreakdown value;
+};
+
+/// True iff `e` stores exactly `g`'s topology: fingerprint, n and m match
+/// and every stored edge exists in `g` (equal edge counts make one-sided
+/// containment a full equality check).
+bool matches(const Entry& e, const Topology& g);
+
+/// Packs `g`'s edge set as sorted-within-pair (u << 32 | v), u < v.
+void pack_edges(const Topology& g, std::vector<std::uint64_t>& out);
+
+/// Smallest power-of-two set count holding `capacity` entries at kWays ways.
+std::size_t sets_for_capacity(std::size_t capacity, std::size_t ways);
+
+}  // namespace cache_detail
+
 /// Fingerprint-keyed memo table for CostBreakdown results. Not thread-safe;
 /// see file comment for sharing rules.
 class CostCache {
@@ -105,19 +139,10 @@ class CostCache {
   static constexpr std::size_t kWays = 4;  ///< associativity per set
 
  private:
-  struct Entry {
-    std::uint64_t fingerprint = 0;
-    std::uint64_t stamp = 0;  ///< LRU access clock; 0 marks an empty way
-    std::uint32_t n = 0;
-    std::uint32_t m = 0;
-    std::vector<std::uint64_t> edges;  ///< packed (u << 32 | v), u < v
-    CostBreakdown value;
-  };
+  using Entry = cache_detail::Entry;
 
   std::size_t set_base(std::uint64_t fingerprint) const;
   Entry* find_entry(const Topology& g);
-  static bool matches(const Entry& e, const Topology& g);
-  static void pack_edges(const Topology& g, std::vector<std::uint64_t>& out);
 
   std::size_t num_sets_;
   std::vector<Entry> table_;  ///< num_sets_ * kWays ways, set-major

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cost/shared_cost_cache.h"
 #include "traffic/gravity.h"
 
 namespace cold {
@@ -11,7 +12,13 @@ Evaluator::Evaluator(Matrix<double> lengths, Matrix<double> traffic,
                      CostParams params, EvalEngineConfig engine)
     : Evaluator(std::make_shared<const Matrix<double>>(std::move(lengths)),
                 std::make_shared<const Matrix<double>>(std::move(traffic)),
-                params, engine) {}
+                params, engine) {
+  // Only the root evaluator creates the shared cache; clones receive the
+  // same instance in clone() so every worker sees every entry.
+  if (engine_.cache.enabled && engine_.cache.shared) {
+    shared_cache_ = std::make_shared<SharedCostCache>(engine_.cache);
+  }
+}
 
 Evaluator::Evaluator(std::shared_ptr<const Matrix<double>> lengths,
                      std::shared_ptr<const Matrix<double>> traffic,
@@ -30,13 +37,15 @@ Evaluator::Evaluator(std::shared_ptr<const Matrix<double>> lengths,
     throw std::invalid_argument("Evaluator: traffic/lengths size mismatch");
   }
   loads_ = Matrix<double>::square(n, 0.0);
-  if (engine_.cache.enabled) {
+  if (engine_.cache.enabled && !engine_.cache.shared) {
     cache_ = std::make_unique<CostCache>(engine_.cache);
   }
 }
 
 Evaluator Evaluator::clone() const {
-  return Evaluator(lengths_, traffic_, params_, engine_);
+  Evaluator c(lengths_, traffic_, params_, engine_);
+  c.shared_cache_ = shared_cache_;
+  return c;
 }
 
 EvalCacheStats Evaluator::take_cache_stats() {
@@ -46,18 +55,23 @@ EvalCacheStats Evaluator::take_cache_stats() {
     s += cache_->stats();
     cache_->reset_stats();
   }
+  s += shared_stats_;
+  shared_stats_ = EvalCacheStats{};
   return s;
 }
 
 void Evaluator::merge_stats(Evaluator& worker) {
   evaluations_ += worker.evaluations_;
   worker.evaluations_ = 0;
+  dedup_skipped_ += worker.dedup_skipped_;
+  worker.dedup_skipped_ = 0;
   merged_cache_stats_ += worker.take_cache_stats();
 }
 
 EvalCacheStats Evaluator::cache_stats() const {
   EvalCacheStats s = merged_cache_stats_;
   if (cache_) s += cache_->stats();
+  s += shared_stats_;
   return s;
 }
 
@@ -77,7 +91,15 @@ CostBreakdown Evaluator::breakdown(const Topology& g) {
   // Cache hits count: evaluations_ tracks requested evaluations so budgets
   // and traces are identical whether or not the cache is enabled.
   ++evaluations_;
-  if (cache_ != nullptr) {
+  if (shared_cache_ != nullptr) {
+    CostBreakdown hit;
+    if (shared_cache_->find(g, hit)) {
+      ++shared_stats_.hits;
+      loads_valid_ = false;  // hit skips routing; loads_ is stale
+      return hit;
+    }
+    ++shared_stats_.misses;
+  } else if (cache_ != nullptr) {
     if (const CostBreakdown* hit = cache_->find(g)) {
       loads_valid_ = false;  // hit skips routing; loads_ is stale
       return *hit;
@@ -89,7 +111,7 @@ CostBreakdown Evaluator::breakdown(const Topology& g) {
                    engine_.sp_algorithm)) {
     b.feasible = false;  // disconnected: cannot carry the traffic
     loads_valid_ = false;
-    if (cache_ != nullptr) cache_->insert(g, b);
+    insert_in_cache(g, b);
     return b;
   }
   b.feasible = true;
@@ -108,8 +130,17 @@ CostBreakdown Evaluator::breakdown(const Topology& g) {
   b.length = params_.k1 * sum_len;
   b.bandwidth = params_.k2 * sum_bw_len;
   b.node = params_.k3 * static_cast<double>(g.num_core_nodes());
-  if (cache_ != nullptr) cache_->insert(g, b);
+  insert_in_cache(g, b);
   return b;
+}
+
+void Evaluator::insert_in_cache(const Topology& g, const CostBreakdown& b) {
+  if (shared_cache_ != nullptr) {
+    if (shared_cache_->insert(g, b)) ++shared_stats_.evictions;
+    ++shared_stats_.inserts;
+  } else if (cache_ != nullptr) {
+    cache_->insert(g, b);
+  }
 }
 
 double Evaluator::cost(const Topology& g) { return breakdown(g).total(); }

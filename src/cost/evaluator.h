@@ -27,6 +27,8 @@
 
 namespace cold {
 
+class SharedCostCache;
+
 class Evaluator {
  public:
   /// `lengths`: symmetric PoP distance matrix. `traffic`: demand matrix
@@ -36,9 +38,11 @@ class Evaluator {
 
   /// A thread-private copy: shares `lengths`/`traffic` with this evaluator
   /// (immutable, so concurrent reads are safe) but owns fresh `loads`/
-  /// routing scratch, a private cache (same engine config), and zeroed
-  /// statistics. The clone and the original may then be used concurrently
-  /// from different threads.
+  /// routing scratch and zeroed statistics. With a private cache the clone
+  /// gets its own empty cache (same engine config); with
+  /// EvalCacheConfig::shared it shares this evaluator's SharedCostCache, so
+  /// an entry filled on any worker hits on every other. The clone and the
+  /// original may then be used concurrently from different threads.
   Evaluator clone() const;
 
   /// Folds a clone's statistics (evaluation count and cache counters) into
@@ -74,18 +78,42 @@ class Evaluator {
   /// included — the counter tracks requested evaluations, not routings.
   std::size_t evaluations() const { return evaluations_; }
 
-  /// Cache counters: this instance's live cache plus everything folded in
-  /// via merge_stats(). All zeros when the cache is disabled.
+  /// Cache counters: this instance's live cache (private or its own view of
+  /// the shared one) plus everything folded in via merge_stats(). All zeros
+  /// when the cache is disabled. With a shared cache each instance counts
+  /// its *own* lookups/inserts, so clone totals still sum without double
+  /// counting and conservation (hits + misses == lookups, inserts <= misses)
+  /// holds per instance and after every merge.
   EvalCacheStats cache_stats() const;
+
+  /// Charges `n` evaluations that the GA's generation-level dedup served by
+  /// fanning out an already-computed result (no routing, no cache lookup).
+  /// Keeps evaluations() — and therefore budgets and traces — identical
+  /// whether dedup is on or off.
+  void charge_duplicates(std::size_t n) {
+    evaluations_ += n;
+    dedup_skipped_ += n;
+  }
+
+  /// Evaluations served by dedup fan-out (merged like evaluations()).
+  std::size_t dedup_skipped() const { return dedup_skipped_; }
+
+  /// The cross-worker cache, or nullptr when not in shared mode. Exposed so
+  /// tests can assert clones share one instance and inspect its totals.
+  const SharedCostCache* shared_cache() const { return shared_cache_.get(); }
 
  private:
   Evaluator(std::shared_ptr<const Matrix<double>> lengths,
             std::shared_ptr<const Matrix<double>> traffic, CostParams params,
             EvalEngineConfig engine);
 
-  /// Returns this instance's cache counters and zeroes them (both the live
-  /// cache's and the merged accumulator's).
+  /// Returns this instance's cache counters and zeroes them (the live
+  /// cache's, this instance's shared-cache view, and the merged
+  /// accumulator's).
   EvalCacheStats take_cache_stats();
+
+  /// Stores `b` for `g` in whichever cache (shared or private) is active.
+  void insert_in_cache(const Topology& g, const CostBreakdown& b);
 
   // The context is shared across clones and never mutated after
   // construction; scratch, cache and counters are per-instance.
@@ -93,12 +121,15 @@ class Evaluator {
   std::shared_ptr<const Matrix<double>> traffic_;
   CostParams params_;
   EvalEngineConfig engine_;
-  std::unique_ptr<CostCache> cache_;  ///< null when disabled
+  std::unique_ptr<CostCache> cache_;  ///< null when disabled or shared
+  std::shared_ptr<SharedCostCache> shared_cache_;  ///< null unless shared
+  EvalCacheStats shared_stats_;  ///< *this* instance's shared-cache ops
   EvalCacheStats merged_cache_stats_;  ///< folded in from workers
   Matrix<double> loads_;
   bool loads_valid_ = false;
   RoutingWorkspace ws_;
   std::size_t evaluations_ = 0;
+  std::size_t dedup_skipped_ = 0;
 };
 
 }  // namespace cold

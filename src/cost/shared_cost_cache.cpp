@@ -1,0 +1,98 @@
+#include "cost/shared_cost_cache.h"
+
+namespace cold {
+
+SharedCostCache::SharedCostCache(const EvalCacheConfig& config)
+    : sets_per_shard_(cache_detail::sets_for_capacity(
+          (config.capacity + kShards - 1) / kShards, kWays)),
+      shards_(std::make_unique<Shard[]>(kShards)) {
+  // Total capacity rounds up to at least kShards * kWays entries so every
+  // shard keeps at least one full set.
+  for (std::size_t s = 0; s < kShards; ++s) {
+    shards_[s].table.resize(sets_per_shard_ * kWays);
+  }
+}
+
+cache_detail::Entry* SharedCostCache::find_entry(Shard& shard,
+                                                 const Topology& g,
+                                                 std::uint64_t fingerprint) {
+  cache_detail::Entry* base = shard.table.data() + set_base(fingerprint);
+  for (std::size_t w = 0; w < kWays; ++w) {
+    cache_detail::Entry& e = base[w];
+    if (e.stamp != 0 && e.fingerprint == fingerprint &&
+        cache_detail::matches(e, g)) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+bool SharedCostCache::find(const Topology& g, CostBreakdown& out) {
+  const std::uint64_t fp = g.fingerprint();
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  cache_detail::Entry* e = find_entry(shard, g, fp);
+  if (e == nullptr) {
+    ++shard.stats.misses;
+    return false;
+  }
+  e->stamp = ++shard.clock;
+  ++shard.stats.hits;
+  out = e->value;
+  return true;
+}
+
+bool SharedCostCache::insert(const Topology& g, const CostBreakdown& b) {
+  const std::uint64_t fp = g.fingerprint();
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  bool evicted = false;
+  cache_detail::Entry* victim = find_entry(shard, g, fp);
+  if (victim == nullptr) {
+    // Prefer an empty way; otherwise evict the set's LRU entry.
+    cache_detail::Entry* base = shard.table.data() + set_base(fp);
+    victim = base;
+    for (std::size_t w = 0; w < kWays; ++w) {
+      cache_detail::Entry& e = base[w];
+      if (e.stamp == 0) {
+        victim = &e;
+        break;
+      }
+      if (e.stamp < victim->stamp) victim = &e;
+    }
+    if (victim->stamp != 0) {
+      ++shard.stats.evictions;
+      evicted = true;
+    } else {
+      ++shard.live;
+    }
+    victim->fingerprint = fp;
+    victim->n = static_cast<std::uint32_t>(g.num_nodes());
+    victim->m = static_cast<std::uint32_t>(g.num_edges());
+    cache_detail::pack_edges(g, victim->edges);
+  }
+  victim->value = b;
+  victim->stamp = ++shard.clock;
+  ++shard.stats.inserts;
+  return evicted;
+}
+
+EvalCacheStats SharedCostCache::stats() const {
+  EvalCacheStats total;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].stats;
+  }
+  return total;
+}
+
+std::size_t SharedCostCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].live;
+  }
+  return total;
+}
+
+}  // namespace cold

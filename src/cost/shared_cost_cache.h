@@ -1,0 +1,94 @@
+// Cross-worker memoized cost evaluation — the shared sibling of CostCache.
+//
+// The parallel GA scores offspring on Evaluator clones, and with private
+// per-clone caches an elite evaluated on worker 0 misses on worker 3.
+// SharedCostCache is one cache all clones of a run share: the same
+// set-associative LRU organisation as CostCache, but partitioned into
+// kShards independent shards, each guarded by its own mutex (lock
+// striping). A lookup or insert locks exactly one shard, so workers touch
+// disjoint shards concurrently and colliding workers serialize only
+// per-shard.
+//
+// Placement: the shard comes from the *high* fingerprint bits, the set
+// within the shard from the *low* bits — independent slices of an already
+// avalanched 64-bit Zobrist fingerprint (graph/topology.h).
+//
+// Collision policy is identical to CostCache and non-negotiable: a hit is
+// reported only after full edge-set verification (cache_detail::matches),
+// so fingerprint collisions can never corrupt a result. find() copies the
+// stored breakdown out under the shard lock — returning a pointer would
+// race with a concurrent eviction.
+//
+// Determinism: hits return exact stored breakdowns, so sharing the cache
+// changes hit rates and wall-clock only, never any cost, trajectory or
+// trace. Per-shard counters are updated under the shard lock, which makes
+// the aggregate stats() conservation exact: hits + misses == find calls,
+// regardless of interleaving.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cost/cost_cache.h"
+#include "cost/cost_model.h"
+#include "graph/topology.h"
+
+namespace cold {
+
+/// Sharded, lock-striped, fingerprint-keyed memo table for CostBreakdown
+/// results. Thread-safe; one instance is shared by every Evaluator clone of
+/// a run (see EvalCacheConfig::shared).
+class SharedCostCache {
+ public:
+  explicit SharedCostCache(const EvalCacheConfig& config);
+
+  /// Looks up `g`; on a verified hit copies the stored breakdown into `out`
+  /// and returns true. Counts one hit or one miss on the shard.
+  bool find(const Topology& g, CostBreakdown& out);
+
+  /// Stores `b` as the breakdown for `g`, evicting the set's LRU way if
+  /// needed (overwriting in place if `g` is already resident, e.g. when two
+  /// workers missed on the same topology concurrently). Returns true iff a
+  /// live entry was evicted.
+  bool insert(const Topology& g, const CostBreakdown& b);
+
+  /// Sums the per-shard counters (locks each shard once).
+  EvalCacheStats stats() const;
+
+  /// Live entries across all shards (locks each shard once).
+  std::size_t size() const;
+
+  std::size_t capacity() const { return kShards * sets_per_shard_ * kWays; }
+
+  static constexpr std::size_t kWays = CostCache::kWays;
+  static constexpr std::size_t kShards = 64;  ///< power of two (mask index)
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<cache_detail::Entry> table;  ///< sets_per_shard_*kWays ways
+    std::uint64_t clock = 0;  ///< per-shard LRU stamp source
+    std::size_t live = 0;
+    EvalCacheStats stats;
+  };
+
+  Shard& shard_for(std::uint64_t fingerprint) {
+    // High bits pick the shard; set_base() below uses the low bits, so the
+    // two indices never alias.
+    return shards_[(fingerprint >> 48) & (kShards - 1)];
+  }
+  std::size_t set_base(std::uint64_t fingerprint) const {
+    return (fingerprint & (sets_per_shard_ - 1)) * kWays;
+  }
+  /// Returns the way storing `g` in (locked) `shard`, or nullptr.
+  cache_detail::Entry* find_entry(Shard& shard, const Topology& g,
+                                  std::uint64_t fingerprint);
+
+  std::size_t sets_per_shard_;
+  std::unique_ptr<Shard[]> shards_;  ///< mutexes make Shard non-movable
+};
+
+}  // namespace cold

@@ -39,6 +39,13 @@ class Objective {
   /// objective after a parallel phase. No-op by default.
   virtual void merge_from(Objective& /*worker*/) {}
 
+  /// Charges `n` evaluations that the GA's generation-level dedup served by
+  /// fanning out an already-computed cost instead of calling cost(). Keeps
+  /// evaluation counters — and therefore budgets and traces — identical
+  /// whether dedup is on or off. No-op by default (objectives that don't
+  /// count evaluations have nothing to charge).
+  virtual void charge_duplicates(std::size_t /*n*/) {}
+
   std::size_t num_nodes() const { return lengths().rows(); }
 };
 
@@ -63,6 +70,10 @@ class EvaluatorObjective final : public Objective {
     if (auto* w = dynamic_cast<EvaluatorObjective*>(&worker)) {
       eval_->merge_stats(*w->eval_);
     }
+  }
+
+  void charge_duplicates(std::size_t n) override {
+    eval_->charge_duplicates(n);
   }
 
   Evaluator& evaluator() { return *eval_; }

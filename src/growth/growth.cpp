@@ -76,6 +76,10 @@ class GrowthObjective final : public Objective {
     }
   }
 
+  void charge_duplicates(std::size_t n) override {
+    eval_->inner().charge_duplicates(n);
+  }
+
  private:
   std::unique_ptr<GrowthEvaluator> owned_;  ///< set only for clones
   GrowthEvaluator* eval_;

@@ -43,7 +43,10 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
                            bool include_timing) {
   JsonObject root;
   root["schema"] = "cold-run-report";
-  root["version"] = 2;  // v2 added result.cache; see report.h
+  // v2 added result.cache; v3 added per-phase/per-generation engine
+  // counters and gates all of them (result.cache included) behind
+  // include_timing; see report.h.
+  root["version"] = 3;
 
   JsonObject run;
   run["seed"] = static_cast<double>(report.seed);
@@ -55,12 +58,15 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
   result["evaluations"] = report.evaluations;
   result["stopped_early"] = report.stopped_early;
   result["stop_reason"] = to_string(report.stop_reason);
-  JsonObject cache;
-  cache["hits"] = static_cast<double>(report.cache_hits);
-  cache["misses"] = static_cast<double>(report.cache_misses);
-  cache["inserts"] = static_cast<double>(report.cache_inserts);
-  cache["evictions"] = static_cast<double>(report.cache_evictions);
-  result["cache"] = std::move(cache);
+  if (include_timing) {
+    JsonObject cache;
+    cache["hits"] = static_cast<double>(report.cache_hits);
+    cache["misses"] = static_cast<double>(report.cache_misses);
+    cache["inserts"] = static_cast<double>(report.cache_inserts);
+    cache["evictions"] = static_cast<double>(report.cache_evictions);
+    result["cache"] = std::move(cache);
+    result["dedup_skipped"] = report.dedup_skipped;
+  }
   put_wall(result, report.wall_ns, include_timing);
   root["result"] = std::move(result);
 
@@ -69,6 +75,13 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
     JsonObject obj;
     obj["name"] = to_string(p.phase);
     obj["evaluations"] = p.evaluations;
+    if (include_timing) {
+      obj["cache_hits"] = static_cast<double>(p.cache_hits);
+      obj["cache_misses"] = static_cast<double>(p.cache_misses);
+      obj["cache_inserts"] = static_cast<double>(p.cache_inserts);
+      obj["cache_evictions"] = static_cast<double>(p.cache_evictions);
+      obj["dedup_skipped"] = p.dedup_skipped;
+    }
     put_wall(obj, p.wall_ns, include_timing);
     phases.push_back(std::move(obj));
   }
@@ -93,6 +106,7 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
     obj["repairs"] = g.repairs;
     obj["links_repaired"] = g.links_repaired;
     obj["evaluations"] = g.evaluations;
+    if (include_timing) obj["dedup_skipped"] = g.dedup_skipped;
     put_wall(obj, g.wall_ns, include_timing);
     generations.push_back(std::move(obj));
   }
@@ -137,7 +151,10 @@ RunReport run_report_from_json(const std::string& json) {
       static_cast<std::size_t>(result.field("evaluations").number());
   report.stopped_early = result.field("stopped_early").boolean();
   report.stop_reason = stop_reason_from_string(result.field("stop_reason").str());
-  if (result.has("cache")) {  // absent in v1 reports
+  // Engine counters are optional everywhere: absent in v1 (no cache
+  // object), absent per-phase/per-generation in v2, and absent in any
+  // version when the report was written timing-free.
+  if (result.has("cache")) {
     const JsonValue& cache = result.field("cache");
     report.cache_hits =
         static_cast<std::uint64_t>(cache.field("hits").number());
@@ -148,6 +165,10 @@ RunReport run_report_from_json(const std::string& json) {
     report.cache_evictions =
         static_cast<std::uint64_t>(cache.field("evictions").number());
   }
+  if (result.has("dedup_skipped")) {
+    report.dedup_skipped =
+        static_cast<std::size_t>(result.field("dedup_skipped").number());
+  }
   report.wall_ns = get_wall(result);
 
   for (const JsonValue& p : doc.field("phases").array()) {
@@ -155,6 +176,18 @@ RunReport run_report_from_json(const std::string& json) {
     stats.phase = phase_from_string(p.field("name").str());
     stats.evaluations =
         static_cast<std::size_t>(p.field("evaluations").number());
+    if (p.has("cache_hits")) {  // the v3 counters travel together
+      stats.cache_hits =
+          static_cast<std::uint64_t>(p.field("cache_hits").number());
+      stats.cache_misses =
+          static_cast<std::uint64_t>(p.field("cache_misses").number());
+      stats.cache_inserts =
+          static_cast<std::uint64_t>(p.field("cache_inserts").number());
+      stats.cache_evictions =
+          static_cast<std::uint64_t>(p.field("cache_evictions").number());
+      stats.dedup_skipped =
+          static_cast<std::size_t>(p.field("dedup_skipped").number());
+    }
     stats.wall_ns = get_wall(p);
     report.phases.push_back(stats);
   }
@@ -177,6 +210,10 @@ RunReport run_report_from_json(const std::string& json) {
         static_cast<std::size_t>(g.field("links_repaired").number());
     gen.evaluations =
         static_cast<std::size_t>(g.field("evaluations").number());
+    if (g.has("dedup_skipped")) {
+      gen.dedup_skipped =
+          static_cast<std::size_t>(g.field("dedup_skipped").number());
+    }
     gen.wall_ns = get_wall(g);
     report.generations.push_back(gen);
   }
@@ -224,6 +261,7 @@ void JsonReportSink::on_run_end(const RunSummary& e) {
   report_.cache_misses = e.cache_misses;
   report_.cache_inserts = e.cache_inserts;
   report_.cache_evictions = e.cache_evictions;
+  report_.dedup_skipped = e.dedup_skipped;
 }
 
 }  // namespace cold

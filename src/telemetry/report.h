@@ -3,30 +3,38 @@
 // tooling: everything needed to audit a run without rerunning it (where the
 // wall-time went, how the GA converged, what stopped the run).
 //
-// The schema (all timing fields optional — omitted when a report is written
-// with include_timing == false, which makes reports byte-identical across
-// thread counts):
+// The schema (fields in [brackets] are performance data — wall-clock plus
+// the evaluation engine's cache/dedup counters — and are omitted when a
+// report is written with include_timing == false, which makes reports
+// byte-identical across thread counts and engine configurations):
 //
 //   {
 //     "schema": "cold-run-report",
-//     "version": 2,
+//     "version": 3,
 //     "run": {"seed": u64, "num_pops": n},
 //     "result": {"best_cost": x, "evaluations": n,
 //                "stopped_early": bool, "stop_reason": str,
-//                "cache": {"hits": n, "misses": n,
-//                          "inserts": n, "evictions": n},
-//                ["wall_ns": n]},
-//     "phases": [{"name": str, "evaluations": n, ["wall_ns": n]}, ...],
+//                ["cache": {"hits": n, "misses": n,
+//                           "inserts": n, "evictions": n}],
+//                ["dedup_skipped": n], ["wall_ns": n]},
+//     "phases": [{"name": str, "evaluations": n,
+//                 ["cache_hits": n, "cache_misses": n, "cache_inserts": n,
+//                  "cache_evictions": n, "dedup_skipped": n],
+//                 ["wall_ns": n]}, ...],
 //     "heuristics": [{"name": str, "cost": x, ["wall_ns": n]}, ...],
 //     "generations": [{"gen": n, "best_cost": x, "mean_cost": x,
 //                      "repairs": n, "links_repaired": n,
-//                      "evaluations": n, ["wall_ns": n]}, ...],
+//                      "evaluations": n, ["dedup_skipped": n],
+//                      ["wall_ns": n]}, ...],
 //     "ensemble_runs": [{"index": n, "seed": u64, "best_cost": x,
 //                        ["wall_ns": n]}, ...]
 //   }
 //
-// Version history: v1 had no "cache" object; the parser accepts both (v1
-// reports read back with zeroed cache counters), the writer always emits v2.
+// Version history: v1 had no "cache" object; v2 added it (emitted
+// unconditionally); v3 added per-phase engine-counter deltas and the dedup
+// counters, and reclassified all engine counters as performance data (only
+// emitted with timing). The parser accepts all three — missing counters
+// read back as zero; the writer always emits v3.
 //
 // Round-trips through io/json: run_report_from_json(run_report_to_json(r))
 // reproduces every field (wall times included when serialized with timing).
@@ -50,10 +58,11 @@ struct RunReport {
   std::uint64_t wall_ns = 0;
   bool stopped_early = false;
   StopReason stop_reason = StopReason::kNone;
-  std::uint64_t cache_hits = 0;  ///< evaluation-cache counters (schema v2)
+  std::uint64_t cache_hits = 0;  ///< evaluation-cache counters (schema v2+)
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_inserts = 0;
   std::uint64_t cache_evictions = 0;
+  std::size_t dedup_skipped = 0;  ///< GA dedup fan-out total (schema v3)
 
   std::vector<PhaseStats> phases;           ///< in completion order
   std::vector<HeuristicDone> heuristics;    ///< in run order
@@ -61,8 +70,9 @@ struct RunReport {
   std::vector<EnsembleRunDone> ensemble_runs;
 };
 
-/// Serializes a report. With `include_timing == false` every wall_ns field
-/// is omitted and the output depends only on the logical run content.
+/// Serializes a report. With `include_timing == false` every performance
+/// field (wall_ns plus the engine's cache/dedup counters) is omitted and
+/// the output depends only on the logical run content.
 void write_run_report_json(std::ostream& os, const RunReport& report,
                            bool include_timing = true);
 std::string run_report_to_json(const RunReport& report,

@@ -31,6 +31,10 @@ std::string num(double x) {
   return os.str();
 }
 
+// Cache and dedup counters are performance data like wall_ns: their values
+// depend on the engine configuration (and, for private caches, the thread
+// partition), so they ride behind the same `timing` switch to keep
+// timing-free output invariant across engine configs.
 struct CanonicalPrinter {
   std::ostream& os;
   bool timing;
@@ -43,7 +47,13 @@ struct CanonicalPrinter {
   }
   void operator()(const PhaseStats& e) const {
     os << "phase_end " << to_string(e.phase) << " evals=" << e.evaluations;
-    if (timing) os << " wall_ns=" << e.wall_ns;
+    if (timing) {
+      os << " cache_hits=" << e.cache_hits
+         << " cache_misses=" << e.cache_misses
+         << " cache_inserts=" << e.cache_inserts
+         << " cache_evictions=" << e.cache_evictions
+         << " dedup_skipped=" << e.dedup_skipped << " wall_ns=" << e.wall_ns;
+    }
     os << "\n";
   }
   void operator()(const HeuristicDone& e) const {
@@ -56,7 +66,9 @@ struct CanonicalPrinter {
        << " mean=" << num(e.mean_cost) << " repairs=" << e.repairs
        << " links_repaired=" << e.links_repaired
        << " evals=" << e.evaluations;
-    if (timing) os << " wall_ns=" << e.wall_ns;
+    if (timing) {
+      os << " dedup_skipped=" << e.dedup_skipped << " wall_ns=" << e.wall_ns;
+    }
     os << "\n";
   }
   void operator()(const EnsembleRunDone& e) const {
@@ -68,12 +80,14 @@ struct CanonicalPrinter {
   void operator()(const RunSummary& e) const {
     os << "run_end best=" << num(e.best_cost) << " evals=" << e.evaluations
        << " stopped_early=" << (e.stopped_early ? 1 : 0)
-       << " stop_reason=" << to_string(e.stop_reason)
-       << " cache_hits=" << e.cache_hits
-       << " cache_misses=" << e.cache_misses
-       << " cache_inserts=" << e.cache_inserts
-       << " cache_evictions=" << e.cache_evictions;
-    if (timing) os << " wall_ns=" << e.wall_ns;
+       << " stop_reason=" << to_string(e.stop_reason);
+    if (timing) {
+      os << " cache_hits=" << e.cache_hits
+         << " cache_misses=" << e.cache_misses
+         << " cache_inserts=" << e.cache_inserts
+         << " cache_evictions=" << e.cache_evictions
+         << " dedup_skipped=" << e.dedup_skipped << " wall_ns=" << e.wall_ns;
+    }
     os << "\n";
   }
 };
@@ -104,6 +118,11 @@ void ProgressSink::on_phase_end(const PhaseStats& e) {
       << std::setprecision(1) << ms(e.wall_ns) << " ms";
   os_.unsetf(std::ios::fixed);
   if (e.evaluations > 0) os_ << " (" << e.evaluations << " evaluations)";
+  if (e.cache_hits + e.cache_misses > 0) {
+    os_ << ", cache " << e.cache_hits << "/"
+        << (e.cache_hits + e.cache_misses) << " hits";
+  }
+  if (e.dedup_skipped > 0) os_ << ", dedup skipped " << e.dedup_skipped;
   os_ << "\n";
 }
 
@@ -133,6 +152,7 @@ void ProgressSink::on_run_end(const RunSummary& e) {
     os_ << ", cache " << e.cache_hits << "/"
         << (e.cache_hits + e.cache_misses) << " hits";
   }
+  if (e.dedup_skipped > 0) os_ << ", dedup skipped " << e.dedup_skipped;
   if (e.stopped_early) {
     os_ << " — stopped early (" << to_string(e.stop_reason) << ")";
   }

@@ -21,8 +21,10 @@ struct TraceEvent {
 
 /// Records every event in arrival order. canonical() renders the stream as
 /// one line per event; with `include_timing == false` (the default) all
-/// wall-clock fields are omitted, so the output is byte-identical across
-/// thread counts and machines — the determinism contract the tests pin.
+/// performance fields — wall-clock plus the engine's cache/dedup counters —
+/// are omitted, so the output is byte-identical across thread counts,
+/// machines and engine configurations — the determinism contract the tests
+/// pin.
 class TraceSink final : public RunObserver {
  public:
   void on_run_start(const RunStart& e) override;

@@ -87,12 +87,15 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
 }
 
 PhaseTimer::PhaseTimer(RunObserver* observer, Phase phase,
-                       std::function<std::size_t()> eval_counter)
+                       std::function<std::size_t()> eval_counter,
+                       std::function<EngineCounters()> engine_counter)
     : observer_(observer),
       phase_(phase),
-      eval_counter_(std::move(eval_counter)) {
+      eval_counter_(std::move(eval_counter)),
+      engine_counter_(std::move(engine_counter)) {
   if (observer_ == nullptr) return;
   if (eval_counter_) evals_at_start_ = eval_counter_();
+  if (engine_counter_) engine_at_start_ = engine_counter_();
   start_ = std::chrono::steady_clock::now();
   observer_->on_phase_start(phase_);
 }
@@ -103,6 +106,15 @@ PhaseTimer::~PhaseTimer() {
   stats.phase = phase_;
   stats.wall_ns = elapsed_ns(start_);
   if (eval_counter_) stats.evaluations = eval_counter_() - evals_at_start_;
+  if (engine_counter_) {
+    const EngineCounters now = engine_counter_();
+    stats.cache_hits = now.cache_hits - engine_at_start_.cache_hits;
+    stats.cache_misses = now.cache_misses - engine_at_start_.cache_misses;
+    stats.cache_inserts = now.cache_inserts - engine_at_start_.cache_inserts;
+    stats.cache_evictions =
+        now.cache_evictions - engine_at_start_.cache_evictions;
+    stats.dedup_skipped = now.dedup_skipped - engine_at_start_.dedup_skipped;
+  }
   observer_->on_phase_end(stats);
 }
 

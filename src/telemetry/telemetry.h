@@ -16,10 +16,12 @@
 //
 // Determinism contract: events are emitted from the sequential sections of
 // the pipeline, after any parallel join, so the *logical* event stream
-// (everything except wall-clock durations) is bit-identical for any
-// ParallelConfig. Serializers therefore take an `include_timing` switch;
-// with timing excluded, traces and reports are byte-identical across thread
-// counts.
+// (everything except performance data: wall-clock durations and the
+// engine's cache/dedup counters, whose splits depend on work partitioning
+// and engine configuration) is bit-identical for any ParallelConfig and any
+// EvalEngineConfig. Serializers therefore take an `include_timing` switch
+// covering all performance data; with it off, traces and reports are
+// byte-identical across thread counts and engine configurations.
 //
 // Observers must not throw: events are delivered from destructors and from
 // hot loops. All pointers handed to configs are borrowed, never owned; the
@@ -71,10 +73,18 @@ struct RunStart {
 
 /// A phase finished. `evaluations` counts objective evaluations consumed by
 /// the phase (0 where no evaluator is involved, e.g. context generation).
+/// The cache_*/dedup counters are per-phase deltas of the evaluation
+/// engine's counters (see EngineCounters below); all zeros when no engine
+/// counter source was wired to the phase's PhaseTimer.
 struct PhaseStats {
   Phase phase = Phase::kContext;
   std::uint64_t wall_ns = 0;
   std::size_t evaluations = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t dedup_skipped = 0;
 };
 
 /// One greedy hub heuristic finished.
@@ -93,6 +103,7 @@ struct GenerationEnd {
   std::size_t repairs = 0;          ///< offspring needing connectivity repair
   std::size_t links_repaired = 0;   ///< links added by those repairs
   std::size_t evaluations = 0;      ///< objective evaluations this generation
+  std::size_t dedup_skipped = 0;    ///< of those, served by dedup fan-out
   std::uint64_t wall_ns = 0;
 };
 
@@ -107,13 +118,14 @@ struct EnsembleRunDone {
 
 /// A run ended (normally or via the stop condition).
 ///
-/// The cache_* counters aggregate the evaluation cache (cost/cost_cache.h)
-/// across every evaluator clone of the run; all zeros when the cache is
-/// disabled. Note they are the one part of the event stream that is *not*
-/// invariant across thread counts when the cache is on: each worker owns a
-/// private cache, so the hit/miss split depends on how offspring were
-/// partitioned (hits + misses stays deterministic). Costs and trajectories
-/// are unaffected either way.
+/// The cache_* counters aggregate the evaluation cache (cost/cost_cache.h
+/// private per worker, or cost/shared_cost_cache.h shared across workers)
+/// over every evaluator clone of the run; all zeros when the cache is
+/// disabled. Note they are part of the *performance* data, not the logical
+/// event stream: with private caches the hit/miss split depends on how
+/// offspring were partitioned across threads (hits + misses stays
+/// deterministic), and all of the counters naturally vary with the engine
+/// configuration. Costs and trajectories are unaffected either way.
 struct RunSummary {
   double best_cost = 0.0;
   std::size_t evaluations = 0;  ///< total objective evaluations in the run
@@ -124,6 +136,7 @@ struct RunSummary {
   std::uint64_t cache_misses = 0;     ///< lookups that recomputed
   std::uint64_t cache_inserts = 0;    ///< cache entries written
   std::uint64_t cache_evictions = 0;  ///< LRU replacements
+  std::size_t dedup_skipped = 0;  ///< evaluations served by GA dedup fan-out
 };
 
 // ---------------------------------------------------------------------------
@@ -264,13 +277,29 @@ class StopCondition {
 // Phase-scoped RAII timer.
 // ---------------------------------------------------------------------------
 
+/// A snapshot of the evaluation engine's monotonic counters, sampled by
+/// PhaseTimer to report per-phase deltas in PhaseStats. Mirrors
+/// EvalCacheStats plus the dedup counter as plain integers so the telemetry
+/// layer stays independent of cost/ headers.
+struct EngineCounters {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t dedup_skipped = 0;
+};
+
 /// Emits on_phase_start on construction and on_phase_end (with wall-clock
-/// and the delta of an optional evaluation counter) on destruction. A null
-/// observer makes the timer a no-op, so call sites stay unconditional.
+/// and the deltas of optional evaluation / engine counters) on destruction.
+/// A null observer makes the timer a no-op, so call sites stay
+/// unconditional. Counter callbacks are invoked from the constructing
+/// thread only, at construction and destruction — both outside any parallel
+/// section of the observed phase.
 class PhaseTimer {
  public:
   PhaseTimer(RunObserver* observer, Phase phase,
-             std::function<std::size_t()> eval_counter = {});
+             std::function<std::size_t()> eval_counter = {},
+             std::function<EngineCounters()> engine_counter = {});
   ~PhaseTimer();
 
   PhaseTimer(const PhaseTimer&) = delete;
@@ -280,7 +309,9 @@ class PhaseTimer {
   RunObserver* observer_;
   Phase phase_;
   std::function<std::size_t()> eval_counter_;
+  std::function<EngineCounters()> engine_counter_;
   std::size_t evals_at_start_ = 0;
+  EngineCounters engine_at_start_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -95,7 +95,7 @@ TEST(MultiObserver, FansOutAndIgnoresNull) {
   multi.add(&a);
   multi.add(nullptr);
   multi.add(&b);
-  multi.on_generation_end({0, 1.0, 2.0, 0, 0, 16, 10});
+  multi.on_generation_end({0, 1.0, 2.0, 0, 0, 16, 0, 10});
   multi.on_run_end({1.0, 16, 10, false, StopReason::kNone});
   EXPECT_EQ(a.count<GenerationEnd>(), 1u);
   EXPECT_EQ(b.count<GenerationEnd>(), 1u);
@@ -117,8 +117,60 @@ TEST(PhaseTimer, EmitsPairedEventsWithEvalDelta) {
   EXPECT_EQ(stats.evaluations, 32u);  // delta, not absolute
 }
 
+TEST(PhaseTimer, EmitsEngineCounterDeltas) {
+  TraceSink sink;
+  EngineCounters counters;
+  counters.cache_hits = 5;
+  counters.cache_misses = 7;
+  counters.cache_inserts = 7;
+  counters.cache_evictions = 1;
+  counters.dedup_skipped = 2;
+  {
+    PhaseTimer timer(&sink, Phase::kGa, {}, [&] { return counters; });
+    counters.cache_hits = 25;
+    counters.cache_misses = 10;
+    counters.cache_inserts = 9;
+    counters.cache_evictions = 1;
+    counters.dedup_skipped = 8;
+  }
+  ASSERT_EQ(sink.events().size(), 2u);
+  const auto& stats = std::get<PhaseStats>(sink.events()[1].v);
+  EXPECT_EQ(stats.cache_hits, 20u);  // deltas, not absolutes
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_EQ(stats.cache_inserts, 2u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+  EXPECT_EQ(stats.dedup_skipped, 6u);
+}
+
 TEST(PhaseTimer, NullObserverIsNoop) {
   PhaseTimer timer(nullptr, Phase::kContext);  // must not crash
+}
+
+TEST(TraceSink, EngineCountersArePerformanceData) {
+  // Cache/dedup counters vary across engine configurations, so canonical()
+  // treats them exactly like wall_ns: present with timing, absent without —
+  // that is what keeps timing-free traces comparable across configs.
+  TraceSink sink;
+  PhaseStats phase;
+  phase.phase = Phase::kGa;
+  phase.cache_hits = 3;
+  sink.on_phase_end(phase);
+  GenerationEnd gen;
+  gen.dedup_skipped = 4;
+  sink.on_generation_end(gen);
+  RunSummary summary;
+  summary.cache_hits = 9;
+  summary.dedup_skipped = 4;
+  sink.on_run_end(summary);
+
+  const std::string bare = sink.canonical(/*include_timing=*/false);
+  EXPECT_EQ(bare.find("cache_"), std::string::npos);
+  EXPECT_EQ(bare.find("dedup_"), std::string::npos);
+  const std::string timed = sink.canonical(/*include_timing=*/true);
+  EXPECT_NE(timed.find("phase_end ga evals=0 cache_hits=3"),
+            std::string::npos);
+  EXPECT_NE(timed.find("cache_hits=9"), std::string::npos);
+  EXPECT_NE(timed.find("dedup_skipped=4"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -431,7 +483,7 @@ TEST(RunReport, StoppedRunProducesValidReport) {
   EXPECT_GT(parsed.generations.size(), 0u);
 }
 
-TEST(RunReport, EmitsV2WithCacheCountersWhenCacheEnabled) {
+TEST(RunReport, EmitsV3WithCacheCountersWhenCacheEnabled) {
   SynthesisConfig cfg = small_config();
   cfg.engine.cache.enabled = true;
   JsonReportSink sink;
@@ -444,12 +496,108 @@ TEST(RunReport, EmitsV2WithCacheCountersWhenCacheEnabled) {
   EXPECT_EQ(report.cache_misses, report.cache_inserts);  // every miss inserts
 
   const std::string json = run_report_to_json(report);
-  EXPECT_EQ(parse_json(json).field("version").number(), 2.0);
+  EXPECT_EQ(parse_json(json).field("version").number(), 3.0);
   const RunReport parsed = run_report_from_json(json);
   EXPECT_EQ(parsed.cache_hits, report.cache_hits);
   EXPECT_EQ(parsed.cache_misses, report.cache_misses);
   EXPECT_EQ(parsed.cache_inserts, report.cache_inserts);
   EXPECT_EQ(parsed.cache_evictions, report.cache_evictions);
+}
+
+TEST(RunReport, PerPhaseEngineCountersTrackCacheActivity) {
+  SynthesisConfig cfg = small_config();
+  cfg.engine.cache.enabled = true;
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(5);
+
+  // The assembly phase re-scores the GA winner, which the cache already
+  // holds — so its delta must show a hit — and the per-phase deltas must
+  // add up to the run totals.
+  const RunReport& report = sink.report();
+  std::uint64_t hits = 0, misses = 0, inserts = 0, evictions = 0;
+  bool saw_assembly_hit = false;
+  for (const PhaseStats& p : report.phases) {
+    hits += p.cache_hits;
+    misses += p.cache_misses;
+    inserts += p.cache_inserts;
+    evictions += p.cache_evictions;
+    if (p.phase == Phase::kAssembly) saw_assembly_hit = p.cache_hits > 0;
+  }
+  EXPECT_TRUE(saw_assembly_hit);
+  EXPECT_EQ(hits, report.cache_hits);
+  EXPECT_EQ(misses, report.cache_misses);
+  EXPECT_EQ(inserts, report.cache_inserts);
+  EXPECT_EQ(evictions, report.cache_evictions);
+
+  // Counters survive a timed round trip.
+  const RunReport parsed = run_report_from_json(run_report_to_json(report));
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    EXPECT_EQ(parsed.phases[i].cache_hits, report.phases[i].cache_hits);
+    EXPECT_EQ(parsed.phases[i].cache_misses, report.phases[i].cache_misses);
+  }
+}
+
+TEST(RunReport, SharedCachePhaseCountersShowCrossWorkerHits) {
+  SynthesisConfig cfg = small_config();
+  cfg.engine.cache.enabled = true;
+  cfg.engine.cache.shared = true;
+  cfg.ga.parallel.num_threads = 4;
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(5);
+
+  // The assembly re-score runs on the primary evaluator; with a shared
+  // cache the entry may have been inserted by any worker clone, yet the
+  // hit still lands in the primary's phase delta.
+  const RunReport& report = sink.report();
+  bool saw_assembly_hit = false;
+  for (const PhaseStats& p : report.phases) {
+    if (p.phase == Phase::kAssembly && p.cache_hits > 0) {
+      saw_assembly_hit = true;
+    }
+  }
+  EXPECT_TRUE(saw_assembly_hit);
+  EXPECT_GT(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, report.cache_inserts);
+}
+
+TEST(RunReport, DedupCountersRoundTripWhenTimed) {
+  RunReport report;
+  report.seed = 11;
+  report.num_pops = 4;
+  report.best_cost = 1.5;
+  report.evaluations = 40;
+  report.dedup_skipped = 7;
+  report.cache_hits = 3;
+  PhaseStats ga;
+  ga.phase = Phase::kGa;
+  ga.evaluations = 40;
+  ga.cache_hits = 3;
+  ga.dedup_skipped = 7;
+  report.phases.push_back(ga);
+  GenerationEnd gen;
+  gen.gen = 0;
+  gen.evaluations = 20;
+  gen.dedup_skipped = 4;
+  report.generations.push_back(gen);
+
+  const RunReport timed = run_report_from_json(
+      run_report_to_json(report, /*include_timing=*/true));
+  EXPECT_EQ(timed.dedup_skipped, 7u);
+  EXPECT_EQ(timed.phases[0].dedup_skipped, 7u);
+  EXPECT_EQ(timed.phases[0].cache_hits, 3u);
+  EXPECT_EQ(timed.generations[0].dedup_skipped, 4u);
+
+  // Timing-free reports treat the counters as performance data and drop
+  // them — they parse back as zeros.
+  const std::string bare = run_report_to_json(report, /*include_timing=*/false);
+  EXPECT_EQ(bare.find("dedup_skipped"), std::string::npos);
+  EXPECT_EQ(bare.find("cache"), std::string::npos);
+  const RunReport parsed = run_report_from_json(bare);
+  EXPECT_EQ(parsed.dedup_skipped, 0u);
+  EXPECT_EQ(parsed.phases[0].cache_hits, 0u);
+  EXPECT_EQ(parsed.generations[0].dedup_skipped, 0u);
 }
 
 TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
@@ -468,7 +616,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   ASSERT_NE(end, std::string::npos);
   ASSERT_EQ(json[end + 1], ',');
   json.erase(cache_pos, end + 2 - cache_pos);
-  const std::size_t ver = json.find("\"version\": 2");
+  const std::size_t ver = json.find("\"version\": 3");
   ASSERT_NE(ver, std::string::npos);
   json[ver + std::string("\"version\": ").size()] = '1';
 
@@ -481,7 +629,37 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   EXPECT_EQ(parsed.cache_evictions, 0u);
   // Re-serializing a v1-sourced report upgrades it to the current schema.
   EXPECT_EQ(parse_json(run_report_to_json(parsed)).field("version").number(),
-            2.0);
+            3.0);
+}
+
+TEST(RunReport, AcceptsV2ReportsWithoutPerPhaseCounters) {
+  // Hand-built v2 document: result.cache present, but no per-phase or
+  // per-generation engine counters (v3 additions).
+  const std::string json = R"({"schema": "cold-run-report", "version": 2,
+    "run": {"seed": 9, "num_pops": 6},
+    "result": {"best_cost": 2.25, "evaluations": 50, "stopped_early": false,
+               "stop_reason": "none",
+               "cache": {"hits": 12, "misses": 38, "inserts": 38,
+                         "evictions": 4},
+               "wall_ns": 1000},
+    "phases": [{"name": "ga", "evaluations": 50, "wall_ns": 900}],
+    "heuristics": [],
+    "generations": [{"gen": 0, "best_cost": 2.25, "mean_cost": 3.0,
+                     "repairs": 1, "links_repaired": 2, "evaluations": 25,
+                     "wall_ns": 450}],
+    "ensemble_runs": []})";
+  const RunReport parsed = run_report_from_json(json);
+  EXPECT_EQ(parsed.seed, 9u);
+  EXPECT_EQ(parsed.cache_hits, 12u);
+  EXPECT_EQ(parsed.cache_misses, 38u);
+  EXPECT_EQ(parsed.cache_evictions, 4u);
+  EXPECT_EQ(parsed.dedup_skipped, 0u);
+  ASSERT_EQ(parsed.phases.size(), 1u);
+  EXPECT_EQ(parsed.phases[0].evaluations, 50u);
+  EXPECT_EQ(parsed.phases[0].cache_hits, 0u);  // absent in v2 → zero
+  EXPECT_EQ(parsed.phases[0].dedup_skipped, 0u);
+  ASSERT_EQ(parsed.generations.size(), 1u);
+  EXPECT_EQ(parsed.generations[0].dedup_skipped, 0u);
 }
 
 TEST(RunReport, RejectsMalformedInput) {

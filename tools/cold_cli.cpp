@@ -4,7 +4,7 @@
 //                 [--format dot|json|graphml] [--out FILE]
 //                 [--report FILE] [--progress] [--max-seconds T]
 //                 [--max-evals N] [--eval-cache] [--eval-cache-size N]
-//                 [--dijkstra auto|dense|sparse]
+//                 [--shared-cache] [--dedup] [--dijkstra auto|dense|sparse]
 //   cold ensemble [--count N] + synth options
 //   cold metrics  --in FILE [--format text|json] [--out FILE]
 //   cold estimate --in FILE [--draws N] [--epsilon E] [--seed S]
@@ -67,6 +67,9 @@ const std::vector<OptionSpec> kGaOpts = {
 const std::vector<OptionSpec> kEngineOpts = {
     {"eval-cache", false, "memoize cost evaluations"},
     {"eval-cache-size", true, "N entries (16384)"},
+    {"shared-cache", false, "share one cache across workers (implies "
+                            "--eval-cache)"},
+    {"dedup", false, "score each distinct GA offspring once"},
     {"dijkstra", true, "auto|dense|sparse (auto)"},
 };
 
@@ -154,9 +157,12 @@ void print_usage() {
       "            and --max-evals N (stop budgets; partial results stay\n"
       "            valid)\n"
       "  engine    (synth/ensemble/grow): --eval-cache memoizes cost\n"
-      "            evaluations, --eval-cache-size N bounds it (16384), and\n"
-      "            --dijkstra auto|dense|sparse picks the shortest-path\n"
-      "            solver; all are exact and change performance only\n";
+      "            evaluations, --eval-cache-size N bounds it (16384),\n"
+      "            --shared-cache shares one cache across worker threads\n"
+      "            (implies --eval-cache), --dedup scores each distinct GA\n"
+      "            offspring once per generation, and --dijkstra\n"
+      "            auto|dense|sparse picks the shortest-path solver; all\n"
+      "            are exact and change performance only\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -213,7 +219,8 @@ class CliTelemetry {
 
 EvalEngineConfig engine_from(const CliOptions& args) {
   EvalEngineConfig engine;
-  engine.cache.enabled = args.has("eval-cache");
+  engine.cache.enabled = args.has("eval-cache") || args.has("shared-cache");
+  engine.cache.shared = args.has("shared-cache");
   engine.cache.capacity =
       args.uint("eval-cache-size", engine.cache.capacity);
   const std::string algo = args.get("dijkstra", "auto");
@@ -239,6 +246,7 @@ SynthesisConfig config_from(const CliOptions& args) {
   cfg.costs.k3 = args.num("k3", 10.0);
   cfg.ga.population = args.uint("population", 48);
   cfg.ga.generations = args.uint("generations", 40);
+  cfg.ga.dedup = args.has("dedup");
   cfg.overprovision = args.num("overprovision", 1.0);
   cfg.engine = engine_from(args);
   // 0 = all hardware threads; any value yields bit-identical output.
@@ -477,6 +485,7 @@ int cmd_grow(const CliOptions& args) {
   cfg.costs.k3 = args.num("k3", 10.0);
   cfg.ga.population = args.uint("population", 48);
   cfg.ga.generations = args.uint("generations", 40);
+  cfg.ga.dedup = args.has("dedup");
   cfg.ga.parallel.num_threads = args.uint("threads", 0);
   cfg.engine = engine_from(args);
   cfg.observer = telemetry.observer();
