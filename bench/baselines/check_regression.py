@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON artifact against the checked-in gate expectations.
+
+Usage:
+    check_regression.py BENCH_evaluator.json [--expectations FILE] [--out FILE]
+
+Reads the "gates" array a bench binary embeds in its BENCH_*.json artifact
+(see bench/bench_common.h, GateSet) and checks it against
+bench/baselines/expectations.json:
+
+  * every expected gate must be present in the artifact,
+  * every expected gate must pass,
+  * the threshold the binary enforced ("min") must not have drifted below
+    the checked-in floor — a silently loosened gate is itself a regression,
+  * any gate the binary reports as failing counts, even if it is new and
+    not yet listed in the expectations.
+
+Exit 0 when everything holds, 1 on any regression (2 on bad input). The
+full comparison is written as JSON (--out, default
+bench-regression-report.json next to the artifact) so CI can upload it as
+an artifact even on failure. Pure stdlib; no third-party imports.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check(artifact, expectations):
+    """Returns (regressions, checks): lists of per-gate result dicts."""
+    bench = artifact.get("bench")
+    expected = expectations.get("benches", {}).get(bench)
+    if expected is None:
+        return (
+            [{"gate": "<bench>", "problem": f"no expectations for bench {bench!r}"}],
+            [],
+        )
+
+    reported = {g["name"]: g for g in artifact.get("gates", [])}
+    regressions = []
+    checks = []
+
+    for exp in expected["gates"]:
+        name = exp["name"]
+        got = reported.get(name)
+        entry = {"gate": name, "expected_min": exp["min"]}
+        if got is None:
+            entry["problem"] = "gate missing from artifact"
+            regressions.append(entry)
+            continue
+        entry.update({"value": got["value"], "min": got["min"], "pass": got["pass"]})
+        if got["min"] < exp["min"]:
+            entry["problem"] = (
+                f"threshold loosened: binary enforces min {got['min']}, "
+                f"expectations require {exp['min']}"
+            )
+            regressions.append(entry)
+        elif not got["pass"]:
+            entry["problem"] = f"gate failed: {got['value']} < {got['min']}"
+            regressions.append(entry)
+        else:
+            checks.append(entry)
+
+    known = {exp["name"] for exp in expected["gates"]}
+    for name, got in reported.items():
+        if name in known:
+            continue
+        entry = {"gate": name, "value": got["value"], "min": got["min"],
+                 "pass": got["pass"], "new": True}
+        if got["pass"]:
+            checks.append(entry)  # new passing gate: fine, list it for adoption
+        else:
+            entry["problem"] = "new gate failing (add to expectations once green)"
+            regressions.append(entry)
+
+    return regressions, checks
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", help="BENCH_*.json produced by a bench binary")
+    parser.add_argument(
+        "--expectations",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "expectations.json"),
+        help="gate floors file (default: expectations.json beside this script)")
+    parser.add_argument(
+        "--out", default=None,
+        help="comparison report path (default: bench-regression-report.json "
+             "beside the artifact)")
+    args = parser.parse_args()
+
+    artifact = load_json(args.artifact)
+    expectations = load_json(args.expectations)
+    regressions, checks = check(artifact, expectations)
+
+    report = {
+        "schema": "cold-bench-regression-report",
+        "version": 1,
+        "bench": artifact.get("bench"),
+        "artifact": os.path.basename(args.artifact),
+        "ok": not regressions,
+        "regressions": regressions,
+        "passed": checks,
+    }
+    out = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(args.artifact)),
+        "bench-regression-report.json")
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for entry in regressions:
+        print(f"REGRESSION {entry['gate']}: {entry['problem']}")
+    print(f"{len(checks)} gate(s) ok, {len(regressions)} regression(s); "
+          f"report: {out}")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

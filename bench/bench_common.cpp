@@ -1,10 +1,53 @@
 #include "bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 namespace cold::bench {
+
+bool GateSet::require_at_least(const std::string& name, double value,
+                               double min) {
+  const bool pass = value >= min;
+  outcomes_.push_back({name, value, min, pass});
+  return pass;
+}
+
+bool GateSet::require(const std::string& name, bool ok) {
+  outcomes_.push_back({name, ok ? 1.0 : 0.0, 1.0, ok});
+  return ok;
+}
+
+bool GateSet::all_pass() const {
+  for (const GateOutcome& g : outcomes_) {
+    if (!g.pass) return false;
+  }
+  return true;
+}
+
+std::string GateSet::json() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << "[";
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    const GateOutcome& g = outcomes_[i];
+    if (i > 0) os << ", ";
+    os << "{\"name\": \"" << g.name << "\", \"value\": " << g.value
+       << ", \"min\": " << g.min << ", \"pass\": "
+       << (g.pass ? "true" : "false") << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+void GateSet::print() const {
+  for (const GateOutcome& g : outcomes_) {
+    std::printf("gate %-28s %10.3f (min %.3f) %s\n", g.name.c_str(), g.value,
+                g.min, g.pass ? "PASS" : "FAIL");
+  }
+}
 
 bool full_mode() {
   const char* v = std::getenv("COLD_BENCH_FULL");

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "core/synthesizer.h"
 #include "cost/cost_model.h"
@@ -20,6 +21,40 @@
 #include "telemetry/report.h"
 
 namespace cold::bench {
+
+/// One named pass/fail gate with its measured value and threshold, so the
+/// CI baseline-diff step (bench/baselines/check_regression.py) can compare
+/// outcomes across runs without parsing bench-specific fields.
+struct GateOutcome {
+  std::string name;
+  double value = 0.0;  ///< the measurement
+  double min = 0.0;    ///< threshold: value >= min passes (1.0 for booleans)
+  bool pass = false;
+};
+
+/// Collects a bench binary's gates; renders them as the "gates" array of
+/// its BENCH_*.json artifact and as per-gate stdout lines.
+class GateSet {
+ public:
+  /// Records `value >= min` under `name`; returns whether it passed.
+  bool require_at_least(const std::string& name, double value, double min);
+
+  /// Boolean gate: records `ok` as value 1/0 against min 1.
+  bool require(const std::string& name, bool ok);
+
+  bool all_pass() const;
+  const std::vector<GateOutcome>& outcomes() const { return outcomes_; }
+
+  /// JSON array literal (no trailing newline), e.g.
+  /// [{"name": "cache_speedup", "value": 4.2, "min": 3.0, "pass": true}].
+  std::string json() const;
+
+  /// One "gate <name>: <value> (min <min>) PASS|FAIL" line per gate.
+  void print() const;
+
+ private:
+  std::vector<GateOutcome> outcomes_;
+};
 
 /// True when COLD_BENCH_FULL=1 is set in the environment.
 bool full_mode();

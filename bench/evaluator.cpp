@@ -16,9 +16,15 @@
 //      a few chords — the shapes synthesis actually produces) at n = 80 and
 //      n = 120 with the solver forced dense vs sparse. Gate: sparse wins at
 //      both sizes.
+//   5. Delta evaluation (dynamic SSSP): replay the recorded trace with the
+//      GA's parent hints through a delta-enabled, cache-off Evaluator —
+//      every evaluation is a cache miss, so the speedup isolates
+//      incremental re-routing against full sweeps. Gate: >= 2x evals/sec
+//      and per-evaluation bit-identity with the uncached reference.
 //
 // Every configuration is also checked for bit-identical costs (the engine's
-// exactness contract); any mismatch fails the run. Results go to
+// exactness contract); any mismatch fails the run. Results — including a
+// "gates" array of every pass/fail outcome for the CI baseline diff — go to
 // BENCH_evaluator.json (first argv, default ./).
 #include <chrono>
 #include <cstdio>
@@ -36,23 +42,33 @@ namespace {
 
 using namespace cold;
 
-/// Records every topology the GA asks to score. clone() returns nullptr so
-/// the GA runs sequentially and the trace is the complete evaluation
-/// sequence in order.
+/// Records every topology the GA asks to score, together with the parent
+/// hint the GA announced for it (0 = none — initial population). clone()
+/// returns nullptr so the GA runs sequentially and the trace is the
+/// complete evaluation sequence in order.
 class RecordingObjective final : public Objective {
  public:
-  RecordingObjective(Evaluator& eval, std::vector<Topology>& trace)
-      : eval_(&eval), trace_(&trace) {}
+  RecordingObjective(Evaluator& eval, std::vector<Topology>& trace,
+                     std::vector<std::uint64_t>& hints)
+      : eval_(&eval), trace_(&trace), hints_(&hints) {}
 
   double cost(const Topology& g) override {
     trace_->push_back(g);
+    hints_->push_back(pending_hint_);
+    pending_hint_ = 0;
     return eval_->cost(g);
   }
   const Matrix<double>& lengths() const override { return eval_->lengths(); }
 
+  void set_parent_hint(std::uint64_t fingerprint) override {
+    pending_hint_ = fingerprint;
+  }
+
  private:
   Evaluator* eval_;
   std::vector<Topology>* trace_;
+  std::vector<std::uint64_t>* hints_;
+  std::uint64_t pending_hint_ = 0;
 };
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -187,10 +203,11 @@ int main(int argc, char** argv) {
   const Context ctx = generate_context(ctx_cfg, ctx_rng);
 
   std::vector<Topology> trace;
+  std::vector<std::uint64_t> trace_hints;
   const CostParams costs{10.0, 1.0, 4e-4, 10.0};
   {
     Evaluator eval(ctx.distances, ctx.traffic, costs);
-    RecordingObjective recorder(eval, trace);
+    RecordingObjective recorder(eval, trace, trace_hints);
     GaRunOptions options;
     options.config.population = 64;
     options.config.generations = generations;
@@ -268,6 +285,88 @@ int main(int argc, char** argv) {
         s.identical ? "yes" : "NO");
   }
 
+  // --- Delta evaluation: hinted replay vs full sweeps, both uncached. ------
+  // Recorded at n = 80 with its own GA run: the delta advantage grows with
+  // problem size (a full sweep re-settles all n labels per source, a
+  // near-parent repair touches a handful), so the gate measures the regime
+  // synthesis cares about. Retention and the diff bound are generous (4x
+  // the population; any parent accepted, cutoff off): measured on GA
+  // traces, even distant-parent repairs beat the per-source sweeps a
+  // tighter cutoff triggers.
+  const std::size_t delta_n = 80;
+  ContextConfig delta_ctx_cfg;
+  delta_ctx_cfg.num_pops = delta_n;
+  Rng delta_ctx_rng(3);
+  const Context delta_ctx = generate_context(delta_ctx_cfg, delta_ctx_rng);
+  std::vector<Topology> delta_trace;
+  std::vector<std::uint64_t> delta_hints;
+  {
+    Evaluator eval(delta_ctx.distances, delta_ctx.traffic, costs);
+    RecordingObjective recorder(eval, delta_trace, delta_hints);
+    GaRunOptions options;
+    options.config.population = 64;
+    options.config.generations = generations;
+    Rng rng(3);
+    run_ga(recorder, rng, options);
+  }
+
+  std::vector<double> delta_ref;
+  delta_ref.reserve(delta_trace.size());
+  Evaluator eval_full(delta_ctx.distances, delta_ctx.traffic, costs);
+  const auto t_full = std::chrono::steady_clock::now();
+  for (const Topology& g : delta_trace) delta_ref.push_back(eval_full.cost(g));
+  const double eps_full =
+      static_cast<double>(delta_trace.size()) / seconds_since(t_full);
+
+  EvalEngineConfig delta_engine;
+  delta_engine.delta.mode = DsspMode::kOn;
+  delta_engine.delta.max_diff_edges = delta_n * delta_n;  // accept any parent
+  delta_engine.delta.max_resettle_ratio = 1.0;            // never abandon
+  delta_engine.delta.retained_states = 256;
+  Evaluator eval_delta(delta_ctx.distances, delta_ctx.traffic, costs,
+                       delta_engine);
+  bool delta_identical = true;
+  const auto t_delta = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < delta_trace.size(); ++i) {
+    eval_delta.set_parent_hint(delta_hints[i]);
+    delta_identical &= eval_delta.cost(delta_trace[i]) == delta_ref[i];
+  }
+  const double eps_delta =
+      static_cast<double>(delta_trace.size()) / seconds_since(t_delta);
+  const double delta_speedup = eps_delta / eps_full;
+  const DeltaStats& dstats = eval_delta.delta_stats();
+  const double delta_hit_rate =
+      static_cast<double>(dstats.hits) /
+      static_cast<double>(dstats.hits + dstats.fallbacks);
+  std::printf(
+      "dsssp n=%zu off %8.0f evals/s | on %8.0f evals/s | speedup %.2fx\n"
+      "delta served %.1f%% of evals (%llu resettled labels) | identical=%s\n",
+      delta_n, eps_full, eps_delta, delta_speedup, 100.0 * delta_hit_rate,
+      static_cast<unsigned long long>(dstats.vertices_resettled),
+      delta_identical ? "yes" : "NO");
+
+  // --- Gates. --------------------------------------------------------------
+  cold::bench::GateSet gates;
+  gates.require_at_least("cache_speedup", speedup, 3.0);
+  gates.require("cache_identical_costs", cache_identical);
+  for (const ReplaySample& s : replay_samples) {
+    const std::string w = std::to_string(s.workers);
+    gates.require("replay_w" + w + "_identical", s.identical);
+    gates.require("replay_w" + w + "_shared_beats_private",
+                  s.shared_hit_rate > s.private_hit_rate);
+  }
+  for (const SparseSample& s : sparse_samples) {
+    const std::string p = std::to_string(s.pops);
+    gates.require_at_least("sparse_n" + p + "_speedup",
+                           s.sparse_eps / s.dense_eps, 1.0);
+    gates.require("sparse_n" + p + "_auto_picks_sparse", s.auto_picks_sparse);
+    gates.require("sparse_n" + p + "_identical", s.identical);
+  }
+  gates.require_at_least("dsssp_speedup", delta_speedup, 2.0);
+  gates.require("dsssp_identical_costs", delta_identical);
+  std::printf("\n");
+  gates.print();
+
   // --- JSON artifact. ------------------------------------------------------
   const std::string path =
       (argc > 1 ? std::string(argv[1]) : std::string(".")) +
@@ -310,7 +409,16 @@ int main(int argc, char** argv) {
                    s.identical ? "true" : "false",
                    i + 1 < sparse_samples.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"dsssp\": {\"pops\": %zu, \"evals_per_sec_off\": %.1f, "
+                 "\"evals_per_sec_on\": %.1f, \"speedup\": %.3f, "
+                 "\"delta_hit_rate\": %.4f, \"vertices_resettled\": %llu, "
+                 "\"identical_costs\": %s},\n",
+                 delta_n, eps_full, eps_delta, delta_speedup, delta_hit_rate,
+                 static_cast<unsigned long long>(dstats.vertices_resettled),
+                 delta_identical ? "true" : "false");
+    std::fprintf(f, "  \"gates\": %s\n}\n", gates.json().c_str());
     std::fclose(f);
     std::printf("\nwrote %s\n", path.c_str());
   } else {
@@ -318,12 +426,5 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  bool pass = cache_identical && speedup >= 3.0;
-  for (const ReplaySample& s : replay_samples) {
-    pass &= s.identical && s.shared_hit_rate > s.private_hit_rate;
-  }
-  for (const SparseSample& s : sparse_samples) {
-    pass &= s.identical && s.auto_picks_sparse && s.sparse_eps > s.dense_eps;
-  }
-  return pass ? 0 : 1;
+  return gates.all_pass() ? 0 : 1;
 }

@@ -80,6 +80,9 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
         c.cache_inserts += r.cache.inserts;
         c.cache_evictions += r.cache.evictions;
         c.dedup_skipped += r.ga.dedup_skipped;
+        c.dsssp_hits += r.delta.hits;
+        c.dsssp_fallbacks += r.delta.fallbacks;
+        c.vertices_resettled += r.delta.vertices_resettled;
       }
       return c;
     };
@@ -156,11 +159,13 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
     std::size_t evaluations = 0;
     std::size_t dedup_skipped = 0;
     EvalCacheStats cache;
+    DeltaStats delta;
     for (const SynthesisResult& r : result.runs) {
       best = std::min(best, r.ga.best_cost);
       evaluations += r.ga.evaluations;
       dedup_skipped += r.ga.dedup_skipped;
       cache += r.cache;
+      delta += r.delta;
     }
     summary.best_cost = result.runs.empty() ? 0.0 : best;
     summary.evaluations = evaluations;  // GA evaluations across all runs
@@ -169,6 +174,9 @@ EnsembleResult generate_ensemble(const Synthesizer& synth, std::size_t count,
     summary.cache_inserts = cache.inserts;
     summary.cache_evictions = cache.evictions;
     summary.dedup_skipped = dedup_skipped;
+    summary.dsssp_hits = delta.hits;
+    summary.dsssp_fallbacks = delta.fallbacks;
+    summary.vertices_resettled = delta.vertices_resettled;
     summary.wall_ns = elapsed_ns(started);
     summary.stopped_early = result.stopped_early;
     summary.stop_reason = result.stop_reason;

@@ -57,6 +57,10 @@ SynthesisResult Synthesizer::optimize(
     c.cache_inserts = s.inserts;
     c.cache_evictions = s.evictions;
     c.dedup_skipped = eval.dedup_skipped();
+    const DeltaStats& d = eval.delta_stats();
+    c.dsssp_hits = d.hits;
+    c.dsssp_fallbacks = d.fallbacks;
+    c.vertices_resettled = d.vertices_resettled;
     return c;
   };
 
@@ -90,6 +94,7 @@ SynthesisResult Synthesizer::optimize(
                       context.traffic, config_.overprovision);
   }
   result.cache = eval.cache_stats();  // includes merged GA worker caches
+  result.delta = eval.delta_stats();
   if (observer != nullptr) {
     RunSummary summary;
     summary.best_cost = result.ga.best_cost;
@@ -102,6 +107,10 @@ SynthesisResult Synthesizer::optimize(
     summary.cache_inserts = result.cache.inserts;
     summary.cache_evictions = result.cache.evictions;
     summary.dedup_skipped = eval.dedup_skipped();
+    const DeltaStats& delta = eval.delta_stats();
+    summary.dsssp_hits = delta.hits;
+    summary.dsssp_fallbacks = delta.fallbacks;
+    summary.vertices_resettled = delta.vertices_resettled;
     observer->on_run_end(summary);
   }
   return result;

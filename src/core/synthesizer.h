@@ -80,6 +80,7 @@ struct SynthesisResult {
   GaResult ga;           ///< GA diagnostics (history, final population, ...)
   std::vector<HeuristicResult> heuristics;  ///< seeds, if enabled
   EvalCacheStats cache;  ///< evaluation-cache counters (zeros when disabled)
+  DeltaStats delta;      ///< delta-engine counters (zeros when disabled)
 };
 
 class Synthesizer {

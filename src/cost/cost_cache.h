@@ -52,10 +52,76 @@ struct EvalCacheConfig {
                          const EvalCacheConfig&) = default;
 };
 
+/// When the delta evaluation engine (incremental re-routing against a
+/// retained parent's shortest-path trees) is active. --dsssp on the CLI.
+enum class DsspMode {
+  kOff,   ///< always run full sweeps
+  kOn,    ///< always attempt parent-delta evaluation
+  kAuto,  ///< on from delta_auto_threshold nodes up (below it, state copies
+          ///< cost more than the sweeps they save)
+};
+
+/// Tuning for the delta evaluation engine. Every setting is exact: the
+/// incremental update is bit-identical to the full sweep, so these knobs
+/// move time and memory, never results.
+struct DeltaConfig {
+  DsspMode mode = DsspMode::kOff;
+
+  /// Max edge-set diff against a retained parent to delta from (K). Beyond
+  /// it the affected regions approach the whole graph and full sweeps win.
+  /// 32 covers most GA crossover children, not just mutants: on recorded
+  /// GA traces, repairs stay far cheaper than a fresh sweep even at this
+  /// distance, and a tighter bound mostly converts hits into fallbacks.
+  std::size_t max_diff_edges = 32;
+
+  /// Per-source fallback: abandon the incremental update and run a full
+  /// sweep for that source once more than max_resettle_ratio * n vertices
+  /// needed recomputation. Incremental resettles are much cheaper per label
+  /// than a sweep's, so the cutoff pays only when repairs approach the
+  /// whole graph.
+  double max_resettle_ratio = 0.75;
+
+  /// Parent routing states retained (LRU ring). Each state holds n trees +
+  /// a topology copy, ~29 n^2 bytes; sized so the previous GA generation's
+  /// offspring are still resident when their mutants are scored.
+  std::size_t retained_states = 24;
+
+  /// kAuto switches the engine on at this node count.
+  std::size_t auto_threshold = 16;
+
+  /// True iff the engine runs for n-node topologies.
+  bool enabled(std::size_t n) const {
+    if (mode == DsspMode::kOn) return true;
+    if (mode == DsspMode::kAuto) return n >= auto_threshold;
+    return false;
+  }
+
+  friend bool operator==(const DeltaConfig&, const DeltaConfig&) = default;
+};
+
+/// Counters for the delta evaluation engine; merged across worker clones
+/// like EvalCacheStats (merge_stats transfers and resets).
+struct DeltaStats {
+  std::uint64_t hits = 0;       ///< evaluations served by incremental updates
+  std::uint64_t fallbacks = 0;  ///< dsssp-enabled evaluations that needed a
+                                ///< full sweep (no parent within K edges)
+  std::uint64_t vertices_resettled = 0;  ///< labels recomputed incrementally
+
+  DeltaStats& operator+=(const DeltaStats& other) {
+    hits += other.hits;
+    fallbacks += other.fallbacks;
+    vertices_resettled += other.vertices_resettled;
+    return *this;
+  }
+
+  friend bool operator==(const DeltaStats&, const DeltaStats&) = default;
+};
+
 /// Evaluation-engine knobs threaded from config/CLI down to the Evaluator.
 struct EvalEngineConfig {
   EvalCacheConfig cache;
   SpAlgorithm sp_algorithm = SpAlgorithm::kAuto;
+  DeltaConfig delta;
 
   friend bool operator==(const EvalEngineConfig&,
                          const EvalEngineConfig&) = default;

@@ -1,0 +1,84 @@
+#include "cost/delta_state.h"
+
+#include <algorithm>
+
+namespace cold {
+
+RoutingStateStore::RoutingStateStore(std::size_t capacity)
+    : slots_(std::max<std::size_t>(capacity, 2)) {}
+
+std::size_t RoutingStateStore::size() const {
+  std::size_t live = 0;
+  for (const RoutingState& s : slots_) {
+    if (s.stamp != 0) ++live;
+  }
+  return live;
+}
+
+RoutingState* RoutingStateStore::match(const Topology& child,
+                                       std::uint64_t hint,
+                                       std::size_t max_diff,
+                                       std::vector<Edge>& added,
+                                       std::vector<Edge>& removed) {
+  // Probe order: the hinted slot, then live slots most-recent-first. Each
+  // probe computes the real bounded diff, so a match is always genuine.
+  RoutingState* probes[kMaxProbes];
+  std::size_t num_probes = 0;
+  if (hint != 0) {
+    for (RoutingState& s : slots_) {
+      if (s.stamp != 0 && s.fingerprint == hint) {
+        probes[num_probes++] = &s;
+        break;
+      }
+    }
+  }
+  while (num_probes < kMaxProbes) {
+    RoutingState* best = nullptr;
+    for (RoutingState& s : slots_) {
+      if (s.stamp == 0) continue;
+      bool taken = false;
+      for (std::size_t i = 0; i < num_probes; ++i) {
+        if (probes[i] == &s) taken = true;
+      }
+      if (taken) continue;
+      if (best == nullptr || s.stamp > best->stamp) best = &s;
+    }
+    if (best == nullptr) break;
+    probes[num_probes++] = best;
+  }
+  for (std::size_t i = 0; i < num_probes; ++i) {
+    RoutingState* s = probes[i];
+    if (s->topology.num_nodes() != child.num_nodes()) continue;
+    if (Topology::diff_edges(s->topology, child, added, removed, max_diff)) {
+      s->stamp = ++clock_;
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+RoutingState& RoutingStateStore::begin_fill(const RoutingState* keep) {
+  RoutingState* victim = nullptr;
+  for (RoutingState& s : slots_) {
+    if (&s == keep) continue;
+    if (victim == nullptr || s.stamp < victim->stamp) victim = &s;
+  }
+  victim->stamp = 0;  // free until commit(); a failed fill stays free
+  return *victim;
+}
+
+void RoutingStateStore::commit(RoutingState& slot, const Topology& g) {
+  slot.fingerprint = g.fingerprint();
+  slot.stamp = ++clock_;
+}
+
+void RoutingStateStore::touch(const Topology& g, std::uint64_t fingerprint) {
+  for (RoutingState& s : slots_) {
+    if (s.stamp != 0 && s.fingerprint == fingerprint && s.topology == g) {
+      s.stamp = ++clock_;
+      return;
+    }
+  }
+}
+
+}  // namespace cold

@@ -40,6 +40,10 @@ Evaluator::Evaluator(std::shared_ptr<const Matrix<double>> lengths,
   if (engine_.cache.enabled && !engine_.cache.shared) {
     cache_ = std::make_unique<CostCache>(engine_.cache);
   }
+  if (engine_.delta.enabled(n)) {
+    delta_store_ =
+        std::make_unique<RoutingStateStore>(engine_.delta.retained_states);
+  }
 }
 
 Evaluator Evaluator::clone() const {
@@ -65,6 +69,8 @@ void Evaluator::merge_stats(Evaluator& worker) {
   worker.evaluations_ = 0;
   dedup_skipped_ += worker.dedup_skipped_;
   worker.dedup_skipped_ = 0;
+  delta_stats_ += worker.delta_stats_;
+  worker.delta_stats_ = DeltaStats{};
   merged_cache_stats_ += worker.take_cache_stats();
 }
 
@@ -91,31 +97,102 @@ CostBreakdown Evaluator::breakdown(const Topology& g) {
   // Cache hits count: evaluations_ tracks requested evaluations so budgets
   // and traces are identical whether or not the cache is enabled.
   ++evaluations_;
+  // Hints are one-shot: a stale hint must not outlive the evaluation it
+  // described, so consume it before any early return.
+  const std::uint64_t hint = parent_hint_;
+  parent_hint_ = 0;
   if (shared_cache_ != nullptr) {
     CostBreakdown hit;
     if (shared_cache_->find(g, hit)) {
       ++shared_stats_.hits;
       loads_valid_ = false;  // hit skips routing; loads_ is stale
+      // The cache stores no routing state; keep any retained state for this
+      // topology warm so its children can still delta from it.
+      if (delta_store_) delta_store_->touch(g, g.fingerprint());
       return hit;
     }
     ++shared_stats_.misses;
   } else if (cache_ != nullptr) {
     if (const CostBreakdown* hit = cache_->find(g)) {
       loads_valid_ = false;  // hit skips routing; loads_ is stale
+      if (delta_store_) delta_store_->touch(g, g.fingerprint());
       return *hit;
     }
   }
-  const Matrix<double>& lengths = *lengths_;
-  CostBreakdown b;
-  if (!route_loads(g, lengths, *traffic_, loads_, ws_,
+  if (delta_store_) return breakdown_delta(g, hint);
+  if (!route_loads(g, *lengths_, *traffic_, loads_, ws_,
                    engine_.sp_algorithm)) {
-    b.feasible = false;  // disconnected: cannot carry the traffic
-    loads_valid_ = false;
-    insert_in_cache(g, b);
-    return b;
+    return infeasible_breakdown(g);  // disconnected: cannot carry traffic
   }
+  return finish_breakdown(g);
+}
+
+CostBreakdown Evaluator::breakdown_delta(const Topology& g,
+                                         std::uint64_t hint) {
+  const std::size_t n = g.num_nodes();
+  RoutingState* parent = delta_store_->match(
+      g, hint, engine_.delta.max_diff_edges, diff_added_, diff_removed_);
+  if (parent == nullptr) {
+    // No retained parent within K edges: full sweep, but keep the trees so
+    // this topology can serve as a parent later.
+    ++delta_stats_.fallbacks;
+    RoutingState& slot = delta_store_->begin_fill(nullptr);
+    if (!route_loads_retained(g, *lengths_, *traffic_, loads_, slot.trees,
+                              ws_, engine_.sp_algorithm)) {
+      return infeasible_breakdown(g);  // slot stays free
+    }
+    slot.topology = g;
+    delta_store_->commit(slot, g);
+    return finish_breakdown(g);
+  }
+  ++delta_stats_.hits;
+  SpAlgorithm algo = engine_.sp_algorithm;
+  if (algo == SpAlgorithm::kAuto) {
+    algo = select_sp_algorithm(n, g.num_edges());
+  }
+  const std::size_t max_resettled = static_cast<std::size_t>(
+      engine_.delta.max_resettle_ratio * static_cast<double>(n));
+  RoutingState& slot = delta_store_->begin_fill(parent);
+  slot.trees.resize(n);
+  loads_.fill(0.0);
+  for (NodeId s = 0; s < n; ++s) {
+    ShortestPathTree& tree = slot.trees[s];
+    tree = parent->trees[s];
+    const SpUpdateResult r = update_shortest_path_tree(
+        g, *lengths_, diff_added_, diff_removed_, tree, sp_ws_,
+        max_resettled);
+    if (r.applied) {
+      delta_stats_.vertices_resettled += r.resettled;
+    } else {
+      // Affected region too large for this source: full sweep, identical
+      // result by the solvers' exactness contract.
+      shortest_path_tree(g, *lengths_, s, tree, algo);
+    }
+    if (tree.order.size() != n) {
+      return infeasible_breakdown(g);  // disconnected; slot stays free
+    }
+    // Aggregation is the exact route_loads code path in the exact source
+    // order, so the loads are bit-identical to a full sweep's.
+    accumulate_tree_loads(tree, *traffic_, s, loads_, ws_.aggregate);
+  }
+  slot.topology = g;
+  delta_store_->commit(slot, g);
+  return finish_breakdown(g);
+}
+
+CostBreakdown Evaluator::infeasible_breakdown(const Topology& g) {
+  CostBreakdown b;
+  b.feasible = false;
+  loads_valid_ = false;
+  insert_in_cache(g, b);
+  return b;
+}
+
+CostBreakdown Evaluator::finish_breakdown(const Topology& g) {
+  CostBreakdown b;
   b.feasible = true;
   loads_valid_ = true;
+  const Matrix<double>& lengths = *lengths_;
   const std::size_t n = g.num_nodes();
   double sum_len = 0.0, sum_bw_len = 0.0;
   for (NodeId i = 0; i < n; ++i) {

@@ -8,20 +8,25 @@
 // clone() per thread: clones share the immutable context matrices (cheap,
 // read-only) and own private scratch.
 //
-// The evaluation engine (EvalEngineConfig) adds two orthogonal levers:
+// The evaluation engine (EvalEngineConfig) adds three orthogonal levers:
 //   * a memoization cache (cost/cost_cache.h) that short-circuits repeat
 //     evaluations by Zobrist fingerprint with full-adjacency verification;
-//   * the shortest-path solver choice (graph/shortest_paths.h).
-// Both are exact: every configuration yields bit-identical costs, so GA
+//   * the shortest-path solver choice (graph/shortest_paths.h);
+//   * the delta engine (cost/delta_state.h): retained parent routing states
+//     repaired incrementally for children within a few edge flips
+//     (--dsssp), fed by parent-fingerprint hints from the GA.
+// All are exact: every configuration yields bit-identical costs, so GA
 // trajectories do not depend on engine settings. Cache hits still count as
 // evaluations() — budgets and traces agree whether or not the cache is on.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "cost/cost_cache.h"
 #include "cost/cost_model.h"
+#include "cost/delta_state.h"
 #include "net/routing.h"
 #include "util/matrix.h"
 
@@ -98,6 +103,27 @@ class Evaluator {
   /// Evaluations served by dedup fan-out (merged like evaluations()).
   std::size_t dedup_skipped() const { return dedup_skipped_; }
 
+  /// Plants the Zobrist fingerprint of the topology the *next* breakdown()
+  /// argument was derived from (the GA records it during variation). Purely
+  /// a performance hint for the delta engine's parent probe — matches are
+  /// verified by a real adjacency diff, and a wrong or missing hint can
+  /// only cost probe time, never exactness. Consumed by one evaluation;
+  /// 0 means "no hint". Ignored when the delta engine is off.
+  void set_parent_hint(std::uint64_t fingerprint) {
+    parent_hint_ = fingerprint;
+  }
+
+  /// Delta-engine counters (merged across clones like evaluations()):
+  /// hits = evaluations served by incremental tree repair, fallbacks =
+  /// delta-enabled evaluations that ran full sweeps (no retained parent
+  /// within max_diff_edges), vertices_resettled = labels recomputed
+  /// incrementally. All zeros when the engine is off.
+  const DeltaStats& delta_stats() const { return delta_stats_; }
+
+  /// The retained-state ring, or nullptr when the delta engine is off for
+  /// this instance's node count. Exposed for tests.
+  const RoutingStateStore* delta_store() const { return delta_store_.get(); }
+
   /// The cross-worker cache, or nullptr when not in shared mode. Exposed so
   /// tests can assert clones share one instance and inspect its totals.
   const SharedCostCache* shared_cache() const { return shared_cache_.get(); }
@@ -115,6 +141,16 @@ class Evaluator {
   /// Stores `b` for `g` in whichever cache (shared or private) is active.
   void insert_in_cache(const Topology& g, const CostBreakdown& b);
 
+  /// Routes `g` via the delta engine: incremental repair of a retained
+  /// parent's trees when one matches, full (retained) sweep otherwise.
+  CostBreakdown breakdown_delta(const Topology& g, std::uint64_t hint);
+
+  /// The infeasible-result tail shared by every routing path.
+  CostBreakdown infeasible_breakdown(const Topology& g);
+
+  /// Cost terms from `loads_` for a feasibly-routed `g` + cache insert.
+  CostBreakdown finish_breakdown(const Topology& g);
+
   // The context is shared across clones and never mutated after
   // construction; scratch, cache and counters are per-instance.
   std::shared_ptr<const Matrix<double>> lengths_;
@@ -130,6 +166,15 @@ class Evaluator {
   RoutingWorkspace ws_;
   std::size_t evaluations_ = 0;
   std::size_t dedup_skipped_ = 0;
+
+  // Delta engine: per-instance like the routing workspace (see
+  // delta_state.h for why states are not shared across clones).
+  std::unique_ptr<RoutingStateStore> delta_store_;  ///< null when off
+  DeltaStats delta_stats_;
+  std::uint64_t parent_hint_ = 0;
+  SpUpdateWorkspace sp_ws_;
+  std::vector<Edge> diff_added_;
+  std::vector<Edge> diff_removed_;
 };
 
 }  // namespace cold

@@ -120,11 +120,15 @@ class ParallelScorer {
   /// Repairs and scores items [begin, size) of `gs` into `costs`, updating
   /// the result's repair/evaluation counters. Deterministic: each slot is
   /// written by exactly one task and counters are summed after the join.
+  /// `hints` (nullable, aligned with `gs`) carries each offspring's parent
+  /// fingerprint to the worker's objective — the delta evaluation engine's
+  /// probe hint; exactness never depends on it.
   void score(std::vector<Topology>& gs, std::vector<double>& costs,
              std::size_t begin, const Matrix<double>& lengths,
-             GaResult& result) {
+             GaResult& result,
+             const std::vector<std::uint64_t>* hints = nullptr) {
     if (dedup_) {
-      score_dedup(gs, costs, begin, lengths, result);
+      score_dedup(gs, costs, begin, lengths, result, hints);
       return;
     }
     struct Counters {
@@ -141,6 +145,7 @@ class ParallelScorer {
             per_worker[w].links_repaired += added;
           }
           ++per_worker[w].evaluations;
+          if (hints != nullptr) objectives_[w]->set_parent_hint((*hints)[i]);
           costs[i] = objectives_[w]->cost(gs[i]);
         });
     for (const Counters& c : per_worker) {
@@ -161,7 +166,8 @@ class ParallelScorer {
   /// and every candidate is still charged as a repair/evaluation.
   void score_dedup(std::vector<Topology>& gs, std::vector<double>& costs,
                    std::size_t begin, const Matrix<double>& lengths,
-                   GaResult& result) {
+                   GaResult& result,
+                   const std::vector<std::uint64_t>* hints = nullptr) {
     std::vector<std::uint64_t> fps(gs.size());
     for (std::size_t i = 0; i < gs.size(); ++i) fps[i] = gs[i].fingerprint();
     const std::vector<std::size_t> rep_of =
@@ -175,6 +181,7 @@ class ParallelScorer {
     pool_->parallel_for(0, uniques.size(), [&](std::size_t k, std::size_t w) {
       const std::size_t i = uniques[k];
       added[i] = repair_connectivity(gs[i], lengths);
+      if (hints != nullptr) objectives_[w]->set_parent_hint((*hints)[i]);
       costs[i] = objectives_[w]->cost(gs[i]);
     });
     // Sequential fan-out after the join. Counters are charged per candidate
@@ -260,6 +267,11 @@ GaResult run_ga(Objective& eval, Rng& rng, const GaRunOptions& options) {
   std::vector<double> next_costs;
   next.reserve(cfg.population);
   next_costs.reserve(cfg.population);
+  // Parent fingerprint per offspring slot, recorded during variation and
+  // handed to the scorer so the delta evaluation engine knows which
+  // retained routing state each child likely descends from. 0 = no parent
+  // (elite slots — never re-scored anyway).
+  std::vector<std::uint64_t> parent_hints(cfg.population, 0);
 
   // Counter snapshots for per-generation telemetry deltas.
   std::size_t prev_repairs = result.repairs;
@@ -305,12 +317,16 @@ GaResult run_ga(Objective& eval, Rng& rng, const GaRunOptions& options) {
         parents.push_back(&pop[pi]);
         parent_costs.push_back(costs[pi]);
       }
+      // select_parents ranks by cost, so [0] is the fittest parent — the
+      // one uniform per-link crossover biases the child toward.
+      parent_hints[next.size()] = pop[parent_idx[0]].fingerprint();
       next.push_back(crossover(parents, parent_costs, rng));
       next_costs.push_back(0.0);
     }
     // 2b. Mutants.
     for (std::size_t i = 0; i < cfg.num_mutation; ++i) {
       Topology mutant = pop[inverse_cost_index(costs, rng)];
+      parent_hints[next.size()] = mutant.fingerprint();
       if (rng.bernoulli(cfg.node_mutation_prob)) {
         if (!node_mutation(mutant, lengths, rng)) {
           link_mutation(mutant, rng);
@@ -322,7 +338,8 @@ GaResult run_ga(Objective& eval, Rng& rng, const GaRunOptions& options) {
       next_costs.push_back(0.0);
     }
     // 3. Repair + score every non-elite in parallel.
-    scorer.score(next, next_costs, cfg.num_saved, lengths, result);
+    scorer.score(next, next_costs, cfg.num_saved, lengths, result,
+                 &parent_hints);
     pop.swap(next);
     costs.swap(next_costs);
     ++result.generations_run;

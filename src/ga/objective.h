@@ -46,6 +46,12 @@ class Objective {
   /// count evaluations have nothing to charge).
   virtual void charge_duplicates(std::size_t /*n*/) {}
 
+  /// Fingerprint of the topology the next cost() argument was derived from
+  /// (the GA records each offspring's parent during variation). Purely a
+  /// performance hint for the delta evaluation engine; see
+  /// Evaluator::set_parent_hint. No-op by default.
+  virtual void set_parent_hint(std::uint64_t /*fingerprint*/) {}
+
   std::size_t num_nodes() const { return lengths().rows(); }
 };
 
@@ -74,6 +80,10 @@ class EvaluatorObjective final : public Objective {
 
   void charge_duplicates(std::size_t n) override {
     eval_->charge_duplicates(n);
+  }
+
+  void set_parent_hint(std::uint64_t fingerprint) override {
+    eval_->set_parent_hint(fingerprint);
   }
 
   Evaluator& evaluator() { return *eval_; }

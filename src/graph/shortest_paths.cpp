@@ -115,6 +115,185 @@ void shortest_path_tree_sparse(const Topology& g, const Matrix<double>& lengths,
 
 }  // namespace
 
+SpUpdateResult update_shortest_path_tree(const Topology& g,
+                                         const Matrix<double>& lengths,
+                                         const std::vector<Edge>& inserted,
+                                         const std::vector<Edge>& removed,
+                                         ShortestPathTree& tree,
+                                         SpUpdateWorkspace& ws,
+                                         std::size_t max_resettled) {
+  const std::size_t n = g.num_nodes();
+  if (tree.dist.size() != n || lengths.rows() != n) {
+    throw std::invalid_argument("update_shortest_path_tree: size mismatch");
+  }
+  const NodeId source = tree.source;
+
+  ws.dirty.assign(n, 0);
+  ws.dirty_list.clear();
+  bool overflow = false;
+  auto mark_dirty = [&](NodeId v) {
+    if (ws.dirty[v]) return;
+    ws.dirty[v] = 1;
+    ws.dirty_list.push_back(v);
+    if (ws.dirty_list.size() > max_resettled) overflow = true;
+  };
+
+  // A removed edge only matters when it is a *tree* edge: every other
+  // vertex's tree path is intact, so its label — already the canonical
+  // minimum, which deletions cannot improve — stays final.
+  auto orphan_child = [&](const Edge& e) -> NodeId {
+    if (e.v != source && tree.dist[e.v] != kInf && tree.parent[e.v] == e.u) {
+      return e.v;
+    }
+    if (e.u != source && tree.dist[e.u] != kInf && tree.parent[e.u] == e.v) {
+      return e.u;
+    }
+    return n;
+  };
+  bool any_tree_edge = false;
+  for (const Edge& e : removed) {
+    if (orphan_child(e) != n) {
+      any_tree_edge = true;
+      break;
+    }
+  }
+
+  if (any_tree_edge) {
+    // Children lists (CSR) from the current parent pointers, then mark each
+    // orphaned subtree and reset it to the unreachable state a fresh sweep
+    // starts from. Nested orphan subtrees dedup via the dirty flags.
+    ws.child_off.assign(n + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != source && tree.dist[v] != kInf) {
+        ++ws.child_off[tree.parent[v] + 1];
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) ws.child_off[v + 1] += ws.child_off[v];
+    ws.child_buf.resize(ws.child_off[n]);
+    {
+      std::vector<std::uint32_t>& cursor = ws.child_off;  // consumed below
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != source && tree.dist[v] != kInf) {
+          ws.child_buf[cursor[tree.parent[v]]++] = v;
+        }
+      }
+      // cursor[p] advanced to child_off[p + 1]; restore by shifting back.
+      for (NodeId v = n; v-- > 0;) cursor[v + 1] = cursor[v];
+      cursor[0] = 0;
+    }
+    ws.stack.clear();
+    for (const Edge& e : removed) {
+      const NodeId c = orphan_child(e);
+      if (c != n && !ws.dirty[c]) {
+        mark_dirty(c);
+        ws.stack.push_back(c);
+      }
+    }
+    while (!ws.stack.empty()) {
+      const NodeId x = ws.stack.back();
+      ws.stack.pop_back();
+      for (std::uint32_t i = ws.child_off[x]; i < ws.child_off[x + 1]; ++i) {
+        const NodeId c = ws.child_buf[i];
+        if (!ws.dirty[c]) {
+          mark_dirty(c);
+          ws.stack.push_back(c);
+        }
+      }
+    }
+    if (overflow) return {false, ws.dirty_list.size()};
+    for (const NodeId x : ws.dirty_list) {
+      tree.dist[x] = kInf;
+      tree.hops[x] = -1;
+      tree.parent[x] = 0;
+    }
+  }
+  const std::size_t num_invalidated = ws.dirty_list.size();
+
+  auto& heap = ws.heap;
+  heap.clear();
+  const HeapGreater greater;
+  // The relaxation rule is byte-for-byte the solvers' — including the
+  // equal-(dist, hops) smallest-parent tie-break — so the fixpoint it
+  // reaches is exactly the fresh-sweep labels. Parent-only improvements
+  // never propagate (children depend only on the parent's key), so they
+  // update in place without a push.
+  auto relax = [&](NodeId from, NodeId to) {
+    const double cand = tree.dist[from] + lengths(from, to);
+    const int cand_hops = tree.hops[from] + 1;
+    const bool better =
+        cand < tree.dist[to] ||
+        (cand == tree.dist[to] &&
+         (cand_hops < tree.hops[to] ||
+          (cand_hops == tree.hops[to] && tree.dist[to] != kInf &&
+           from < tree.parent[to])));
+    if (!better) return;
+    const bool key_changed =
+        cand != tree.dist[to] || cand_hops != tree.hops[to];
+    tree.dist[to] = cand;
+    tree.hops[to] = cand_hops;
+    tree.parent[to] = from;
+    if (key_changed) {
+      mark_dirty(to);
+      heap.push_back({cand, cand_hops, to});
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  };
+
+  // Seed the frontier: each orphan from its surviving neighbours, each
+  // inserted edge from whichever endpoint is reachable.
+  for (std::size_t i = 0; i < num_invalidated; ++i) {
+    const NodeId x = ws.dirty_list[i];
+    for (const NodeId y : g.adjacency(x)) {
+      if (tree.dist[y] != kInf) relax(y, x);
+    }
+  }
+  for (const Edge& e : inserted) {
+    if (tree.dist[e.u] != kInf) relax(e.u, e.v);
+    if (tree.dist[e.v] != kInf) relax(e.v, e.u);
+  }
+
+  // Label-correcting propagation. Pops come off in nondecreasing key order
+  // and every relaxation produces a key strictly above its source's, so each
+  // vertex is re-settled at most once; stale entries skip by key mismatch.
+  while (!heap.empty() && !overflow) {
+    const ShortestPathTree::HeapItem top = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    heap.pop_back();
+    const NodeId v = top.id;
+    if (top.dist != tree.dist[v] || top.hops != tree.hops[v]) continue;
+    for (const NodeId u : g.adjacency(v)) relax(v, u);
+  }
+  if (overflow) return {false, ws.dirty_list.size()};
+  if (ws.dirty_list.empty()) return {true, 0};  // labels untouched
+
+  // Rebuild the settle order. The fresh-sweep order is the reachable
+  // vertices sorted by final (dist, hops, id); unchanged vertices are
+  // already in that order, so merge them with the re-sorted changed set.
+  auto key_less = [&](NodeId a, NodeId b) {
+    if (tree.dist[a] != tree.dist[b]) return tree.dist[a] < tree.dist[b];
+    if (tree.hops[a] != tree.hops[b]) return tree.hops[a] < tree.hops[b];
+    return a < b;
+  };
+  ws.changed.clear();
+  for (const NodeId x : ws.dirty_list) {
+    if (tree.dist[x] != kInf) ws.changed.push_back(x);
+    tree.settled[x] = tree.dist[x] != kInf ? 1 : 0;
+  }
+  std::sort(ws.changed.begin(), ws.changed.end(), key_less);
+  ws.merged.clear();
+  std::size_t ci = 0;
+  for (const NodeId v : tree.order) {
+    if (ws.dirty[v]) continue;
+    while (ci < ws.changed.size() && key_less(ws.changed[ci], v)) {
+      ws.merged.push_back(ws.changed[ci++]);
+    }
+    ws.merged.push_back(v);
+  }
+  while (ci < ws.changed.size()) ws.merged.push_back(ws.changed[ci++]);
+  tree.order.assign(ws.merged.begin(), ws.merged.end());
+  return {true, ws.dirty_list.size()};
+}
+
 SpAlgorithm select_sp_algorithm(std::size_t n, std::size_t m) {
   // Dense does ~n^2 cheap scan steps per source; the heap does ~(n + m)
   // pushes/pops, each costing a log n sift of a 16-byte entry (~4x a scan

@@ -72,6 +72,56 @@ ShortestPathTree shortest_path_tree(const Topology& g,
                                     NodeId source,
                                     SpAlgorithm algo = SpAlgorithm::kAuto);
 
+/// Reusable scratch for update_shortest_path_tree. One workspace serves any
+/// number of sources/graphs; steady state allocates nothing.
+struct SpUpdateWorkspace {
+  std::vector<std::uint32_t> child_off;   ///< CSR offsets into child_buf
+  std::vector<NodeId> child_buf;          ///< children by parent pointer
+  std::vector<std::uint8_t> dirty;        ///< label (dist, hops) touched
+  std::vector<NodeId> dirty_list;         ///< dirty vertices, discovery order
+  std::vector<NodeId> stack;              ///< subtree DFS scratch
+  std::vector<ShortestPathTree::HeapItem> heap;  ///< label-correcting frontier
+  std::vector<NodeId> changed;            ///< dirty & reachable, sorted by key
+  std::vector<NodeId> merged;             ///< rebuilt settle order
+};
+
+/// Outcome of an incremental tree update.
+struct SpUpdateResult {
+  bool applied = false;       ///< false: cutoff hit; `tree` is unspecified
+  std::size_t resettled = 0;  ///< vertices whose label was recomputed
+};
+
+/// Incrementally repairs `tree` — a valid shortest-path tree of the graph
+/// `g` *minus* `inserted` *plus* `removed` — into the tree of `g` itself,
+/// bit-identical (dist, hops, parent, order) to a fresh dense or sparse
+/// sweep. Dynamic-SSSP, Ramalingam–Reps style:
+///
+///   * edge delete: only a *tree* edge matters — the orphaned subtree is
+///     invalidated and re-settled from its frontier of intact neighbours;
+///   * edge insert: relax across the new edge and ripple only the vertices
+///     it improves.
+///
+/// Exactness rests on two properties of the composite (dist, hops, id) key
+/// (see DESIGN.md §4.5): the final labels are a canonical fixpoint of the
+/// solvers' relaxation rule (order-independent, so label-correcting
+/// propagation reaches exactly the fresh-sweep labels), and the fresh settle
+/// order equals the reachable vertices sorted by final key (every relaxation
+/// strictly increases the key — zero-length edges still add a hop), so the
+/// order is rebuilt by merging unchanged vertices with the re-sorted changed
+/// ones.
+///
+/// Stops and returns applied == false once more than `max_resettled`
+/// vertices needed recomputation (the caller then runs a full sweep; `tree`
+/// is left in an unspecified state). Cost: O(A log A + n) where A is the
+/// affected region, versus O(n^2) / O((n+m) log n) for a sweep.
+SpUpdateResult update_shortest_path_tree(const Topology& g,
+                                         const Matrix<double>& lengths,
+                                         const std::vector<Edge>& inserted,
+                                         const std::vector<Edge>& removed,
+                                         ShortestPathTree& tree,
+                                         SpUpdateWorkspace& ws,
+                                         std::size_t max_resettled);
+
 /// All-pairs shortest path lengths via Floyd–Warshall. O(n^3); used for
 /// cross-checking Dijkstra and for small-instance analysis.
 Matrix<double> floyd_warshall(const Topology& g, const Matrix<double>& lengths);

@@ -150,4 +150,42 @@ std::size_t Topology::edge_difference(const Topology& a, const Topology& b) {
   return diff;
 }
 
+bool Topology::diff_edges(const Topology& from, const Topology& to,
+                          std::vector<Edge>& added, std::vector<Edge>& removed,
+                          std::size_t max_edges) {
+  if (from.n_ != to.n_) {
+    throw std::invalid_argument("diff_edges: size mismatch");
+  }
+  added.clear();
+  removed.clear();
+  for (NodeId u = 0; u < from.n_; ++u) {
+    const std::vector<NodeId>& a = from.nbrs_[u];
+    const std::vector<NodeId>& b = to.nbrs_[u];
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      const NodeId av = i < a.size() ? a[i] : from.n_;
+      const NodeId bv = j < b.size() ? b[j] : to.n_;
+      if (av == bv) {
+        ++i;
+        ++j;
+        continue;
+      }
+      if (av < bv) {
+        if (u < av) {  // each unordered pair reported once, from its low end
+          removed.push_back({u, av});
+          if (added.size() + removed.size() > max_edges) return false;
+        }
+        ++i;
+      } else {
+        if (u < bv) {
+          added.push_back({u, bv});
+          if (added.size() + removed.size() > max_edges) return false;
+        }
+        ++j;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace cold

@@ -106,6 +106,17 @@ class Topology {
   /// distance restricted to edge flips).
   static std::size_t edge_difference(const Topology& a, const Topology& b);
 
+  /// Edge-set diff `from` -> `to` as explicit lists: `added` holds the edges
+  /// of `to` absent from `from`, `removed` the edges of `from` absent from
+  /// `to` (both canonical u < v, lexicographic). Walks the sorted adjacency
+  /// lists, O(n + m_from + m_to), and gives up early once the total diff
+  /// exceeds `max_edges`: returns false with the lists truncated. This is
+  /// the delta evaluation engine's parent-match test, so the early exit —
+  /// not the full diff — is the common path.
+  static bool diff_edges(const Topology& from, const Topology& to,
+                         std::vector<Edge>& added, std::vector<Edge>& removed,
+                         std::size_t max_edges);
+
   friend bool operator==(const Topology& a, const Topology& b) {
     return a.n_ == b.n_ && a.adj_ == b.adj_;
   }

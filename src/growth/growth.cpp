@@ -80,6 +80,10 @@ class GrowthObjective final : public Objective {
     eval_->inner().charge_duplicates(n);
   }
 
+  void set_parent_hint(std::uint64_t fingerprint) override {
+    eval_->inner().set_parent_hint(fingerprint);
+  }
+
  private:
   std::unique_ptr<GrowthEvaluator> owned_;  ///< set only for clones
   GrowthEvaluator* eval_;
@@ -179,6 +183,10 @@ GrowthResult grow_network(const Network& base, const GrowthConfig& config,
     summary.cache_misses = cache.misses;
     summary.cache_inserts = cache.inserts;
     summary.cache_evictions = cache.evictions;
+    const DeltaStats& delta = eval.inner().delta_stats();
+    summary.dsssp_hits = delta.hits;
+    summary.dsssp_fallbacks = delta.fallbacks;
+    summary.vertices_resettled = delta.vertices_resettled;
     config.observer->on_run_end(summary);
   }
   return result;

@@ -26,17 +26,51 @@ bool route_loads(const Topology& g, const Matrix<double>& lengths,
   for (NodeId s = 0; s < n; ++s) {
     shortest_path_tree(g, lengths, s, ws.tree, algo);
     if (ws.tree.order.size() != n) return false;  // disconnected
-    // Push demands down the shortest-path tree: walking nodes in
-    // decreasing-distance order, each node hands its subtree demand to its
-    // parent edge. O(n) per source.
-    for (NodeId t = 0; t < n; ++t) ws.aggregate[t] = traffic(s, t);
-    for (std::size_t i = n; i-- > 1;) {  // skip the source (order[0])
-      const NodeId t = ws.tree.order[i];
-      const NodeId p = ws.tree.parent[t];
-      loads(p, t) += ws.aggregate[t];
-      loads(t, p) += ws.aggregate[t];
-      ws.aggregate[p] += ws.aggregate[t];
-    }
+    accumulate_tree_loads(ws.tree, traffic, s, loads, ws.aggregate);
+  }
+  return true;
+}
+
+void accumulate_tree_loads(const ShortestPathTree& tree,
+                           const Matrix<double>& traffic, NodeId s,
+                           Matrix<double>& loads,
+                           std::vector<double>& aggregate) {
+  // Push demands down the shortest-path tree: walking nodes in
+  // decreasing-distance order, each node hands its subtree demand to its
+  // parent edge. O(n) per source.
+  const std::size_t n = tree.dist.size();
+  aggregate.resize(n);
+  for (NodeId t = 0; t < n; ++t) aggregate[t] = traffic(s, t);
+  for (std::size_t i = n; i-- > 1;) {  // skip the source (order[0])
+    const NodeId t = tree.order[i];
+    const NodeId p = tree.parent[t];
+    loads(p, t) += aggregate[t];
+    loads(t, p) += aggregate[t];
+    aggregate[p] += aggregate[t];
+  }
+}
+
+bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
+                          const Matrix<double>& traffic, Matrix<double>& loads,
+                          std::vector<ShortestPathTree>& trees,
+                          RoutingWorkspace& ws, SpAlgorithm algo) {
+  const std::size_t n = g.num_nodes();
+  if (traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument("route_loads_retained: traffic shape mismatch");
+  }
+  if (loads.rows() != n || loads.cols() != n) {
+    loads = Matrix<double>::square(n, 0.0);
+  } else {
+    loads.fill(0.0);
+  }
+  trees.resize(n);
+  if (algo == SpAlgorithm::kAuto) {
+    algo = select_sp_algorithm(n, g.num_edges());
+  }
+  for (NodeId s = 0; s < n; ++s) {
+    shortest_path_tree(g, lengths, s, trees[s], algo);
+    if (trees[s].order.size() != n) return false;  // disconnected
+    accumulate_tree_loads(trees[s], traffic, s, loads, ws.aggregate);
   }
   return true;
 }

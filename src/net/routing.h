@@ -41,6 +41,28 @@ bool route_loads(const Topology& g, const Matrix<double>& lengths,
                  const Matrix<double>& traffic, Matrix<double>& loads,
                  RoutingWorkspace& ws, SpAlgorithm algo = SpAlgorithm::kAuto);
 
+/// The per-source half of route_loads: pushes row `s` of `traffic` down
+/// `tree` (the shortest-path tree rooted at s, which must span all n nodes),
+/// accumulating into `loads`. Exposed so the delta evaluation engine can
+/// aggregate incrementally-updated trees through the *same* code path —
+/// identical operation order, so loads are bit-identical to a full
+/// route_loads sweep. `aggregate` is caller scratch (resized here).
+void accumulate_tree_loads(const ShortestPathTree& tree,
+                           const Matrix<double>& traffic, NodeId s,
+                           Matrix<double>& loads,
+                           std::vector<double>& aggregate);
+
+/// route_loads, but each source's tree is computed into (and left in)
+/// `trees[s]` instead of transient workspace — the delta engine retains them
+/// as parent state for incremental re-routing. `trees` is resized to n.
+/// Same return contract as route_loads: false means disconnected, with
+/// loads and trees partial.
+bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
+                          const Matrix<double>& traffic, Matrix<double>& loads,
+                          std::vector<ShortestPathTree>& trees,
+                          RoutingWorkspace& ws,
+                          SpAlgorithm algo = SpAlgorithm::kAuto);
+
 /// Sum over routes of demand * route physical length (the paper's
 /// sum_r t_r L_r from eq. (1)). Returns infinity if disconnected.
 /// The workspace overload is allocation-free in the steady state; the

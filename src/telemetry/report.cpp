@@ -45,8 +45,8 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
   root["schema"] = "cold-run-report";
   // v2 added result.cache; v3 added per-phase/per-generation engine
   // counters and gates all of them (result.cache included) behind
-  // include_timing; see report.h.
-  root["version"] = 3;
+  // include_timing; v4 added the delta-evaluation counters; see report.h.
+  root["version"] = 4;
 
   JsonObject run;
   run["seed"] = static_cast<double>(report.seed);
@@ -66,6 +66,12 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
     cache["evictions"] = static_cast<double>(report.cache_evictions);
     result["cache"] = std::move(cache);
     result["dedup_skipped"] = report.dedup_skipped;
+    JsonObject dsssp;
+    dsssp["hits"] = static_cast<double>(report.dsssp_hits);
+    dsssp["fallbacks"] = static_cast<double>(report.dsssp_fallbacks);
+    dsssp["vertices_resettled"] =
+        static_cast<double>(report.vertices_resettled);
+    result["dsssp"] = std::move(dsssp);
   }
   put_wall(result, report.wall_ns, include_timing);
   root["result"] = std::move(result);
@@ -81,6 +87,10 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
       obj["cache_inserts"] = static_cast<double>(p.cache_inserts);
       obj["cache_evictions"] = static_cast<double>(p.cache_evictions);
       obj["dedup_skipped"] = p.dedup_skipped;
+      obj["dsssp_hits"] = static_cast<double>(p.dsssp_hits);
+      obj["dsssp_fallbacks"] = static_cast<double>(p.dsssp_fallbacks);
+      obj["vertices_resettled"] =
+          static_cast<double>(p.vertices_resettled);
     }
     put_wall(obj, p.wall_ns, include_timing);
     phases.push_back(std::move(obj));
@@ -169,6 +179,15 @@ RunReport run_report_from_json(const std::string& json) {
     report.dedup_skipped =
         static_cast<std::size_t>(result.field("dedup_skipped").number());
   }
+  if (result.has("dsssp")) {  // absent before v4 and in timing-free reports
+    const JsonValue& dsssp = result.field("dsssp");
+    report.dsssp_hits =
+        static_cast<std::uint64_t>(dsssp.field("hits").number());
+    report.dsssp_fallbacks =
+        static_cast<std::uint64_t>(dsssp.field("fallbacks").number());
+    report.vertices_resettled = static_cast<std::uint64_t>(
+        dsssp.field("vertices_resettled").number());
+  }
   report.wall_ns = get_wall(result);
 
   for (const JsonValue& p : doc.field("phases").array()) {
@@ -187,6 +206,14 @@ RunReport run_report_from_json(const std::string& json) {
           static_cast<std::uint64_t>(p.field("cache_evictions").number());
       stats.dedup_skipped =
           static_cast<std::size_t>(p.field("dedup_skipped").number());
+    }
+    if (p.has("dsssp_hits")) {  // the v4 trio travels together
+      stats.dsssp_hits =
+          static_cast<std::uint64_t>(p.field("dsssp_hits").number());
+      stats.dsssp_fallbacks =
+          static_cast<std::uint64_t>(p.field("dsssp_fallbacks").number());
+      stats.vertices_resettled = static_cast<std::uint64_t>(
+          p.field("vertices_resettled").number());
     }
     stats.wall_ns = get_wall(p);
     report.phases.push_back(stats);
@@ -262,6 +289,9 @@ void JsonReportSink::on_run_end(const RunSummary& e) {
   report_.cache_inserts = e.cache_inserts;
   report_.cache_evictions = e.cache_evictions;
   report_.dedup_skipped = e.dedup_skipped;
+  report_.dsssp_hits = e.dsssp_hits;
+  report_.dsssp_fallbacks = e.dsssp_fallbacks;
+  report_.vertices_resettled = e.vertices_resettled;
 }
 
 }  // namespace cold

@@ -10,16 +10,21 @@
 //
 //   {
 //     "schema": "cold-run-report",
-//     "version": 3,
+//     "version": 4,
 //     "run": {"seed": u64, "num_pops": n},
 //     "result": {"best_cost": x, "evaluations": n,
 //                "stopped_early": bool, "stop_reason": str,
 //                ["cache": {"hits": n, "misses": n,
 //                           "inserts": n, "evictions": n}],
-//                ["dedup_skipped": n], ["wall_ns": n]},
+//                ["dedup_skipped": n],
+//                ["dsssp": {"hits": n, "fallbacks": n,
+//                           "vertices_resettled": n}],
+//                ["wall_ns": n]},
 //     "phases": [{"name": str, "evaluations": n,
 //                 ["cache_hits": n, "cache_misses": n, "cache_inserts": n,
 //                  "cache_evictions": n, "dedup_skipped": n],
+//                 ["dsssp_hits": n, "dsssp_fallbacks": n,
+//                  "vertices_resettled": n],
 //                 ["wall_ns": n]}, ...],
 //     "heuristics": [{"name": str, "cost": x, ["wall_ns": n]}, ...],
 //     "generations": [{"gen": n, "best_cost": x, "mean_cost": x,
@@ -33,8 +38,9 @@
 // Version history: v1 had no "cache" object; v2 added it (emitted
 // unconditionally); v3 added per-phase engine-counter deltas and the dedup
 // counters, and reclassified all engine counters as performance data (only
-// emitted with timing). The parser accepts all three — missing counters
-// read back as zero; the writer always emits v3.
+// emitted with timing); v4 added the delta-evaluation (dynamic SSSP)
+// counters, timing-gated like the rest. The parser accepts all four —
+// missing counters read back as zero; the writer always emits v4.
 //
 // Round-trips through io/json: run_report_from_json(run_report_to_json(r))
 // reproduces every field (wall times included when serialized with timing).
@@ -63,6 +69,9 @@ struct RunReport {
   std::uint64_t cache_inserts = 0;
   std::uint64_t cache_evictions = 0;
   std::size_t dedup_skipped = 0;  ///< GA dedup fan-out total (schema v3)
+  std::uint64_t dsssp_hits = 0;   ///< delta-engine counters (schema v4)
+  std::uint64_t dsssp_fallbacks = 0;
+  std::uint64_t vertices_resettled = 0;
 
   std::vector<PhaseStats> phases;           ///< in completion order
   std::vector<HeuristicDone> heuristics;    ///< in run order

@@ -1,0 +1,209 @@
+#include "telemetry/report_diff.h"
+
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "io/json_value.h"
+
+namespace cold {
+
+namespace {
+
+std::string num(double x) {
+  std::ostringstream os;
+  os.precision(17);
+  os << x;
+  return os.str();
+}
+
+/// Collects divergences for one bucket (logical or perf) under a path
+/// prefix, so per-element comparisons read like field assignments.
+class Differ {
+ public:
+  explicit Differ(std::vector<ReportDiffEntry>& out) : out_(&out) {}
+
+  void field(const std::string& path, const std::string& a,
+             const std::string& b) {
+    if (a != b) out_->push_back({path, a, b});
+  }
+  void field(const std::string& path, double a, double b) {
+    // Compare the exact renderings: NaN != NaN under operator!= would
+    // report forever-diffs, and -0.0 == 0.0 would hide a bit difference.
+    field(path, num(a), num(b));
+  }
+  // size_t and uint64_t are the same type on LP64, so one overload
+  // covers every counter field.
+  void field(const std::string& path, std::uint64_t a, std::uint64_t b) {
+    if (a != b) {
+      out_->push_back({path, std::to_string(a), std::to_string(b)});
+    }
+  }
+  void field(const std::string& path, bool a, bool b) {
+    if (a != b) {
+      out_->push_back({path, a ? "true" : "false", b ? "true" : "false"});
+    }
+  }
+
+ private:
+  std::vector<ReportDiffEntry>* out_;
+};
+
+std::string idx(const std::string& array, std::size_t i) {
+  return array + "[" + std::to_string(i) + "]";
+}
+
+/// Diffs two arrays element-wise; a length mismatch yields one entry plus
+/// "<absent>" markers for the tail of the longer side.
+template <typename T, typename Fn>
+void diff_array(Differ& d, std::vector<ReportDiffEntry>& bucket,
+                const std::string& name, const std::vector<T>& a,
+                const std::vector<T>& b, Fn&& diff_element) {
+  d.field(name + ".length", a.size(), b.size());
+  const std::size_t common = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < common; ++i) {
+    diff_element(idx(name, i), a[i], b[i]);
+  }
+  const std::vector<T>& longer = a.size() > b.size() ? a : b;
+  for (std::size_t i = common; i < longer.size(); ++i) {
+    if (a.size() > b.size()) {
+      bucket.push_back({idx(name, i), "<present>", "<absent>"});
+    } else {
+      bucket.push_back({idx(name, i), "<absent>", "<present>"});
+    }
+  }
+}
+
+}  // namespace
+
+ReportDiff diff_run_reports(const RunReport& a, const RunReport& b) {
+  ReportDiff out;
+  Differ logical(out.logical);
+  Differ perf(out.perf);
+
+  logical.field("run.seed", a.seed, b.seed);
+  logical.field("run.num_pops", a.num_pops, b.num_pops);
+  logical.field("result.best_cost", a.best_cost, b.best_cost);
+  logical.field("result.evaluations", a.evaluations, b.evaluations);
+  logical.field("result.stopped_early", a.stopped_early, b.stopped_early);
+  logical.field("result.stop_reason", to_string(a.stop_reason),
+                to_string(b.stop_reason));
+
+  perf.field("result.wall_ns", a.wall_ns, b.wall_ns);
+  perf.field("result.cache.hits", a.cache_hits, b.cache_hits);
+  perf.field("result.cache.misses", a.cache_misses, b.cache_misses);
+  perf.field("result.cache.inserts", a.cache_inserts, b.cache_inserts);
+  perf.field("result.cache.evictions", a.cache_evictions, b.cache_evictions);
+  perf.field("result.dedup_skipped", a.dedup_skipped, b.dedup_skipped);
+  perf.field("result.dsssp.hits", a.dsssp_hits, b.dsssp_hits);
+  perf.field("result.dsssp.fallbacks", a.dsssp_fallbacks, b.dsssp_fallbacks);
+  perf.field("result.dsssp.vertices_resettled", a.vertices_resettled,
+             b.vertices_resettled);
+
+  diff_array(logical, out.logical, "phases", a.phases, b.phases,
+             [&](const std::string& p, const PhaseStats& x,
+                 const PhaseStats& y) {
+               logical.field(p + ".name", to_string(x.phase),
+                             to_string(y.phase));
+               logical.field(p + ".evaluations", x.evaluations,
+                             y.evaluations);
+               perf.field(p + ".wall_ns", x.wall_ns, y.wall_ns);
+               perf.field(p + ".cache_hits", x.cache_hits, y.cache_hits);
+               perf.field(p + ".cache_misses", x.cache_misses,
+                          y.cache_misses);
+               perf.field(p + ".cache_inserts", x.cache_inserts,
+                          y.cache_inserts);
+               perf.field(p + ".cache_evictions", x.cache_evictions,
+                          y.cache_evictions);
+               perf.field(p + ".dedup_skipped", x.dedup_skipped,
+                          y.dedup_skipped);
+               perf.field(p + ".dsssp_hits", x.dsssp_hits, y.dsssp_hits);
+               perf.field(p + ".dsssp_fallbacks", x.dsssp_fallbacks,
+                          y.dsssp_fallbacks);
+               perf.field(p + ".vertices_resettled", x.vertices_resettled,
+                          y.vertices_resettled);
+             });
+
+  diff_array(logical, out.logical, "heuristics", a.heuristics, b.heuristics,
+             [&](const std::string& p, const HeuristicDone& x,
+                 const HeuristicDone& y) {
+               logical.field(p + ".name", x.name, y.name);
+               logical.field(p + ".cost", x.cost, y.cost);
+               perf.field(p + ".wall_ns", x.wall_ns, y.wall_ns);
+             });
+
+  diff_array(logical, out.logical, "generations", a.generations,
+             b.generations,
+             [&](const std::string& p, const GenerationEnd& x,
+                 const GenerationEnd& y) {
+               logical.field(p + ".gen", x.gen, y.gen);
+               logical.field(p + ".best_cost", x.best_cost, y.best_cost);
+               logical.field(p + ".mean_cost", x.mean_cost, y.mean_cost);
+               logical.field(p + ".repairs", x.repairs, y.repairs);
+               logical.field(p + ".links_repaired", x.links_repaired,
+                             y.links_repaired);
+               logical.field(p + ".evaluations", x.evaluations,
+                             y.evaluations);
+               perf.field(p + ".dedup_skipped", x.dedup_skipped,
+                          y.dedup_skipped);
+               perf.field(p + ".wall_ns", x.wall_ns, y.wall_ns);
+             });
+
+  diff_array(logical, out.logical, "ensemble_runs", a.ensemble_runs,
+             b.ensemble_runs,
+             [&](const std::string& p, const EnsembleRunDone& x,
+                 const EnsembleRunDone& y) {
+               logical.field(p + ".index", x.index, y.index);
+               logical.field(p + ".seed", x.seed, y.seed);
+               logical.field(p + ".best_cost", x.best_cost, y.best_cost);
+               perf.field(p + ".wall_ns", x.wall_ns, y.wall_ns);
+             });
+
+  return out;
+}
+
+void write_report_diff_text(std::ostream& os, const ReportDiff& diff) {
+  if (diff.logical.empty() && diff.perf.empty()) {
+    os << "reports identical\n";
+    return;
+  }
+  for (const ReportDiffEntry& e : diff.logical) {
+    os << "LOGICAL " << e.path << ": " << e.a << " != " << e.b << "\n";
+  }
+  for (const ReportDiffEntry& e : diff.perf) {
+    os << "perf    " << e.path << ": " << e.a << " != " << e.b << "\n";
+  }
+  os << (diff.logical.empty() ? "logically equal" : "LOGICAL DIVERGENCE")
+     << " (" << diff.logical.size() << " logical, " << diff.perf.size()
+     << " perf)\n";
+}
+
+namespace {
+
+JsonArray entries_to_json(const std::vector<ReportDiffEntry>& entries) {
+  JsonArray arr;
+  for (const ReportDiffEntry& e : entries) {
+    JsonObject obj;
+    obj["path"] = e.path;
+    obj["a"] = e.a;
+    obj["b"] = e.b;
+    arr.push_back(std::move(obj));
+  }
+  return arr;
+}
+
+}  // namespace
+
+void write_report_diff_json(std::ostream& os, const ReportDiff& diff) {
+  JsonObject root;
+  root["schema"] = "cold-report-diff";
+  root["version"] = 1;
+  root["logically_equal"] = diff.logically_equal();
+  root["logical"] = entries_to_json(diff.logical);
+  root["perf"] = entries_to_json(diff.perf);
+  write_json(os, JsonValue{std::move(root)});
+  os << "\n";
+}
+
+}  // namespace cold

@@ -52,7 +52,11 @@ struct CanonicalPrinter {
          << " cache_misses=" << e.cache_misses
          << " cache_inserts=" << e.cache_inserts
          << " cache_evictions=" << e.cache_evictions
-         << " dedup_skipped=" << e.dedup_skipped << " wall_ns=" << e.wall_ns;
+         << " dedup_skipped=" << e.dedup_skipped
+         << " dsssp_hits=" << e.dsssp_hits
+         << " dsssp_fallbacks=" << e.dsssp_fallbacks
+         << " vertices_resettled=" << e.vertices_resettled
+         << " wall_ns=" << e.wall_ns;
     }
     os << "\n";
   }
@@ -86,7 +90,11 @@ struct CanonicalPrinter {
          << " cache_misses=" << e.cache_misses
          << " cache_inserts=" << e.cache_inserts
          << " cache_evictions=" << e.cache_evictions
-         << " dedup_skipped=" << e.dedup_skipped << " wall_ns=" << e.wall_ns;
+         << " dedup_skipped=" << e.dedup_skipped
+         << " dsssp_hits=" << e.dsssp_hits
+         << " dsssp_fallbacks=" << e.dsssp_fallbacks
+         << " vertices_resettled=" << e.vertices_resettled
+         << " wall_ns=" << e.wall_ns;
     }
     os << "\n";
   }
@@ -123,6 +131,10 @@ void ProgressSink::on_phase_end(const PhaseStats& e) {
         << (e.cache_hits + e.cache_misses) << " hits";
   }
   if (e.dedup_skipped > 0) os_ << ", dedup skipped " << e.dedup_skipped;
+  if (e.dsssp_hits + e.dsssp_fallbacks > 0) {
+    os_ << ", dsssp " << e.dsssp_hits << "/"
+        << (e.dsssp_hits + e.dsssp_fallbacks) << " delta";
+  }
   os_ << "\n";
 }
 
@@ -153,6 +165,10 @@ void ProgressSink::on_run_end(const RunSummary& e) {
         << (e.cache_hits + e.cache_misses) << " hits";
   }
   if (e.dedup_skipped > 0) os_ << ", dedup skipped " << e.dedup_skipped;
+  if (e.dsssp_hits + e.dsssp_fallbacks > 0) {
+    os_ << ", dsssp " << e.dsssp_hits << "/"
+        << (e.dsssp_hits + e.dsssp_fallbacks) << " delta";
+  }
   if (e.stopped_early) {
     os_ << " — stopped early (" << to_string(e.stop_reason) << ")";
   }

@@ -114,6 +114,11 @@ PhaseTimer::~PhaseTimer() {
     stats.cache_evictions =
         now.cache_evictions - engine_at_start_.cache_evictions;
     stats.dedup_skipped = now.dedup_skipped - engine_at_start_.dedup_skipped;
+    stats.dsssp_hits = now.dsssp_hits - engine_at_start_.dsssp_hits;
+    stats.dsssp_fallbacks =
+        now.dsssp_fallbacks - engine_at_start_.dsssp_fallbacks;
+    stats.vertices_resettled =
+        now.vertices_resettled - engine_at_start_.vertices_resettled;
   }
   observer_->on_phase_end(stats);
 }

@@ -85,6 +85,9 @@ struct PhaseStats {
   std::uint64_t cache_inserts = 0;
   std::uint64_t cache_evictions = 0;
   std::size_t dedup_skipped = 0;
+  std::uint64_t dsssp_hits = 0;       ///< delta-engine incremental evals
+  std::uint64_t dsssp_fallbacks = 0;  ///< delta-enabled evals swept fully
+  std::uint64_t vertices_resettled = 0;  ///< labels repaired incrementally
 };
 
 /// One greedy hub heuristic finished.
@@ -137,6 +140,9 @@ struct RunSummary {
   std::uint64_t cache_inserts = 0;    ///< cache entries written
   std::uint64_t cache_evictions = 0;  ///< LRU replacements
   std::size_t dedup_skipped = 0;  ///< evaluations served by GA dedup fan-out
+  std::uint64_t dsssp_hits = 0;       ///< delta-engine incremental evals
+  std::uint64_t dsssp_fallbacks = 0;  ///< delta-enabled evals swept fully
+  std::uint64_t vertices_resettled = 0;  ///< labels repaired incrementally
 };
 
 // ---------------------------------------------------------------------------
@@ -287,6 +293,9 @@ struct EngineCounters {
   std::uint64_t cache_inserts = 0;
   std::uint64_t cache_evictions = 0;
   std::size_t dedup_skipped = 0;
+  std::uint64_t dsssp_hits = 0;
+  std::uint64_t dsssp_fallbacks = 0;
+  std::uint64_t vertices_resettled = 0;
 };
 
 /// Emits on_phase_start on construction and on_phase_end (with wall-clock

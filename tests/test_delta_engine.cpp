@@ -1,0 +1,262 @@
+// Evaluator-level tests for the delta evaluation engine (cost/delta_state.h
+// + the --dsssp path in cost/evaluator.cpp): retained-parent matching,
+// bit-identity with full sweeps over GA-like mutation chains, counter
+// semantics, clone/merge behaviour, and the cache interaction.
+#include "cost/delta_state.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/context.h"
+#include "cost/evaluator.h"
+#include "ga/genetic.h"
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace cold {
+namespace {
+
+const CostParams kCosts{10.0, 1.0, 4e-4, 10.0};
+
+Context small_context(std::size_t n, std::uint64_t seed) {
+  ContextConfig cfg;
+  cfg.num_pops = n;
+  Rng rng(seed);
+  return generate_context(cfg, rng);
+}
+
+EvalEngineConfig delta_on() {
+  EvalEngineConfig engine;
+  engine.delta.mode = DsspMode::kOn;
+  return engine;
+}
+
+/// Flips one random non-self edge of `g`, returning the flipped edge.
+Edge flip_random_edge(Topology& g, Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  while (true) {
+    const NodeId a = rng.uniform_index(n);
+    const NodeId b = rng.uniform_index(n);
+    if (a == b) continue;
+    g.set_edge(a, b, !g.has_edge(a, b));
+    return make_edge(a, b);
+  }
+}
+
+// The engine's contract: along a chain of small mutations — exactly the
+// shape GA variation produces — hinted delta evaluation returns the same
+// breakdown, bit for bit, as an engine-free evaluator.
+TEST(DeltaEngine, BitIdenticalToFullSweepsOverMutationChain) {
+  const Context ctx = small_context(14, 1);
+  Evaluator delta(ctx.distances, ctx.traffic, kCosts, delta_on());
+  Evaluator plain(ctx.distances, ctx.traffic, kCosts);
+
+  Rng rng(2);
+  Topology g = Topology::complete(14);
+  ASSERT_EQ(delta.cost(g), plain.cost(g));  // first eval: fallback, retained
+  for (int step = 0; step < 60; ++step) {
+    const std::uint64_t parent_fp = g.fingerprint();
+    flip_random_edge(g, rng);
+    if (step % 2 == 0) flip_random_edge(g, rng);  // crossover-sized diffs too
+    delta.set_parent_hint(parent_fp);
+    const CostBreakdown want = plain.breakdown(g);
+    const CostBreakdown got = delta.breakdown(g);
+    ASSERT_EQ(got.feasible, want.feasible);
+    ASSERT_EQ(got.total(), want.total());  // exact, no tolerance
+    ASSERT_EQ(got.existence, want.existence);
+    ASSERT_EQ(got.bandwidth, want.bandwidth);
+  }
+  // The chain stays within max_diff_edges of the previous topology, so
+  // nearly every evaluation must be served incrementally.
+  EXPECT_GT(delta.delta_stats().hits, 40u);
+  EXPECT_GT(delta.delta_stats().vertices_resettled, 0u);
+  EXPECT_EQ(delta.delta_stats().hits + delta.delta_stats().fallbacks,
+            delta.evaluations());
+}
+
+TEST(DeltaEngine, FirstEvaluationFallsBackThenChildHits) {
+  const Context ctx = small_context(10, 3);
+  Evaluator eval(ctx.distances, ctx.traffic, kCosts, delta_on());
+  Topology g = Topology::complete(10);
+  eval.cost(g);  // nothing retained yet
+  EXPECT_EQ(eval.delta_stats().fallbacks, 1u);
+  EXPECT_EQ(eval.delta_stats().hits, 0u);
+  ASSERT_NE(eval.delta_store(), nullptr);
+  EXPECT_EQ(eval.delta_store()->size(), 1u);
+
+  const std::uint64_t parent_fp = g.fingerprint();
+  g.remove_edge(0, 1);
+  eval.set_parent_hint(parent_fp);
+  eval.cost(g);
+  EXPECT_EQ(eval.delta_stats().hits, 1u);
+  EXPECT_EQ(eval.delta_stats().fallbacks, 1u);
+  EXPECT_EQ(eval.delta_store()->size(), 2u);
+}
+
+TEST(DeltaEngine, MissingOrWrongHintIsHarmless) {
+  const Context ctx = small_context(10, 4);
+  Evaluator eval(ctx.distances, ctx.traffic, kCosts, delta_on());
+  Evaluator plain(ctx.distances, ctx.traffic, kCosts);
+  Topology g = Topology::complete(10);
+  eval.cost(g);
+
+  // No hint: the MRU probe still finds the parent.
+  g.remove_edge(2, 3);
+  EXPECT_EQ(eval.cost(g), plain.cost(g));
+  EXPECT_EQ(eval.delta_stats().hits, 1u);
+
+  // A bogus hint matches no slot; the probe falls through to MRU order and
+  // the result is still exact.
+  g.remove_edge(4, 5);
+  eval.set_parent_hint(0xdeadbeefdeadbeefULL);
+  EXPECT_EQ(eval.cost(g), plain.cost(g));
+  EXPECT_EQ(eval.delta_stats().hits, 2u);
+}
+
+TEST(DeltaEngine, InfeasibleResultsAreNeverRetained) {
+  const Context ctx = small_context(8, 5);
+  Evaluator eval(ctx.distances, ctx.traffic, kCosts, delta_on());
+  const Topology disconnected = Topology::from_edges(8, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(eval.breakdown(disconnected).feasible);
+  ASSERT_NE(eval.delta_store(), nullptr);
+  EXPECT_EQ(eval.delta_store()->size(), 0u);  // slot stayed free
+
+  // A feasible parent, then a child mutation that disconnects the graph:
+  // the hit path must also refuse to retain the infeasible child.
+  Topology ring = Topology::from_edges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}});
+  ASSERT_TRUE(eval.breakdown(ring).feasible);
+  EXPECT_EQ(eval.delta_store()->size(), 1u);
+  const std::uint64_t parent_fp = ring.fingerprint();
+  ring.remove_edge(0, 1);  // breaks the cycle into a path: still connected
+  ring.remove_edge(4, 5);  // now two components
+  eval.set_parent_hint(parent_fp);
+  EXPECT_FALSE(eval.breakdown(ring).feasible);
+  EXPECT_EQ(eval.delta_store()->size(), 1u);
+}
+
+TEST(DeltaEngine, CloneOwnsPrivateStoreAndMergeFoldsStats) {
+  const Context ctx = small_context(10, 6);
+  Evaluator eval(ctx.distances, ctx.traffic, kCosts, delta_on());
+  Topology g = Topology::complete(10);
+  eval.cost(g);
+
+  Evaluator worker = eval.clone();
+  ASSERT_NE(worker.delta_store(), nullptr);
+  EXPECT_NE(worker.delta_store(), eval.delta_store());
+  EXPECT_EQ(worker.delta_store()->size(), 0u);  // retained states not copied
+  EXPECT_EQ(worker.delta_stats(), DeltaStats{});
+
+  worker.cost(g);  // fallback in the worker (its store is empty)
+  g.remove_edge(0, 1);
+  worker.set_parent_hint(Topology::complete(10).fingerprint());
+  worker.cost(g);  // hit against the worker's own retained state
+  EXPECT_EQ(worker.delta_stats().fallbacks, 1u);
+  EXPECT_EQ(worker.delta_stats().hits, 1u);
+
+  eval.merge_stats(worker);
+  EXPECT_EQ(eval.delta_stats().fallbacks, 2u);
+  EXPECT_EQ(eval.delta_stats().hits, 1u);
+  EXPECT_GT(eval.delta_stats().vertices_resettled, 0u);
+  // Transfer semantics, like the cache counters: merging twice is safe.
+  EXPECT_EQ(worker.delta_stats(), DeltaStats{});
+  eval.merge_stats(worker);
+  EXPECT_EQ(eval.delta_stats().fallbacks, 2u);
+}
+
+TEST(DeltaEngine, CacheHitKeepsRetainedStateWarm) {
+  // With the memo cache in front, repeat evaluations skip routing — but
+  // they must re-stamp the retained state so it is not the LRU victim when
+  // the ring wraps (touch-on-cache-hit).
+  const Context ctx = small_context(10, 7);
+  EvalEngineConfig engine = delta_on();
+  engine.cache.enabled = true;
+  engine.delta.retained_states = 2;  // clamp floor: exactly two slots
+  Evaluator eval(ctx.distances, ctx.traffic, kCosts, engine);
+  Evaluator plain(ctx.distances, ctx.traffic, kCosts);
+
+  Topology parent = Topology::complete(10);
+  eval.cost(parent);                 // retained in slot A
+  Topology other = parent;
+  other.remove_edge(5, 6);
+  eval.cost(other);                  // retained in slot B
+  eval.cost(parent);                 // cache hit: routing skipped, A touched
+  EXPECT_EQ(eval.cache_stats().hits, 1u);
+
+  Topology third = parent;
+  third.remove_edge(7, 8);
+  eval.cost(third);  // evicts B (LRU), not the freshly-touched A
+
+  Topology child = parent;
+  child.remove_edge(0, 1);
+  eval.set_parent_hint(parent.fingerprint());
+  const std::uint64_t hits_before = eval.delta_stats().hits;
+  EXPECT_EQ(eval.cost(child), plain.cost(child));
+  EXPECT_EQ(eval.delta_stats().hits, hits_before + 1);
+}
+
+TEST(DeltaEngine, AutoModeFollowsNodeThreshold) {
+  DeltaConfig cfg;
+  cfg.mode = DsspMode::kAuto;
+  EXPECT_FALSE(cfg.enabled(cfg.auto_threshold - 1));
+  EXPECT_TRUE(cfg.enabled(cfg.auto_threshold));
+
+  EvalEngineConfig engine;
+  engine.delta.mode = DsspMode::kAuto;
+  const Context below = small_context(engine.delta.auto_threshold - 1, 8);
+  const Context above = small_context(engine.delta.auto_threshold, 8);
+  Evaluator small(below.distances, below.traffic, kCosts, engine);
+  Evaluator large(above.distances, above.traffic, kCosts, engine);
+  EXPECT_EQ(small.delta_store(), nullptr);
+  EXPECT_NE(large.delta_store(), nullptr);
+}
+
+TEST(RoutingStateStore, HintedSlotIsProbedFirst) {
+  RoutingStateStore store(8);
+  std::vector<Topology> parents;
+  for (NodeId v = 1; v <= 6; ++v) {
+    Topology g = Topology::complete(8);
+    g.remove_edge(0, v);
+    RoutingState& slot = store.begin_fill(nullptr);
+    slot.topology = g;
+    store.commit(slot, g);
+    parents.push_back(g);
+  }
+  // The oldest parent is beyond the kMaxProbes MRU window, so only the
+  // hint can reach it.
+  Topology child = parents.front();
+  child.remove_edge(1, 2);
+  std::vector<Edge> added, removed;
+  RoutingState* m = store.match(child, parents.front().fingerprint(),
+                                /*max_diff=*/4, added, removed);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->fingerprint, parents.front().fingerprint());
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(added.size(), 0u);
+}
+
+TEST(RoutingStateStore, MatchRespectsDiffBoundAndBeginFillSparesParent) {
+  RoutingStateStore store(2);
+  Topology parent = Topology::complete(6);
+  RoutingState& slot = store.begin_fill(nullptr);
+  slot.topology = parent;
+  store.commit(slot, parent);
+
+  Topology far = Topology::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                          {4, 5}});
+  std::vector<Edge> added, removed;
+  EXPECT_EQ(store.match(far, 0, /*max_diff=*/2, added, removed), nullptr);
+
+  Topology child = parent;
+  child.remove_edge(0, 1);
+  RoutingState* m = store.match(child, 0, 2, added, removed);
+  ASSERT_NE(m, nullptr);
+  // While the parent is being read, begin_fill must pick the other slot
+  // even though the parent might be the LRU one.
+  RoutingState& fill = store.begin_fill(m);
+  EXPECT_NE(&fill, m);
+}
+
+}  // namespace
+}  // namespace cold

@@ -356,6 +356,46 @@ TEST(RunGaDedup, InvariantAcrossThreadCounts) {
   }
 }
 
+// The evaluation engine's headline guarantee extended to the delta engine:
+// the GA trajectory is invariant across every {dsssp, thread count, cache
+// mode} combination — enabling --dsssp can never change results.
+TEST(RunGa, HistoryInvariantAcrossDeltaEngineSettings) {
+  ContextConfig ctx_cfg;
+  ctx_cfg.num_pops = 18;
+  Rng ctx_rng(9);
+  const Context ctx = generate_context(ctx_cfg, ctx_rng);
+  enum class Cache { kOff, kPrivate, kShared };
+  const auto run = [&ctx](DsspMode dsssp, std::size_t threads, Cache cache) {
+    EvalEngineConfig engine;
+    engine.delta.mode = dsssp;
+    engine.cache.enabled = cache != Cache::kOff;
+    engine.cache.shared = cache == Cache::kShared;
+    Evaluator eval(ctx.distances, ctx.traffic, CostParams{10, 1, 4e-4, 10},
+                   engine);
+    GaRunOptions options;
+    options.config.population = 16;
+    options.config.generations = 8;
+    options.config.parallel.num_threads = threads;
+    Rng rng(11);
+    return run_ga(eval, rng, options);
+  };
+
+  const GaResult reference = run(DsspMode::kOff, 1, Cache::kOff);
+  for (const DsspMode dsssp : {DsspMode::kOff, DsspMode::kOn}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      for (const Cache cache :
+           {Cache::kOff, Cache::kPrivate, Cache::kShared}) {
+        const GaResult r = run(dsssp, threads, cache);
+        ASSERT_EQ(r.best_cost_history, reference.best_cost_history);
+        ASSERT_EQ(r.best_cost, reference.best_cost);
+        ASSERT_TRUE(r.best == reference.best);
+        ASSERT_EQ(r.final_costs, reference.final_costs);
+        ASSERT_EQ(r.evaluations, reference.evaluations);
+      }
+    }
+  }
+}
+
 TEST(RepairConnectivity, CountsAddedLinks) {
   Evaluator eval = make_evaluator(8, CostParams{});
   Topology g(8);  // fully disconnected

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "baselines/erdos_renyi.h"
@@ -194,6 +195,155 @@ TEST(AllPairsHops, MatchesBfs) {
   for (NodeId i = 0; i < 5; ++i) {
     for (NodeId j = 0; j < 5; ++j) EXPECT_EQ(hops(i, j), hops(j, i));
   }
+}
+
+void expect_tree_identical(const ShortestPathTree& got,
+                           const ShortestPathTree& want) {
+  ASSERT_EQ(got.order, want.order);
+  ASSERT_EQ(got.parent, want.parent);
+  ASSERT_EQ(got.hops, want.hops);
+  ASSERT_EQ(got.dist.size(), want.dist.size());
+  for (std::size_t t = 0; t < want.dist.size(); ++t) {
+    // Exact equality: the incremental update must add the same doubles in
+    // the same order as the fresh sweeps along every chosen path.
+    ASSERT_EQ(got.dist[t], want.dist[t]) << "node " << t;
+  }
+}
+
+// The tentpole property: across random graphs and random single/multi-edge
+// flip sequences, incremental repair is bit-identical — dist, hops, parent,
+// settle order — to fresh dense AND sparse sweeps. Trees are chained (each
+// update starts from the previous incremental result), so any drift
+// compounds and gets caught. Every third trial uses unit lengths to force
+// (dist, hops) tie storms through the composite-key logic.
+TEST(UpdateShortestPathTree, BitIdenticalToFreshSweepsUnderRandomFlips) {
+  Rng rng(2024);
+  SpUpdateWorkspace ws;
+  ShortestPathTree dense, sparse;
+  std::size_t zero_resettle_updates = 0;
+  for (int trial = 0; trial < 110; ++trial) {
+    const std::size_t n = 6 + rng.uniform_index(30);
+    Matrix<double> len;
+    if (trial % 3 == 0) {
+      len = Matrix<double>::square(n, 1.0);
+    } else {
+      const auto pts = UniformProcess().sample(n, Rectangle(), rng);
+      len = distance_matrix(pts);
+    }
+    Topology g = erdos_renyi_gnp(n, 0.08 + 0.3 * rng.uniform(), rng);
+    connect_components(g, len);
+    std::vector<ShortestPathTree> trees(n);
+    for (NodeId s = 0; s < n; ++s) shortest_path_tree(g, len, s, trees[s]);
+
+    for (int op = 0; op < 8; ++op) {
+      std::vector<Edge> inserted, removed;
+      const std::size_t flips = 1 + rng.uniform_index(3);
+      for (std::size_t f = 0; f < flips; ++f) {
+        const NodeId a = rng.uniform_index(n);
+        const NodeId b = rng.uniform_index(n);
+        if (a == b) continue;
+        const Edge e = make_edge(a, b);
+        // One flip per pair per op, so the diff lists stay consistent.
+        if (std::find(inserted.begin(), inserted.end(), e) !=
+                inserted.end() ||
+            std::find(removed.begin(), removed.end(), e) != removed.end()) {
+          continue;
+        }
+        if (g.remove_edge(a, b)) {
+          removed.push_back(e);
+        } else {
+          g.add_edge(a, b);
+          inserted.push_back(e);
+        }
+      }
+      for (NodeId s = 0; s < n; ++s) {
+        const SpUpdateResult r = update_shortest_path_tree(
+            g, len, inserted, removed, trees[s], ws, 2 * n + 1);
+        ASSERT_TRUE(r.applied);
+        if (r.resettled == 0) ++zero_resettle_updates;
+        shortest_path_tree(g, len, s, dense, SpAlgorithm::kDense);
+        shortest_path_tree(g, len, s, sparse, SpAlgorithm::kSparse);
+        expect_tree_identical(trees[s], dense);
+        expect_tree_identical(trees[s], sparse);
+      }
+    }
+  }
+  // Many sources are untouched by a local flip — the engine's whole point.
+  EXPECT_GT(zero_resettle_updates, 0u);
+}
+
+TEST(UpdateShortestPathTree, NonTreeEdgeRemovalTouchesNothing) {
+  // Cycle 0-1-2-3-0, unit lengths, source 0: node 2 routes via parent 1
+  // (smallest-id tie-break), so edge (2,3) is on no chosen path.
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  Matrix<double> len = Matrix<double>::square(4, 1.0);
+  ShortestPathTree tree = shortest_path_tree(g, len, 0);
+  ASSERT_EQ(tree.parent[2], 1u);
+  const ShortestPathTree before = tree;
+  g.remove_edge(2, 3);
+  SpUpdateWorkspace ws;
+  const SpUpdateResult r =
+      update_shortest_path_tree(g, len, {}, {{2, 3}}, tree, ws, 9);
+  EXPECT_TRUE(r.applied);
+  EXPECT_EQ(r.resettled, 0u);
+  expect_tree_identical(tree, before);
+}
+
+TEST(UpdateShortestPathTree, InsertWithEqualKeySmallerIdUpdatesParentOnly) {
+  // 3 reaches 0 via 2 with key (2, 2); inserting (1, 3) offers the same key
+  // from the smaller-id neighbour 1 — parent flips, nothing ripples.
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  Matrix<double> len = Matrix<double>::square(4, 1.0);
+  ShortestPathTree tree = shortest_path_tree(g, len, 0);
+  ASSERT_EQ(tree.parent[3], 2u);
+  g.add_edge(1, 3);
+  SpUpdateWorkspace ws;
+  const SpUpdateResult r =
+      update_shortest_path_tree(g, len, {{1, 3}}, {}, tree, ws, 9);
+  EXPECT_TRUE(r.applied);
+  EXPECT_EQ(r.resettled, 0u);
+  EXPECT_EQ(tree.parent[3], 1u);
+  expect_tree_identical(tree, shortest_path_tree(g, len, 0));
+}
+
+TEST(UpdateShortestPathTree, DeleteDisconnectsSubtree) {
+  // Removing the bridge 1-2 of the path 0-1-2-3 orphans {2, 3} for good.
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  Matrix<double> len = Matrix<double>::square(4, 1.0);
+  ShortestPathTree tree = shortest_path_tree(g, len, 0);
+  g.remove_edge(1, 2);
+  SpUpdateWorkspace ws;
+  const SpUpdateResult r =
+      update_shortest_path_tree(g, len, {}, {{1, 2}}, tree, ws, 9);
+  EXPECT_TRUE(r.applied);
+  EXPECT_EQ(r.resettled, 2u);
+  EXPECT_EQ(tree.dist[2], kInf);
+  EXPECT_EQ(tree.dist[3], kInf);
+  expect_tree_identical(tree, shortest_path_tree(g, len, 0));
+}
+
+TEST(UpdateShortestPathTree, CutoffSignalsFallback) {
+  // max_resettled = 0 means any touched label aborts the update.
+  Topology g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+  Matrix<double> len = Matrix<double>::square(5, 1.0);
+  ShortestPathTree tree = shortest_path_tree(g, len, 0);
+  g.remove_edge(2, 3);
+  SpUpdateWorkspace ws;
+  const SpUpdateResult r =
+      update_shortest_path_tree(g, len, {}, {{2, 3}}, tree, ws, 0);
+  EXPECT_FALSE(r.applied);
+  EXPECT_GT(r.resettled, 0u);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "graph/algorithms.h"
 #include "io/json_value.h"
 #include "telemetry/report.h"
+#include "telemetry/report_diff.h"
 #include "telemetry/sinks.h"
 #include "telemetry/telemetry.h"
 
@@ -483,7 +484,7 @@ TEST(RunReport, StoppedRunProducesValidReport) {
   EXPECT_GT(parsed.generations.size(), 0u);
 }
 
-TEST(RunReport, EmitsV3WithCacheCountersWhenCacheEnabled) {
+TEST(RunReport, EmitsV4WithCacheCountersWhenCacheEnabled) {
   SynthesisConfig cfg = small_config();
   cfg.engine.cache.enabled = true;
   JsonReportSink sink;
@@ -496,7 +497,7 @@ TEST(RunReport, EmitsV3WithCacheCountersWhenCacheEnabled) {
   EXPECT_EQ(report.cache_misses, report.cache_inserts);  // every miss inserts
 
   const std::string json = run_report_to_json(report);
-  EXPECT_EQ(parse_json(json).field("version").number(), 3.0);
+  EXPECT_EQ(parse_json(json).field("version").number(), 4.0);
   const RunReport parsed = run_report_from_json(json);
   EXPECT_EQ(parsed.cache_hits, report.cache_hits);
   EXPECT_EQ(parsed.cache_misses, report.cache_misses);
@@ -616,7 +617,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   ASSERT_NE(end, std::string::npos);
   ASSERT_EQ(json[end + 1], ',');
   json.erase(cache_pos, end + 2 - cache_pos);
-  const std::size_t ver = json.find("\"version\": 3");
+  const std::size_t ver = json.find("\"version\": 4");
   ASSERT_NE(ver, std::string::npos);
   json[ver + std::string("\"version\": ").size()] = '1';
 
@@ -629,7 +630,66 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   EXPECT_EQ(parsed.cache_evictions, 0u);
   // Re-serializing a v1-sourced report upgrades it to the current schema.
   EXPECT_EQ(parse_json(run_report_to_json(parsed)).field("version").number(),
-            3.0);
+            4.0);
+}
+
+TEST(RunReport, AcceptsV3ReportsWithoutDssspCounters) {
+  // Hand-built v3 document: cache + per-phase counters present, but none of
+  // the v4 delta-engine fields. They must parse back as zeros.
+  const std::string json = R"({"schema": "cold-run-report", "version": 3,
+    "run": {"seed": 9, "num_pops": 6},
+    "result": {"best_cost": 2.25, "evaluations": 50, "stopped_early": false,
+               "stop_reason": "none",
+               "cache": {"hits": 12, "misses": 38, "inserts": 38,
+                         "evictions": 4},
+               "dedup_skipped": 5, "wall_ns": 1000},
+    "phases": [{"name": "ga", "evaluations": 50, "cache_hits": 12,
+                "cache_misses": 38, "cache_inserts": 38,
+                "cache_evictions": 4, "dedup_skipped": 5, "wall_ns": 900}],
+    "heuristics": [],
+    "generations": [],
+    "ensemble_runs": []})";
+  const RunReport parsed = run_report_from_json(json);
+  EXPECT_EQ(parsed.cache_hits, 12u);
+  EXPECT_EQ(parsed.dedup_skipped, 5u);
+  EXPECT_EQ(parsed.dsssp_hits, 0u);
+  EXPECT_EQ(parsed.dsssp_fallbacks, 0u);
+  EXPECT_EQ(parsed.vertices_resettled, 0u);
+  ASSERT_EQ(parsed.phases.size(), 1u);
+  EXPECT_EQ(parsed.phases[0].cache_hits, 12u);
+  EXPECT_EQ(parsed.phases[0].dsssp_hits, 0u);
+  EXPECT_EQ(parsed.phases[0].vertices_resettled, 0u);
+}
+
+TEST(RunReport, DssspCountersRoundTripWhenTimed) {
+  SynthesisConfig cfg = small_config();
+  cfg.engine.delta.mode = DsspMode::kOn;
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(5);
+
+  const RunReport& report = sink.report();
+  EXPECT_GT(report.dsssp_hits + report.dsssp_fallbacks, 0u);
+
+  const RunReport timed = run_report_from_json(
+      run_report_to_json(report, /*include_timing=*/true));
+  EXPECT_EQ(timed.dsssp_hits, report.dsssp_hits);
+  EXPECT_EQ(timed.dsssp_fallbacks, report.dsssp_fallbacks);
+  EXPECT_EQ(timed.vertices_resettled, report.vertices_resettled);
+  std::uint64_t phase_hits = 0;
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    EXPECT_EQ(timed.phases[i].dsssp_hits, report.phases[i].dsssp_hits);
+    phase_hits += report.phases[i].dsssp_hits;
+  }
+  EXPECT_EQ(phase_hits, report.dsssp_hits);  // phase deltas sum to the total
+
+  // Timing-free reports drop the trio like every other perf counter.
+  const std::string bare =
+      run_report_to_json(report, /*include_timing=*/false);
+  EXPECT_EQ(bare.find("dsssp"), std::string::npos);
+  const RunReport parsed = run_report_from_json(bare);
+  EXPECT_EQ(parsed.dsssp_hits, 0u);
+  EXPECT_EQ(parsed.vertices_resettled, 0u);
 }
 
 TEST(RunReport, AcceptsV2ReportsWithoutPerPhaseCounters) {
@@ -691,6 +751,120 @@ TEST(JsonValueLayer, ErrorsAreTyped) {
   EXPECT_THROW(v.field("x").str(), std::runtime_error);
   EXPECT_TRUE(v.has("x"));
   EXPECT_FALSE(v.has("y"));
+}
+
+// ---------------------------------------------------------------------------
+// Report diff (telemetry/report_diff.h): logical vs perf bucketing.
+// ---------------------------------------------------------------------------
+
+RunReport diff_fixture() {
+  RunReport r;
+  r.seed = 5;
+  r.num_pops = 10;
+  r.best_cost = 3.25;
+  r.evaluations = 100;
+  r.wall_ns = 1000;
+  r.cache_hits = 7;
+  r.dsssp_hits = 3;
+  PhaseStats ga;
+  ga.phase = Phase::kGa;
+  ga.evaluations = 100;
+  ga.wall_ns = 900;
+  r.phases.push_back(ga);
+  GenerationEnd gen;
+  gen.gen = 0;
+  gen.best_cost = 3.25;
+  gen.mean_cost = 4.0;
+  gen.evaluations = 50;
+  r.generations.push_back(gen);
+  return r;
+}
+
+TEST(ReportDiff, IdenticalReportsAreEqual) {
+  const RunReport a = diff_fixture();
+  const ReportDiff d = diff_run_reports(a, a);
+  EXPECT_TRUE(d.logically_equal());
+  EXPECT_TRUE(d.logical.empty());
+  EXPECT_TRUE(d.perf.empty());
+}
+
+TEST(ReportDiff, PerfOnlyDivergenceStaysLogicallyEqual) {
+  // Wall clocks and engine counters differ run to run by nature; they land
+  // in the perf bucket and never fail an equivalence check.
+  const RunReport a = diff_fixture();
+  RunReport b = a;
+  b.wall_ns = 2000;
+  b.cache_hits = 0;
+  b.dsssp_hits = 99;
+  b.vertices_resettled = 1234;
+  b.phases[0].wall_ns = 1800;
+  const ReportDiff d = diff_run_reports(a, b);
+  EXPECT_TRUE(d.logically_equal());
+  EXPECT_TRUE(d.logical.empty());
+  EXPECT_GE(d.perf.size(), 4u);
+}
+
+TEST(ReportDiff, LogicalDivergenceIsDetected) {
+  const RunReport a = diff_fixture();
+  RunReport b = a;
+  b.best_cost = 3.5;
+  b.generations[0].best_cost = 3.5;
+  const ReportDiff d = diff_run_reports(a, b);
+  EXPECT_FALSE(d.logically_equal());
+  ASSERT_EQ(d.logical.size(), 2u);
+  EXPECT_EQ(d.logical[0].path, "result.best_cost");
+  EXPECT_EQ(d.logical[1].path, "generations[0].best_cost");
+}
+
+TEST(ReportDiff, ArrayLengthMismatchIsLogical) {
+  const RunReport a = diff_fixture();
+  RunReport b = a;
+  GenerationEnd extra;
+  extra.gen = 1;
+  extra.best_cost = 3.0;
+  b.generations.push_back(extra);
+  const ReportDiff d = diff_run_reports(a, b);
+  EXPECT_FALSE(d.logically_equal());
+  bool saw_length = false;
+  for (const ReportDiffEntry& e : d.logical) {
+    if (e.path == "generations.length") saw_length = true;
+  }
+  EXPECT_TRUE(saw_length);
+}
+
+TEST(ReportDiff, RendersTextAndJson) {
+  const RunReport a = diff_fixture();
+  RunReport b = a;
+  b.best_cost = 9.0;
+  b.wall_ns = 2000;
+  const ReportDiff d = diff_run_reports(a, b);
+
+  std::ostringstream text;
+  write_report_diff_text(text, d);
+  EXPECT_NE(text.str().find("LOGICAL result.best_cost"), std::string::npos);
+  EXPECT_NE(text.str().find("perf"), std::string::npos);
+
+  std::ostringstream json;
+  write_report_diff_json(json, d);
+  const JsonValue parsed = parse_json(json.str());
+  EXPECT_EQ(parsed.field("schema").str(), "cold-report-diff");
+  EXPECT_FALSE(parsed.field("logically_equal").boolean());
+}
+
+TEST(ReportDiff, SameRunDssspOnVsOffIsLogicallyEqual) {
+  // The end-to-end equivalence the nightly workflow enforces: identical
+  // seeds with the delta engine on and off may differ only in perf fields.
+  std::vector<RunReport> reports;
+  for (const DsspMode mode : {DsspMode::kOn, DsspMode::kOff}) {
+    SynthesisConfig cfg = small_config();
+    cfg.engine.delta.mode = mode;
+    JsonReportSink sink;
+    cfg.observer = &sink;
+    Synthesizer(cfg).synthesize(4);
+    reports.push_back(sink.report());
+  }
+  const ReportDiff d = diff_run_reports(reports[0], reports[1]);
+  EXPECT_TRUE(d.logically_equal());
 }
 
 }  // namespace

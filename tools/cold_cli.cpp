@@ -5,11 +5,13 @@
 //                 [--report FILE] [--progress] [--max-seconds T]
 //                 [--max-evals N] [--eval-cache] [--eval-cache-size N]
 //                 [--shared-cache] [--dedup] [--dijkstra auto|dense|sparse]
+//                 [--dsssp on|off|auto]
 //   cold ensemble [--count N] + synth options
 //   cold metrics  --in FILE [--format text|json] [--out FILE]
 //   cold estimate --in FILE [--draws N] [--epsilon E] [--seed S]
 //                 [--format text|json] [--out FILE]
 //   cold grow     --in FILE.json [--new-pops N] [--growth F] [--seed S]
+//   cold report-diff <a.json> <b.json> [--format text|json] [--out FILE]
 //
 // Every subcommand accepts --report FILE (a JSON run report, see
 // telemetry/report.h); the long-running ones also take --progress (live
@@ -17,7 +19,9 @@
 // stop the run early at a generation boundary, still producing a valid
 // network and report. Unknown options are rejected with the valid set.
 //
-// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+// Exit codes: 0 success, 1 usage error, 2 runtime failure. report-diff
+// additionally exits 1 when the two reports diverge in any timing-free
+// (logical) field — CI uses it as an exactness gate.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -38,6 +42,7 @@
 #include "io/json.h"
 #include "io/json_value.h"
 #include "telemetry/report.h"
+#include "telemetry/report_diff.h"
 #include "telemetry/sinks.h"
 #include "util/cli_options.h"
 
@@ -71,6 +76,8 @@ const std::vector<OptionSpec> kEngineOpts = {
                             "--eval-cache)"},
     {"dedup", false, "score each distinct GA offspring once"},
     {"dijkstra", true, "auto|dense|sparse (auto)"},
+    {"dsssp", true, "on|off|auto (off): delta-evaluate near-parent "
+                    "offspring"},
 };
 
 const std::vector<OptionSpec> kOutputOpts = {
@@ -152,6 +159,10 @@ void print_usage() {
       "  grow      grow a network saved as JSON\n"
       "            --in FILE.json --new-pops N (5) --growth F (1.2)\n"
       "            --decommission D (1.0) --seed S (1) --out FILE (stdout)\n"
+      "  report-diff  compare two JSON run reports\n"
+      "            cold report-diff <a.json> <b.json>\n"
+      "            --format text|json (text) --out FILE (stdout)\n"
+      "            exit 1 when any timing-free field diverges\n"
       "  telemetry (all commands): --report FILE writes a JSON run report;\n"
       "            synth/ensemble/grow also take --progress, --max-seconds T\n"
       "            and --max-evals N (stop budgets; partial results stay\n"
@@ -160,8 +171,10 @@ void print_usage() {
       "            evaluations, --eval-cache-size N bounds it (16384),\n"
       "            --shared-cache shares one cache across worker threads\n"
       "            (implies --eval-cache), --dedup scores each distinct GA\n"
-      "            offspring once per generation, and --dijkstra\n"
-      "            auto|dense|sparse picks the shortest-path solver; all\n"
+      "            offspring once per generation, --dijkstra\n"
+      "            auto|dense|sparse picks the shortest-path solver, and\n"
+      "            --dsssp on|off|auto re-routes near-parent offspring\n"
+      "            incrementally (auto enables it above 16 PoPs); all\n"
       "            are exact and change performance only\n";
 }
 
@@ -233,6 +246,17 @@ EvalEngineConfig engine_from(const CliOptions& args) {
   } else {
     throw std::invalid_argument("unknown --dijkstra: " + algo +
                                 " (expected auto, dense or sparse)");
+  }
+  const std::string dsssp = args.get("dsssp", "off");
+  if (dsssp == "on") {
+    engine.delta.mode = DsspMode::kOn;
+  } else if (dsssp == "off") {
+    engine.delta.mode = DsspMode::kOff;
+  } else if (dsssp == "auto") {
+    engine.delta.mode = DsspMode::kAuto;
+  } else {
+    throw std::invalid_argument("unknown --dsssp: " + dsssp +
+                                " (expected on, off or auto)");
   }
   return engine;
 }
@@ -468,6 +492,44 @@ int cmd_estimate(const CliOptions& args) {
   return 0;
 }
 
+int cmd_report_diff(int argc, const char* const* argv) {
+  // Two positional report paths come right after the subcommand; the strict
+  // option parser handles the rest.
+  if (argc < 4 || std::string(argv[2]).rfind("--", 0) == 0 ||
+      std::string(argv[3]).rfind("--", 0) == 0) {
+    throw std::invalid_argument(
+        "report-diff needs two report paths: "
+        "cold report-diff <a.json> <b.json> [--format text|json] "
+        "[--out FILE]");
+  }
+  CliOptions args{"report-diff",
+                  {{"format", true, "text|json (text)"},
+                   {"out", true, "FILE (stdout)"}}};
+  args.parse(argc, argv, 4);
+
+  const auto load = [](const std::string& path) {
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error("cannot open report file: " + path);
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    return run_report_from_json(buf.str());
+  };
+  const ReportDiff diff = diff_run_reports(load(argv[2]), load(argv[3]));
+
+  const std::string format = args.get("format", "text");
+  std::ostringstream body;
+  if (format == "json") {
+    write_report_diff_json(body, diff);
+  } else if (format == "text") {
+    write_report_diff_text(body, diff);
+  } else {
+    throw std::invalid_argument("unknown --format: " + format +
+                                " (expected text or json)");
+  }
+  emit(body.str(), args);
+  return diff.logically_equal() ? 0 : 1;
+}
+
 int cmd_grow(const CliOptions& args) {
   if (!args.has("in")) throw std::invalid_argument("grow needs --in FILE.json");
   std::ifstream file(args.get("in", ""));
@@ -509,6 +571,7 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
+    if (command == "report-diff") return cmd_report_diff(argc, argv);
     CliOptions args = spec_for(command);
     args.parse(argc, argv, 2);
     if (command == "synth") return cmd_synth(args);
