@@ -16,10 +16,12 @@
 // The store is deliberately *not* shared across worker clones: a state is
 // ~29 n^2 bytes, so copying trees under a shard lock (shared_cost_cache.h
 // style) would serialize the workers on exactly the data the delta path
-// needs fastest. Each clone retains the parents it scored — and the GA's
-// scorer hands offspring to the worker that holds their parent's hint only
-// by chance, so cross-worker misses simply fall back to a full sweep,
-// costing time, never exactness.
+// needs fastest. Each clone retains the parents it scored, and the GA's
+// scorer routes each offspring to the worker that retains its parent's
+// state (GaConfig::affinity + ThreadPool::parallel_for_assigned), stealing
+// only when idle — so cross-worker misses happen only on steals and map
+// churn, and simply fall back to a full sweep, costing time, never
+// exactness.
 #pragma once
 
 #include <cstddef>

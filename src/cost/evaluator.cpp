@@ -155,25 +155,49 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
   RoutingState& slot = delta_store_->begin_fill(parent);
   slot.trees.resize(n);
   loads_.fill(0.0);
-  for (NodeId s = 0; s < n; ++s) {
-    ShortestPathTree& tree = slot.trees[s];
-    tree = parent->trees[s];
-    const SpUpdateResult r = update_shortest_path_tree(
-        g, *lengths_, diff_added_, diff_removed_, tree, sp_ws_,
-        max_resettled);
-    if (r.applied) {
-      delta_stats_.vertices_resettled += r.resettled;
-    } else {
-      // Affected region too large for this source: full sweep, identical
-      // result by the solvers' exactness contract.
-      shortest_path_tree(g, *lengths_, s, tree, algo);
+  // Block-batched resettle: per block of kSpSourceBlock sources, (1) copy
+  // the parent trees and run the incremental updates, collecting the
+  // sources whose affected region blew the cutoff, (2) recompute those in
+  // one batched sweep (identical result by the solvers' exactness
+  // contract), (3) accumulate the block in increasing source order — the
+  // same accumulation order as the scalar loop, so loads stay
+  // bit-identical.
+  NodeId fallback_sources[kSpSourceBlock];
+  ShortestPathTree* fallback_trees[kSpSourceBlock];
+  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
+    const std::size_t width = std::min<std::size_t>(kSpSourceBlock, n - base);
+    std::size_t num_fallback = 0;
+    for (std::size_t b = 0; b < width; ++b) {
+      const NodeId s = base + b;
+      ShortestPathTree& tree = slot.trees[s];
+      tree = parent->trees[s];
+      const SpUpdateResult r = update_shortest_path_tree(
+          g, *lengths_, diff_added_, diff_removed_, tree, sp_ws_,
+          max_resettled);
+      if (r.applied) {
+        delta_stats_.vertices_resettled += r.resettled;
+      } else {
+        fallback_sources[num_fallback] = s;
+        fallback_trees[num_fallback] = &tree;
+        ++num_fallback;
+      }
     }
-    if (tree.order.size() != n) {
-      return infeasible_breakdown(g);  // disconnected; slot stays free
+    for (std::size_t f = 0; f < num_fallback; ++f) {
+      // Dense fallbacks within one block could share a lockstep pass, but
+      // they rarely co-occur; per-source keeps the pointer plumbing simple.
+      shortest_path_tree_batch(g, *lengths_, &fallback_sources[f], 1,
+                               fallback_trees[f], algo);
     }
-    // Aggregation is the exact route_loads code path in the exact source
-    // order, so the loads are bit-identical to a full sweep's.
-    accumulate_tree_loads(tree, *traffic_, s, loads_, ws_.aggregate);
+    for (std::size_t b = 0; b < width; ++b) {
+      const NodeId s = base + b;
+      ShortestPathTree& tree = slot.trees[s];
+      if (tree.order.size() != n) {
+        return infeasible_breakdown(g);  // disconnected; slot stays free
+      }
+      // Aggregation is the exact route_loads code path in the exact source
+      // order, so the loads are bit-identical to a full sweep's.
+      accumulate_tree_loads(tree, *traffic_, s, loads_, ws_.aggregate);
+    }
   }
   slot.topology = g;
   delta_store_->commit(slot, g);

@@ -52,6 +52,13 @@ class Objective {
   /// Evaluator::set_parent_hint. No-op by default.
   virtual void set_parent_hint(std::uint64_t /*fingerprint*/) {}
 
+  /// This objective's delta-engine counters, or nullptr when it has no
+  /// active delta engine. Non-null tells the GA scorer that parent-state
+  /// affinity routing can pay off on this objective, and lets it report
+  /// per-worker hit/fallback counts. Counters accumulate until the next
+  /// merge_from() folds them away.
+  virtual const DeltaStats* delta_stats() const { return nullptr; }
+
   std::size_t num_nodes() const { return lengths().rows(); }
 };
 
@@ -84,6 +91,10 @@ class EvaluatorObjective final : public Objective {
 
   void set_parent_hint(std::uint64_t fingerprint) override {
     eval_->set_parent_hint(fingerprint);
+  }
+
+  const DeltaStats* delta_stats() const override {
+    return eval_->delta_store() != nullptr ? &eval_->delta_stats() : nullptr;
   }
 
   Evaluator& evaluator() { return *eval_; }

@@ -23,43 +23,118 @@ struct HeapGreater {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Blocked dense kernel.
+//
+// The production dense solver. Instead of the scalar scan's branchy 3-way
+// compare per node per round (kept verbatim in shortest_path_tree_reference),
+// the frontier lives in a contiguous SoA key array: frontier_key[v] is
+// dist[v] while v is unsettled and reachable, +inf otherwise. Each round is
+//
+//   1. a blocked min reduction over the keys — four independent
+//      accumulators per 64-entry block, a shape compilers vectorize —
+//      recording each block's min so that
+//   2. the composite tie-break pass (smallest hops, then id, among nodes at
+//      the min dist) touches only the blocks that attain the minimum, and
+//   3. a relax pass over the settled node's contiguous adjacency/length
+//      rows with a single fast-reject compare (cand > dist[u]) in front of
+//      the full composite rule.
+//
+// Exactness: the key array equals dist on exactly the nodes the scalar
+// scan's selection considers, and the relax rule is the same composite
+// (dist, hops, parent-id) tie-break. The scalar scan's settled-skip in the
+// relax loop is provably redundant — a settled label is final under the
+// composite key (every candidate through a later-settled node has a
+// strictly larger key; zero-length edges still add a hop) — so dropping it
+// changes no label, no parent and no settle order: the two kernels are
+// bit-identical on every input.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kMinBlock = 64;  ///< keys per min-reduction block
+
+void dense_blocked_init(ShortestPathTree& out, std::size_t n, NodeId source) {
+  out.frontier_key.assign(n, kInf);
+  out.frontier_key[source] = 0.0;
+  out.block_min.assign((n + kMinBlock - 1) / kMinBlock, kInf);
+}
+
+/// One settle + relax round. Returns false when no reachable unsettled node
+/// remains (the tree is complete for its component).
+bool dense_blocked_step(const Topology& g, const Matrix<double>& lengths,
+                        ShortestPathTree& out) {
+  const std::size_t n = out.dist.size();
+  const double* key = out.frontier_key.data();
+
+  // 1. Blocked min reduction over the frontier keys.
+  double m = kInf;
+  const std::size_t num_blocks = out.block_min.size();
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t base = b * kMinBlock;
+    const std::size_t len = std::min(kMinBlock, n - base);
+    double m0 = kInf, m1 = kInf, m2 = kInf, m3 = kInf;
+    std::size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+      m0 = std::min(m0, key[base + i]);
+      m1 = std::min(m1, key[base + i + 1]);
+      m2 = std::min(m2, key[base + i + 2]);
+      m3 = std::min(m3, key[base + i + 3]);
+    }
+    double bm = std::min(std::min(m0, m1), std::min(m2, m3));
+    for (; i < len; ++i) bm = std::min(bm, key[base + i]);
+    out.block_min[b] = bm;
+    m = std::min(m, bm);
+  }
+  if (m == kInf) return false;  // remaining nodes unreachable
+
+  // 2. Composite tie-break among the nodes at the min, only in blocks that
+  // attain it. Ascending scan with a strict < on hops picks the smallest id
+  // among the minimal hop count — the scalar scan's exact selection.
+  NodeId best = 0;
+  int best_hops = std::numeric_limits<int>::max();
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    if (out.block_min[b] != m) continue;
+    const std::size_t base = b * kMinBlock;
+    const std::size_t end = std::min(base + kMinBlock, n);
+    for (std::size_t v = base; v < end; ++v) {
+      if (key[v] == m && out.hops[v] < best_hops) {
+        best = static_cast<NodeId>(v);
+        best_hops = out.hops[v];
+      }
+    }
+  }
+  out.settled[best] = 1;
+  out.frontier_key[best] = kInf;
+  out.order.push_back(best);
+
+  // 3. Relax over contiguous rows. cand is always finite (dist[best] and
+  // every length are), so cand == dist[u] implies dist[u] is finite and the
+  // scalar rule's explicit infinity guard is subsumed by the fast reject.
+  const std::uint8_t* r = g.row(best);
+  const double* len_row = &lengths(best, 0);
+  const double dist_best = out.dist[best];
+  const int cand_hops = out.hops[best] + 1;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!r[u]) continue;
+    const double cand = dist_best + len_row[u];
+    if (cand > out.dist[u]) continue;  // the overwhelmingly common reject
+    if (cand < out.dist[u]) {
+      out.dist[u] = cand;
+      out.hops[u] = cand_hops;
+      out.parent[u] = best;
+      out.frontier_key[u] = cand;  // u cannot be settled: settled is final
+    } else if (cand_hops < out.hops[u] ||
+               (cand_hops == out.hops[u] && best < out.parent[u])) {
+      out.hops[u] = cand_hops;  // equal dist: (hops, parent-id) tie-break
+      out.parent[u] = best;
+    }
+  }
+  return true;
+}
+
 void shortest_path_tree_dense(const Topology& g, const Matrix<double>& lengths,
                               ShortestPathTree& out) {
-  const std::size_t n = g.num_nodes();
-  // O(n^2) Dijkstra: repeatedly settle the unsettled node with the smallest
-  // (dist, hops, id) key. The composite key is the deterministic tie-break
-  // documented in DESIGN.md.
-  for (std::size_t round = 0; round < n; ++round) {
-    NodeId best = n;
-    for (NodeId v = 0; v < n; ++v) {
-      if (out.settled[v] || out.dist[v] == kInf) continue;
-      if (best == n || out.dist[v] < out.dist[best] ||
-          (out.dist[v] == out.dist[best] &&
-           (out.hops[v] < out.hops[best] ||
-            (out.hops[v] == out.hops[best] && v < best)))) {
-        best = v;
-      }
-    }
-    if (best == n) break;  // remaining nodes unreachable
-    out.settled[best] = 1;
-    out.order.push_back(best);
-    const std::uint8_t* r = g.row(best);
-    for (NodeId u = 0; u < n; ++u) {
-      if (!r[u] || out.settled[u]) continue;
-      const double cand = out.dist[best] + lengths(best, u);
-      const int cand_hops = out.hops[best] + 1;
-      const bool better =
-          cand < out.dist[u] ||
-          (cand == out.dist[u] &&
-           (cand_hops < out.hops[u] ||
-            (cand_hops == out.hops[u] && out.dist[u] != kInf &&
-             best < out.parent[u])));
-      if (better) {
-        out.dist[u] = cand;
-        out.hops[u] = cand_hops;
-        out.parent[u] = best;
-      }
-    }
+  dense_blocked_init(out, g.num_nodes(), out.source);
+  while (dense_blocked_step(g, lengths, out)) {
   }
 }
 
@@ -114,6 +189,109 @@ void shortest_path_tree_sparse(const Topology& g, const Matrix<double>& lengths,
 }
 
 }  // namespace
+
+void shortest_path_tree_reference(const Topology& g,
+                                  const Matrix<double>& lengths,
+                                  NodeId source, ShortestPathTree& out) {
+  const std::size_t n = g.num_nodes();
+  if (lengths.rows() != n || lengths.cols() != n) {
+    throw std::invalid_argument(
+        "shortest_path_tree_reference: length shape mismatch");
+  }
+  if (source >= n) {
+    throw std::out_of_range("shortest_path_tree_reference: source range");
+  }
+  out.source = source;
+  out.resize(n);
+  out.dist[source] = 0.0;
+  out.hops[source] = 0;
+  out.parent[source] = source;
+  // The pre-blocked O(n^2) scan, byte-for-byte: repeatedly settle the
+  // unsettled node with the smallest (dist, hops, id) key.
+  for (std::size_t round = 0; round < n; ++round) {
+    NodeId best = n;
+    for (NodeId v = 0; v < n; ++v) {
+      if (out.settled[v] || out.dist[v] == kInf) continue;
+      if (best == n || out.dist[v] < out.dist[best] ||
+          (out.dist[v] == out.dist[best] &&
+           (out.hops[v] < out.hops[best] ||
+            (out.hops[v] == out.hops[best] && v < best)))) {
+        best = v;
+      }
+    }
+    if (best == n) break;  // remaining nodes unreachable
+    out.settled[best] = 1;
+    out.order.push_back(best);
+    const std::uint8_t* r = g.row(best);
+    for (NodeId u = 0; u < n; ++u) {
+      if (!r[u] || out.settled[u]) continue;
+      const double cand = out.dist[best] + lengths(best, u);
+      const int cand_hops = out.hops[best] + 1;
+      const bool better =
+          cand < out.dist[u] ||
+          (cand == out.dist[u] &&
+           (cand_hops < out.hops[u] ||
+            (cand_hops == out.hops[u] && out.dist[u] != kInf &&
+             best < out.parent[u])));
+      if (better) {
+        out.dist[u] = cand;
+        out.hops[u] = cand_hops;
+        out.parent[u] = best;
+      }
+    }
+  }
+}
+
+void shortest_path_tree_batch(const Topology& g, const Matrix<double>& lengths,
+                              const NodeId* sources, std::size_t count,
+                              ShortestPathTree* trees, SpAlgorithm algo) {
+  const std::size_t n = g.num_nodes();
+  if (lengths.rows() != n || lengths.cols() != n) {
+    throw std::invalid_argument(
+        "shortest_path_tree_batch: length shape mismatch");
+  }
+  if (algo == SpAlgorithm::kAuto) {
+    algo = select_sp_algorithm(n, g.num_edges());
+  }
+  if (algo == SpAlgorithm::kSparse) {
+    // The heap solver's working set is already tiny; per-source is optimal.
+    for (std::size_t i = 0; i < count; ++i) {
+      shortest_path_tree(g, lengths, sources[i], trees[i], SpAlgorithm::kSparse);
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < count; base += kSpSourceBlock) {
+    const std::size_t width = std::min(kSpSourceBlock, count - base);
+    bool done[kSpSourceBlock] = {};
+    std::size_t live = width;
+    for (std::size_t b = 0; b < width; ++b) {
+      ShortestPathTree& t = trees[base + b];
+      const NodeId source = sources[base + b];
+      if (source >= n) {
+        throw std::out_of_range("shortest_path_tree_batch: source range");
+      }
+      t.source = source;
+      t.resize(n);
+      t.dist[source] = 0.0;
+      t.hops[source] = 0;
+      t.parent[source] = source;
+      dense_blocked_init(t, n, source);
+    }
+    // Lockstep: one settle + relax round per live source per cycle. Each
+    // tree's rounds are exactly the single-source kernel's, so the result
+    // is bit-identical; interleaving only keeps the block's frontier state
+    // resident while the lengths rows stream through once per round-set.
+    while (live > 0) {
+      for (std::size_t b = 0; b < width; ++b) {
+        if (done[b]) continue;
+        if (!dense_blocked_step(g, lengths, trees[base + b])) {
+          done[b] = true;
+          --live;
+        }
+      }
+    }
+  }
+}
 
 SpUpdateResult update_shortest_path_tree(const Topology& g,
                                          const Matrix<double>& lengths,

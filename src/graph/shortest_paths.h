@@ -4,14 +4,20 @@
 // each cost evaluation runs one single-source shortest-path computation per
 // node. Two interchangeable solvers share one deterministic contract:
 //
-//   * dense: the O(n^2) scan — no heap, great constants on dense-ish graphs;
+//   * dense: a blocked O(n^2) kernel — SoA frontier keys, a vectorizable
+//     per-block min reduction and a branch-light relax pass over contiguous
+//     adjacency/length rows; great constants on dense-ish graphs;
 //   * sparse: binary-heap Dijkstra over the adjacency lists, O((n+m) log n)
 //     — the winner on the m ≈ n graphs PoP synthesis actually produces.
 //
 // Both settle nodes in exactly the same order — smallest composite
 // (dist, hops, id) key first — and apply the same relaxation tie-break, so
-// dist/hops/parent/order are bit-identical between them on every input.
-// select_sp_algorithm() picks by density; SpAlgorithm overrides.
+// dist/hops/parent/order are bit-identical between them on every input
+// (shortest_path_tree_reference keeps the original scalar dense scan as the
+// exactness yardstick). select_sp_algorithm() picks by density; SpAlgorithm
+// overrides. shortest_path_tree_batch() computes whole source blocks over
+// one topology in lockstep, sharing the cache-resident frontier state —
+// the evaluator's full sweeps go through it.
 #pragma once
 
 #include <vector>
@@ -55,6 +61,12 @@ struct ShortestPathTree {
   };
   std::vector<std::uint8_t> settled;
   std::vector<HeapItem> heap;
+  /// Blocked dense kernel scratch: per-node frontier key (the node's dist
+  /// while unsettled and reachable, +inf otherwise — one contiguous double
+  /// array the min reduction scans without branches) and the per-block mins
+  /// that let the tie-break pass skip every block above the minimum.
+  std::vector<double> frontier_key;
+  std::vector<double> block_min;
 };
 
 /// Dijkstra from `source` over the edges of `g` weighted by `lengths`.
@@ -71,6 +83,31 @@ ShortestPathTree shortest_path_tree(const Topology& g,
                                     const Matrix<double>& lengths,
                                     NodeId source,
                                     SpAlgorithm algo = SpAlgorithm::kAuto);
+
+/// The original scalar dense scan, kept verbatim as the exactness yardstick
+/// for the blocked kernel: tests cross-check bit-identity against it and
+/// bench/evaluator measures the blocked kernel's speedup over it. Not a
+/// production path.
+void shortest_path_tree_reference(const Topology& g,
+                                  const Matrix<double>& lengths,
+                                  NodeId source, ShortestPathTree& out);
+
+/// Batched multi-source sweep: computes trees[i] from sources[i] for every
+/// i < count over one (g, lengths), bit-identical to per-source
+/// shortest_path_tree calls. The dense solver runs the block in lockstep —
+/// one settle + relax round per live source per cycle — so the block's SoA
+/// frontier state (a few KB regardless of n) stays cache-resident across
+/// the whole pass instead of n independent traversals each re-warming it;
+/// the sparse solver runs per source (its working set is the heap, already
+/// tiny). `algo` is resolved once for the batch.
+void shortest_path_tree_batch(const Topology& g, const Matrix<double>& lengths,
+                              const NodeId* sources, std::size_t count,
+                              ShortestPathTree* trees,
+                              SpAlgorithm algo = SpAlgorithm::kAuto);
+
+/// Source-block width used by the batched sweeps (route_loads and the delta
+/// engine's resettle passes share it so their pass structure matches).
+inline constexpr std::size_t kSpSourceBlock = 4;
 
 /// Reusable scratch for update_shortest_path_tree. One workspace serves any
 /// number of sources/graphs; steady state allocates nothing.

@@ -23,10 +23,23 @@ bool route_loads(const Topology& g, const Matrix<double>& lengths,
     algo = select_sp_algorithm(n, g.num_edges());
   }
 
-  for (NodeId s = 0; s < n; ++s) {
-    shortest_path_tree(g, lengths, s, ws.tree, algo);
-    if (ws.tree.order.size() != n) return false;  // disconnected
-    accumulate_tree_loads(ws.tree, traffic, s, loads, ws.aggregate);
+  // Batched sweep: compute kSpSourceBlock trees in lockstep (shared
+  // cache-resident frontier state), then accumulate them in increasing
+  // source order — the accumulation order fixes the floating-point result,
+  // so it must match the scalar per-source loop exactly.
+  ws.block.resize(kSpSourceBlock);
+  NodeId sources[kSpSourceBlock];
+  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
+    const std::size_t width =
+        std::min<std::size_t>(kSpSourceBlock, n - base);
+    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
+    shortest_path_tree_batch(g, lengths, sources, width, ws.block.data(),
+                             algo);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (ws.block[b].order.size() != n) return false;  // disconnected
+      accumulate_tree_loads(ws.block[b], traffic, sources[b], loads,
+                            ws.aggregate);
+    }
   }
   return true;
 }
@@ -67,10 +80,20 @@ bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
   if (algo == SpAlgorithm::kAuto) {
     algo = select_sp_algorithm(n, g.num_edges());
   }
-  for (NodeId s = 0; s < n; ++s) {
-    shortest_path_tree(g, lengths, s, trees[s], algo);
-    if (trees[s].order.size() != n) return false;  // disconnected
-    accumulate_tree_loads(trees[s], traffic, s, loads, ws.aggregate);
+  // The retained trees live in `trees` directly, so the batch kernel can
+  // run over whole blocks in place; accumulation stays in increasing
+  // source order for bit-identical loads.
+  NodeId sources[kSpSourceBlock];
+  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
+    const std::size_t width =
+        std::min<std::size_t>(kSpSourceBlock, n - base);
+    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
+    shortest_path_tree_batch(g, lengths, sources, width, &trees[base], algo);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (trees[base + b].order.size() != n) return false;  // disconnected
+      accumulate_tree_loads(trees[base + b], traffic, sources[b], loads,
+                            ws.aggregate);
+    }
   }
   return true;
 }

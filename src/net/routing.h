@@ -27,6 +27,10 @@ namespace cold {
 struct RoutingWorkspace {
   ShortestPathTree tree;
   std::vector<double> aggregate;  ///< per-node downstream demand sums
+  /// Source-block scratch for the batched sweeps (kSpSourceBlock trees);
+  /// lets route_loads run shortest_path_tree_batch without retaining all n
+  /// trees. Loads are still accumulated in increasing-source order.
+  std::vector<ShortestPathTree> block;
 };
 
 /// Computes per-link loads under shortest-path routing of `traffic` over the

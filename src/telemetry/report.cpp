@@ -45,8 +45,9 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
   root["schema"] = "cold-run-report";
   // v2 added result.cache; v3 added per-phase/per-generation engine
   // counters and gates all of them (result.cache included) behind
-  // include_timing; v4 added the delta-evaluation counters; see report.h.
-  root["version"] = 4;
+  // include_timing; v4 added the delta-evaluation counters; v5 added the
+  // per-worker dsssp split and the affinity steal count; see report.h.
+  root["version"] = 5;
 
   JsonObject run;
   run["seed"] = static_cast<double>(report.seed);
@@ -71,6 +72,16 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
     dsssp["fallbacks"] = static_cast<double>(report.dsssp_fallbacks);
     dsssp["vertices_resettled"] =
         static_cast<double>(report.vertices_resettled);
+    dsssp["steals"] = static_cast<double>(report.ga_steals);
+    JsonArray workers;
+    for (const WorkerDeltaStats& w : report.worker_dsssp) {
+      JsonObject obj;
+      obj["hits"] = static_cast<double>(w.hits);
+      obj["fallbacks"] = static_cast<double>(w.fallbacks);
+      obj["vertices_resettled"] = static_cast<double>(w.vertices_resettled);
+      workers.push_back(std::move(obj));
+    }
+    dsssp["workers"] = std::move(workers);
     result["dsssp"] = std::move(dsssp);
   }
   put_wall(result, report.wall_ns, include_timing);
@@ -187,6 +198,19 @@ RunReport run_report_from_json(const std::string& json) {
         static_cast<std::uint64_t>(dsssp.field("fallbacks").number());
     report.vertices_resettled = static_cast<std::uint64_t>(
         dsssp.field("vertices_resettled").number());
+    if (dsssp.has("steals")) {  // the v5 additions travel together
+      report.ga_steals =
+          static_cast<std::uint64_t>(dsssp.field("steals").number());
+      for (const JsonValue& w : dsssp.field("workers").array()) {
+        WorkerDeltaStats stats;
+        stats.hits = static_cast<std::uint64_t>(w.field("hits").number());
+        stats.fallbacks =
+            static_cast<std::uint64_t>(w.field("fallbacks").number());
+        stats.vertices_resettled = static_cast<std::uint64_t>(
+            w.field("vertices_resettled").number());
+        report.worker_dsssp.push_back(stats);
+      }
+    }
   }
   report.wall_ns = get_wall(result);
 
@@ -292,6 +316,8 @@ void JsonReportSink::on_run_end(const RunSummary& e) {
   report_.dsssp_hits = e.dsssp_hits;
   report_.dsssp_fallbacks = e.dsssp_fallbacks;
   report_.vertices_resettled = e.vertices_resettled;
+  report_.worker_dsssp = e.worker_dsssp;
+  report_.ga_steals = e.ga_steals;
 }
 
 }  // namespace cold

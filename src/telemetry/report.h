@@ -18,7 +18,10 @@
 //                           "inserts": n, "evictions": n}],
 //                ["dedup_skipped": n],
 //                ["dsssp": {"hits": n, "fallbacks": n,
-//                           "vertices_resettled": n}],
+//                           "vertices_resettled": n,
+//                           "steals": n,
+//                           "workers": [{"hits": n, "fallbacks": n,
+//                                        "vertices_resettled": n}, ...]}],
 //                ["wall_ns": n]},
 //     "phases": [{"name": str, "evaluations": n,
 //                 ["cache_hits": n, "cache_misses": n, "cache_inserts": n,
@@ -39,8 +42,11 @@
 // unconditionally); v3 added per-phase engine-counter deltas and the dedup
 // counters, and reclassified all engine counters as performance data (only
 // emitted with timing); v4 added the delta-evaluation (dynamic SSSP)
-// counters, timing-gated like the rest. The parser accepts all four —
-// missing counters read back as zero; the writer always emits v4.
+// counters, timing-gated like the rest; v5 added the per-worker split and
+// the affinity-scheduler steal count inside the dsssp object ("workers" /
+// "steals"), so the affinity effect is directly observable per worker. The
+// parser accepts all five — missing counters read back as zero/empty; the
+// writer always emits v5.
 //
 // Round-trips through io/json: run_report_from_json(run_report_to_json(r))
 // reproduces every field (wall times included when serialized with timing).
@@ -72,6 +78,8 @@ struct RunReport {
   std::uint64_t dsssp_hits = 0;   ///< delta-engine counters (schema v4)
   std::uint64_t dsssp_fallbacks = 0;
   std::uint64_t vertices_resettled = 0;
+  std::vector<WorkerDeltaStats> worker_dsssp;  ///< per-worker split (v5)
+  std::uint64_t ga_steals = 0;  ///< affinity-scheduler steals (v5)
 
   std::vector<PhaseStats> phases;           ///< in completion order
   std::vector<HeuristicDone> heuristics;    ///< in run order

@@ -129,6 +129,16 @@ struct EnsembleRunDone {
 /// offspring were partitioned across threads (hits + misses stays
 /// deterministic), and all of the counters naturally vary with the engine
 /// configuration. Costs and trajectories are unaffected either way.
+/// Per-worker delta-engine counters (one per GA scorer worker, worker 0 =
+/// the primary evaluator). Like the cache counters, part of the
+/// performance data: with affinity scheduling the per-worker split depends
+/// on steal timing, while the aggregate dsssp_* sums stay exact.
+struct WorkerDeltaStats {
+  std::uint64_t hits = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t vertices_resettled = 0;
+};
+
 struct RunSummary {
   double best_cost = 0.0;
   std::size_t evaluations = 0;  ///< total objective evaluations in the run
@@ -143,6 +153,13 @@ struct RunSummary {
   std::uint64_t dsssp_hits = 0;       ///< delta-engine incremental evals
   std::uint64_t dsssp_fallbacks = 0;  ///< delta-enabled evals swept fully
   std::uint64_t vertices_resettled = 0;  ///< labels repaired incrementally
+  /// Per-worker split of the dsssp_* counters from the final GA's scoring
+  /// pool (empty when the delta engine is off). Performance data, like the
+  /// per-worker cache splits.
+  std::vector<WorkerDeltaStats> worker_dsssp;
+  /// Scoring items run off their preferred worker under affinity
+  /// scheduling (0 when affinity never engaged). Performance data.
+  std::uint64_t ga_steals = 0;
 };
 
 // ---------------------------------------------------------------------------

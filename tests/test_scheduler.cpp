@@ -1,0 +1,242 @@
+// Tests for affinity scheduling: the thread pool's assigned-queue mode
+// (work stealing, steal-counter conservation) and the GA-level guarantee
+// that routing offspring by retained parent state changes delta hit rates
+// and wall-clock only — trajectories stay bit-identical for any
+// {affinity, thread count, dsssp} combination.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/context.h"
+#include "cost/evaluator.h"
+#include "ga/genetic.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cold {
+namespace {
+
+/// Deals `total` indices into `queues` queues round-robin with a skew: queue
+/// 0 gets every index divisible by 3 as well, so assignments are uneven but
+/// every index appears in exactly one queue.
+std::vector<std::vector<std::size_t>> skewed_queues(std::size_t total,
+                                                    std::size_t queues) {
+  std::vector<std::vector<std::size_t>> q(queues);
+  for (std::size_t i = 0; i < total; ++i) {
+    q[i % 3 == 0 ? 0 : i % queues].push_back(i);
+  }
+  return q;
+}
+
+TEST(ParallelForAssigned, ExecutesEveryQueuedIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const auto queues = skewed_queues(500, pool.size());
+    std::vector<int> hits(500, 0);
+    StealStats stats;
+    pool.parallel_for_assigned(
+        queues, [&](std::size_t i, std::size_t) { ++hits[i]; }, &stats);
+    for (int h : hits) EXPECT_EQ(h, 1);
+    // Conservation: every queued index was executed by exactly one worker,
+    // and a worker can only have stolen items it executed.
+    ASSERT_EQ(stats.executed.size(), pool.size());
+    ASSERT_EQ(stats.stolen.size(), pool.size());
+    EXPECT_EQ(stats.total_executed(), 500u);
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+      EXPECT_LE(stats.stolen[w], stats.executed[w]) << w;
+    }
+  }
+}
+
+TEST(ParallelForAssigned, ForcedContentionOneQueueOwnsEverything) {
+  // All items on worker 0's queue — the worst-case assignment affinity can
+  // produce (every retained parent on one worker). Idle workers must steal
+  // rather than wait. Worker 0 blocks on its first item until some other
+  // worker has run one, so at least one steal is guaranteed, and the
+  // assignment still cannot serialize the job.
+  ThreadPool pool(4);
+  const std::size_t total = 64;
+  std::vector<std::vector<std::size_t>> queues(pool.size());
+  for (std::size_t i = 0; i < total; ++i) queues[0].push_back(i);
+
+  std::vector<int> hits(total, 0);
+  std::atomic<bool> other_worker_ran{false};
+  StealStats stats;
+  pool.parallel_for_assigned(
+      queues,
+      [&](std::size_t i, std::size_t w) {
+        ++hits[i];
+        if (w != 0) {
+          other_worker_ran.store(true, std::memory_order_release);
+        } else {
+          while (!other_worker_ran.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        }
+      },
+      &stats);
+
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(stats.total_executed(), total);
+  EXPECT_GT(stats.total_stolen(), 0u);
+  // Everything a worker other than 0 ran came off worker 0's queue.
+  for (std::size_t w = 1; w < pool.size(); ++w) {
+    EXPECT_EQ(stats.stolen[w], stats.executed[w]) << w;
+  }
+  EXPECT_EQ(stats.stolen[0], 0u);  // its own queue is never a steal
+}
+
+TEST(ParallelForAssigned, InlinePoolRunsOnCaller) {
+  ThreadPool pool(1);
+  std::vector<std::vector<std::size_t>> queues(1);
+  for (std::size_t i = 0; i < 20; ++i) queues[0].push_back(i);
+  std::vector<int> hits(20, 0);
+  StealStats stats;
+  pool.parallel_for_assigned(
+      queues,
+      [&](std::size_t i, std::size_t w) {
+        EXPECT_EQ(w, 0u);
+        ++hits[i];
+      },
+      &stats);
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(stats.total_executed(), 20u);
+  EXPECT_EQ(stats.total_stolen(), 0u);
+}
+
+TEST(ParallelForAssigned, ValidatesQueueCount) {
+  ThreadPool pool(2);
+  std::vector<std::vector<std::size_t>> wrong(1);
+  EXPECT_THROW(
+      pool.parallel_for_assigned(wrong, [](std::size_t, std::size_t) {}),
+      std::invalid_argument);
+}
+
+TEST(ParallelForAssigned, EmptyQueuesAreANoOp) {
+  ThreadPool pool(3);
+  std::vector<std::vector<std::size_t>> queues(pool.size());
+  StealStats stats;
+  pool.parallel_for_assigned(
+      queues, [](std::size_t, std::size_t) { FAIL(); }, &stats);
+  EXPECT_EQ(stats.total_executed(), 0u);
+}
+
+TEST(ParallelForAssigned, PropagatesExceptionsAndSurvives) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const auto queues = skewed_queues(100, pool.size());
+    EXPECT_THROW(pool.parallel_for_assigned(queues,
+                                            [&](std::size_t i, std::size_t) {
+                                              if (i == 17) {
+                                                throw std::runtime_error(
+                                                    "boom");
+                                              }
+                                            }),
+                 std::runtime_error);
+    // The pool survives a throwing assigned job and runs plain jobs after.
+    std::atomic<int> n{0};
+    pool.parallel_for(0, 8, [&](std::size_t, std::size_t) { ++n; });
+    EXPECT_EQ(n.load(), 8);
+  }
+}
+
+Evaluator make_evaluator(std::size_t n, const EvalEngineConfig& engine,
+                         std::uint64_t seed = 21) {
+  ContextConfig cfg;
+  cfg.num_pops = n;
+  Rng rng(seed);
+  const Context ctx = generate_context(cfg, rng);
+  return Evaluator(ctx.distances, ctx.traffic, CostParams{10, 1, 4e-4, 10},
+                   engine);
+}
+
+GaRunOptions scheduler_ga(std::size_t threads, bool affinity) {
+  GaRunOptions options;
+  options.config.population = 24;
+  options.config.generations = 10;
+  options.config.parallel.num_threads = threads;
+  options.config.affinity = affinity;
+  return options;
+}
+
+// The headline exactness property: affinity routing (and the steal
+// interleaving it allows) never changes GA trajectories — for any thread
+// count, with the delta engine on or off. The reference is the fully
+// sequential, affinity-off, delta-off run.
+TEST(AffinityScheduling, TrajectoriesAreBitIdenticalAcrossAllCombinations) {
+  const GaResult ref = [] {
+    Evaluator eval = make_evaluator(14, EvalEngineConfig{});
+    Rng rng(19);
+    return run_ga(eval, rng, scheduler_ga(1, false));
+  }();
+
+  for (const bool affinity : {false, true}) {
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      for (const DsspMode mode : {DsspMode::kOff, DsspMode::kOn}) {
+        EvalEngineConfig engine;
+        engine.delta.mode = mode;
+        Evaluator eval = make_evaluator(14, engine);
+        Rng rng(19);
+        const GaResult r = run_ga(eval, rng, scheduler_ga(threads, affinity));
+        const auto label = ::testing::Message()
+                           << "affinity=" << affinity << " threads=" << threads
+                           << " dsssp=" << (mode == DsspMode::kOn);
+        EXPECT_EQ(r.best_cost, ref.best_cost) << label;
+        EXPECT_TRUE(r.best == ref.best) << label;
+        ASSERT_EQ(r.best_cost_history.size(), ref.best_cost_history.size())
+            << label;
+        for (std::size_t g = 0; g < r.best_cost_history.size(); ++g) {
+          EXPECT_EQ(r.best_cost_history[g], ref.best_cost_history[g])
+              << label << " generation " << g;
+        }
+        ASSERT_EQ(r.final_costs.size(), ref.final_costs.size()) << label;
+        for (std::size_t i = 0; i < r.final_costs.size(); ++i) {
+          EXPECT_EQ(r.final_costs[i], ref.final_costs[i]) << label;
+        }
+        EXPECT_EQ(r.evaluations, ref.evaluations) << label;
+        EXPECT_EQ(r.repairs, ref.repairs) << label;
+      }
+    }
+  }
+}
+
+// The per-worker delta split is snapshotted before the clone merge, so it
+// must sum to exactly the primary's merged aggregate.
+TEST(AffinityScheduling, WorkerDeltaSplitSumsToAggregate) {
+  EvalEngineConfig engine;
+  engine.delta.mode = DsspMode::kOn;
+  Evaluator eval = make_evaluator(14, engine);
+  Rng rng(23);
+  const GaResult r = run_ga(eval, rng, scheduler_ga(4, true));
+
+  ASSERT_EQ(r.worker_delta.size(), 4u);
+  DeltaStats sum;
+  for (const DeltaStats& w : r.worker_delta) {
+    sum.hits += w.hits;
+    sum.fallbacks += w.fallbacks;
+    sum.vertices_resettled += w.vertices_resettled;
+  }
+  const DeltaStats& merged = eval.delta_stats();
+  EXPECT_EQ(sum.hits, merged.hits);
+  EXPECT_EQ(sum.fallbacks, merged.fallbacks);
+  EXPECT_EQ(sum.vertices_resettled, merged.vertices_resettled);
+  // Every scored offspring either hit the delta path or fell back.
+  EXPECT_GT(sum.hits + sum.fallbacks, 0u);
+}
+
+// Without a delta engine there is no state to be affine to: the scorer
+// reports no per-worker split and no steals, even with affinity requested.
+TEST(AffinityScheduling, InactiveWithoutDeltaEngine) {
+  Evaluator eval = make_evaluator(12, EvalEngineConfig{});
+  Rng rng(29);
+  const GaResult r = run_ga(eval, rng, scheduler_ga(4, true));
+  EXPECT_TRUE(r.worker_delta.empty());
+  EXPECT_EQ(r.steals, 0u);
+}
+
+}  // namespace
+}  // namespace cold

@@ -171,6 +171,98 @@ TEST(SpAlgorithm, SparseHandlesEqualLengthTies) {
   }
 }
 
+// The blocked dense kernel must reproduce the original scalar scan bit for
+// bit — dist, hops, parent AND settle order — including around zero-length
+// edges, where the settled-skip-is-redundant argument does its work (a
+// zero-length relaxation of a settled node ties on dist and must lose on
+// hops, never updating).
+TEST(SpAlgorithm, BlockedDenseIsBitIdenticalToReference) {
+  Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 5 + rng.uniform_index(90);
+    const auto pts = UniformProcess().sample(n, Rectangle(), rng);
+    auto len = distance_matrix(pts);
+    if (trial % 2 == 0) {
+      // Sprinkle zero-length edges to force (dist, hops, id) tie-breaks.
+      for (std::size_t z = 0; z < n / 2; ++z) {
+        const NodeId u = rng.uniform_index(n);
+        const NodeId v = rng.uniform_index(n);
+        len(u, v) = len(v, u) = 0.0;
+      }
+    }
+    const double p = 0.05 + 0.5 * rng.uniform();
+    Topology g = erdos_renyi_gnp(n, p, rng);
+    if (trial % 3 != 0) connect_components(g, len);
+    ShortestPathTree blocked, reference;
+    for (NodeId s = 0; s < n; ++s) {
+      shortest_path_tree(g, len, s, blocked, SpAlgorithm::kDense);
+      shortest_path_tree_reference(g, len, s, reference);
+      ASSERT_EQ(blocked.order, reference.order) << "n=" << n << " s=" << s;
+      ASSERT_EQ(blocked.parent, reference.parent);
+      ASSERT_EQ(blocked.hops, reference.hops);
+      for (NodeId t = 0; t < n; ++t) {
+        ASSERT_EQ(blocked.dist[t], reference.dist[t]);
+      }
+    }
+  }
+}
+
+// Batched sweeps are a pure scheduling change: trees[i] must equal the
+// per-source call bit for bit, for both solvers, at every block width —
+// including partial final blocks and single-source batches.
+TEST(SpAlgorithm, BatchMatchesPerSourceCalls) {
+  Rng rng(17);
+  for (const SpAlgorithm algo : {SpAlgorithm::kDense, SpAlgorithm::kSparse}) {
+    for (int trial = 0; trial < 12; ++trial) {
+      const std::size_t n = 3 + rng.uniform_index(40);
+      const auto pts = UniformProcess().sample(n, Rectangle(), rng);
+      const auto len = distance_matrix(pts);
+      Topology g = erdos_renyi_gnp(n, 0.05 + 0.4 * rng.uniform(), rng);
+      if (trial % 4 != 0) connect_components(g, len);
+
+      std::vector<NodeId> sources(n);
+      for (NodeId s = 0; s < n; ++s) sources[s] = s;
+      std::vector<ShortestPathTree> batch(n);
+      shortest_path_tree_batch(g, len, sources.data(), n, batch.data(), algo);
+
+      ShortestPathTree single;
+      for (NodeId s = 0; s < n; ++s) {
+        shortest_path_tree(g, len, s, single, algo);
+        ASSERT_EQ(batch[s].source, single.source);
+        ASSERT_EQ(batch[s].order, single.order) << "n=" << n << " s=" << s;
+        ASSERT_EQ(batch[s].parent, single.parent);
+        ASSERT_EQ(batch[s].hops, single.hops);
+        for (NodeId t = 0; t < n; ++t) {
+          ASSERT_EQ(batch[s].dist[t], single.dist[t]);
+        }
+      }
+
+      // A partial block (width < kSpSourceBlock) and repeated sources.
+      const NodeId dup[3] = {0, n - 1, 0};
+      ShortestPathTree trees[3];
+      shortest_path_tree_batch(g, len, dup, 3, trees, algo);
+      for (int i = 0; i < 3; ++i) {
+        shortest_path_tree(g, len, dup[i], single, algo);
+        ASSERT_EQ(trees[i].order, single.order);
+        ASSERT_EQ(trees[i].dist, single.dist);
+      }
+    }
+  }
+}
+
+TEST(SpAlgorithm, BatchValidatesInput) {
+  Topology g(3);
+  Matrix<double> len = Matrix<double>::square(3, 1.0);
+  const NodeId bad[1] = {7};
+  ShortestPathTree tree;
+  EXPECT_THROW(shortest_path_tree_batch(g, len, bad, 1, &tree),
+               std::out_of_range);
+  Matrix<double> wrong(2, 3, 1.0);
+  const NodeId ok[1] = {0};
+  EXPECT_THROW(shortest_path_tree_batch(g, wrong, ok, 1, &tree),
+               std::invalid_argument);
+}
+
 TEST(FloydWarshall, DisconnectedIsInfinite) {
   Topology g(3);
   g.add_edge(0, 1);

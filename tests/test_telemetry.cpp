@@ -97,7 +97,11 @@ TEST(MultiObserver, FansOutAndIgnoresNull) {
   multi.add(nullptr);
   multi.add(&b);
   multi.on_generation_end({0, 1.0, 2.0, 0, 0, 16, 0, 10});
-  multi.on_run_end({1.0, 16, 10, false, StopReason::kNone});
+  RunSummary summary;
+  summary.best_cost = 1.0;
+  summary.evaluations = 16;
+  summary.wall_ns = 10;
+  multi.on_run_end(summary);
   EXPECT_EQ(a.count<GenerationEnd>(), 1u);
   EXPECT_EQ(b.count<GenerationEnd>(), 1u);
   EXPECT_EQ(a.canonical(), b.canonical());
@@ -484,7 +488,7 @@ TEST(RunReport, StoppedRunProducesValidReport) {
   EXPECT_GT(parsed.generations.size(), 0u);
 }
 
-TEST(RunReport, EmitsV4WithCacheCountersWhenCacheEnabled) {
+TEST(RunReport, EmitsV5WithCacheCountersWhenCacheEnabled) {
   SynthesisConfig cfg = small_config();
   cfg.engine.cache.enabled = true;
   JsonReportSink sink;
@@ -497,7 +501,7 @@ TEST(RunReport, EmitsV4WithCacheCountersWhenCacheEnabled) {
   EXPECT_EQ(report.cache_misses, report.cache_inserts);  // every miss inserts
 
   const std::string json = run_report_to_json(report);
-  EXPECT_EQ(parse_json(json).field("version").number(), 4.0);
+  EXPECT_EQ(parse_json(json).field("version").number(), 5.0);
   const RunReport parsed = run_report_from_json(json);
   EXPECT_EQ(parsed.cache_hits, report.cache_hits);
   EXPECT_EQ(parsed.cache_misses, report.cache_misses);
@@ -617,7 +621,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   ASSERT_NE(end, std::string::npos);
   ASSERT_EQ(json[end + 1], ',');
   json.erase(cache_pos, end + 2 - cache_pos);
-  const std::size_t ver = json.find("\"version\": 4");
+  const std::size_t ver = json.find("\"version\": 5");
   ASSERT_NE(ver, std::string::npos);
   json[ver + std::string("\"version\": ").size()] = '1';
 
@@ -630,7 +634,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   EXPECT_EQ(parsed.cache_evictions, 0u);
   // Re-serializing a v1-sourced report upgrades it to the current schema.
   EXPECT_EQ(parse_json(run_report_to_json(parsed)).field("version").number(),
-            4.0);
+            5.0);
 }
 
 TEST(RunReport, AcceptsV3ReportsWithoutDssspCounters) {
@@ -690,6 +694,83 @@ TEST(RunReport, DssspCountersRoundTripWhenTimed) {
   const RunReport parsed = run_report_from_json(bare);
   EXPECT_EQ(parsed.dsssp_hits, 0u);
   EXPECT_EQ(parsed.vertices_resettled, 0u);
+}
+
+TEST(RunReport, WorkerSplitAndStealsRoundTripWhenTimed) {
+  // v5 fields: the per-worker delta split and the affinity steal count
+  // travel inside the dsssp object, timing-gated like the aggregate trio.
+  SynthesisConfig cfg = small_config();
+  cfg.engine.delta.mode = DsspMode::kOn;
+  cfg.ga.parallel.num_threads = 4;
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(5);
+
+  const RunReport& report = sink.report();
+  ASSERT_EQ(report.worker_dsssp.size(), 4u);
+  std::uint64_t split_hits = 0, split_fallbacks = 0;
+  for (const WorkerDeltaStats& w : report.worker_dsssp) {
+    split_hits += w.hits;
+    split_fallbacks += w.fallbacks;
+  }
+  // The split is snapshotted when the GA's scoring pool winds down: worker
+  // 0 (the primary) includes the heuristics phase, but the assembly phase's
+  // single breakdown of the best topology runs after the snapshot and lands
+  // only in the aggregate.
+  EXPECT_GT(split_hits + split_fallbacks, 0u);
+  EXPECT_EQ(split_hits + split_fallbacks + 1,
+            report.dsssp_hits + report.dsssp_fallbacks);
+
+  const RunReport timed = run_report_from_json(
+      run_report_to_json(report, /*include_timing=*/true));
+  ASSERT_EQ(timed.worker_dsssp.size(), report.worker_dsssp.size());
+  for (std::size_t w = 0; w < timed.worker_dsssp.size(); ++w) {
+    EXPECT_EQ(timed.worker_dsssp[w].hits, report.worker_dsssp[w].hits) << w;
+    EXPECT_EQ(timed.worker_dsssp[w].fallbacks,
+              report.worker_dsssp[w].fallbacks)
+        << w;
+    EXPECT_EQ(timed.worker_dsssp[w].vertices_resettled,
+              report.worker_dsssp[w].vertices_resettled)
+        << w;
+  }
+  EXPECT_EQ(timed.ga_steals, report.ga_steals);
+
+  // Timing-free reports drop the split with the rest of the dsssp object.
+  const RunReport bare = run_report_from_json(
+      run_report_to_json(report, /*include_timing=*/false));
+  EXPECT_TRUE(bare.worker_dsssp.empty());
+  EXPECT_EQ(bare.ga_steals, 0u);
+}
+
+TEST(RunReport, AcceptsV4ReportsWithoutWorkerSplit) {
+  // Hand-built v4 document: the dsssp object carries only the aggregate
+  // trio — no "steals", no "workers" (v5 additions). They must parse back
+  // as zero/empty.
+  const std::string json = R"({"schema": "cold-run-report", "version": 4,
+    "run": {"seed": 9, "num_pops": 6},
+    "result": {"best_cost": 2.25, "evaluations": 50, "stopped_early": false,
+               "stop_reason": "none",
+               "cache": {"hits": 12, "misses": 38, "inserts": 38,
+                         "evictions": 4},
+               "dedup_skipped": 5,
+               "dsssp": {"hits": 30, "fallbacks": 20,
+                         "vertices_resettled": 444},
+               "wall_ns": 1000},
+    "phases": [{"name": "ga", "evaluations": 50, "wall_ns": 900}],
+    "heuristics": [],
+    "generations": [],
+    "ensemble_runs": []})";
+  const RunReport parsed = run_report_from_json(json);
+  EXPECT_EQ(parsed.dsssp_hits, 30u);
+  EXPECT_EQ(parsed.dsssp_fallbacks, 20u);
+  EXPECT_EQ(parsed.vertices_resettled, 444u);
+  EXPECT_TRUE(parsed.worker_dsssp.empty());
+  EXPECT_EQ(parsed.ga_steals, 0u);
+  // Re-serializing upgrades to v5 with an explicit (empty) worker split.
+  const RunReport round =
+      run_report_from_json(run_report_to_json(parsed));
+  EXPECT_EQ(round.dsssp_hits, 30u);
+  EXPECT_TRUE(round.worker_dsssp.empty());
 }
 
 TEST(RunReport, AcceptsV2ReportsWithoutPerPhaseCounters) {

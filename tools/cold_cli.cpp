@@ -5,7 +5,7 @@
 //                 [--report FILE] [--progress] [--max-seconds T]
 //                 [--max-evals N] [--eval-cache] [--eval-cache-size N]
 //                 [--shared-cache] [--dedup] [--dijkstra auto|dense|sparse]
-//                 [--dsssp on|off|auto]
+//                 [--dsssp on|off|auto] [--affinity on|off]
 //   cold ensemble [--count N] + synth options
 //   cold metrics  --in FILE [--format text|json] [--out FILE]
 //   cold estimate --in FILE [--draws N] [--epsilon E] [--seed S]
@@ -78,6 +78,8 @@ const std::vector<OptionSpec> kEngineOpts = {
     {"dijkstra", true, "auto|dense|sparse (auto)"},
     {"dsssp", true, "on|off|auto (off): delta-evaluate near-parent "
                     "offspring"},
+    {"affinity", true, "on|off (on): route offspring to the worker "
+                       "retaining their parent's routing state"},
 };
 
 const std::vector<OptionSpec> kOutputOpts = {
@@ -174,8 +176,11 @@ void print_usage() {
       "            offspring once per generation, --dijkstra\n"
       "            auto|dense|sparse picks the shortest-path solver, and\n"
       "            --dsssp on|off|auto re-routes near-parent offspring\n"
-      "            incrementally (auto enables it above 16 PoPs); all\n"
-      "            are exact and change performance only\n";
+      "            incrementally (auto enables it above 16 PoPs), and\n"
+      "            --affinity on|off (on) routes offspring to the worker\n"
+      "            retaining their parent's routing state (work-stealing\n"
+      "            keeps threads busy); all are exact and change\n"
+      "            performance only\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -261,6 +266,16 @@ EvalEngineConfig engine_from(const CliOptions& args) {
   return engine;
 }
 
+/// GaConfig::affinity from --affinity on|off (default on). Exact either
+/// way; off pins the scorer to plain dynamic scheduling.
+bool affinity_from(const CliOptions& args) {
+  const std::string affinity = args.get("affinity", "on");
+  if (affinity == "on") return true;
+  if (affinity == "off") return false;
+  throw std::invalid_argument("unknown --affinity: " + affinity +
+                              " (expected on or off)");
+}
+
 SynthesisConfig config_from(const CliOptions& args) {
   SynthesisConfig cfg;
   cfg.context.num_pops = args.uint("pops", 30);
@@ -271,6 +286,7 @@ SynthesisConfig config_from(const CliOptions& args) {
   cfg.ga.population = args.uint("population", 48);
   cfg.ga.generations = args.uint("generations", 40);
   cfg.ga.dedup = args.has("dedup");
+  cfg.ga.affinity = affinity_from(args);
   cfg.overprovision = args.num("overprovision", 1.0);
   cfg.engine = engine_from(args);
   // 0 = all hardware threads; any value yields bit-identical output.
@@ -548,6 +564,7 @@ int cmd_grow(const CliOptions& args) {
   cfg.ga.population = args.uint("population", 48);
   cfg.ga.generations = args.uint("generations", 40);
   cfg.ga.dedup = args.has("dedup");
+  cfg.ga.affinity = affinity_from(args);
   cfg.ga.parallel.num_threads = args.uint("threads", 0);
   cfg.engine = engine_from(args);
   cfg.observer = telemetry.observer();
