@@ -308,8 +308,9 @@ AffinitySample replay_affinity(const Context& ctx, const CostParams& costs,
       }
     }
     if (!routed) ++rr;
-    clones[w].set_parent_hint(hints[i]);
-    const double c = clones[w].cost(trace[i]);
+    EvalRequest req;
+    req.parent_hint = hints[i];
+    const double c = clones[w].evaluate(trace[i], req).total();
     s.identical &= c == reference[i];
     if (!std::isinf(c)) retained_on[trace[i].fingerprint()] = w;
   }
@@ -467,8 +468,10 @@ int main(int argc, char** argv) {
   bool delta_identical = true;
   const auto t_delta = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < delta_trace.size(); ++i) {
-    eval_delta.set_parent_hint(delta_hints[i]);
-    delta_identical &= eval_delta.cost(delta_trace[i]) == delta_ref[i];
+    EvalRequest req;
+    req.parent_hint = delta_hints[i];
+    delta_identical &=
+        eval_delta.evaluate(delta_trace[i], req).total() == delta_ref[i];
   }
   const double eps_delta =
       static_cast<double>(delta_trace.size()) / seconds_since(t_delta);

@@ -1,0 +1,153 @@
+// Memory-ceiling gates for the sparse-first engine.
+//
+// Two guarantees, both measured through getrusage peak RSS (ru_maxrss is
+// the process-lifetime high-water mark, so measurements run small-to-large
+// and each gate compares against the peak recorded *before* its workload):
+//
+//   1. Streamed ensembles are memory-flat in the run count: a 10x larger
+//      streamed ensemble (10,000 runs vs 1,000) may not move peak RSS by
+//      more than a small tolerance. Retaining runs instead would grow the
+//      footprint linearly (~10x the per-run state), so this gate fails
+//      loudly if streaming ever silently re-retains.
+//   2. City-scale synthesis fits in a bounded footprint: one n = 2000
+//      synthesis (far above the dense-view auto threshold, so no n^2 byte
+//      matrix ever exists) must complete connected inside an absolute RSS
+//      ceiling.
+//
+// Results — including the "gates" array for the CI baseline diff — go to
+// BENCH_memory.json (first argv, default ./).
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/ensemble.h"
+#include "core/synthesizer.h"
+#include "graph/algorithms.h"
+
+namespace {
+
+using namespace cold;
+
+/// Process-lifetime peak RSS in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+SynthesisConfig ensemble_config() {
+  SynthesisConfig cfg;
+  cfg.context.num_pops = 24;
+  cfg.costs = CostParams{10.0, 1.0, 4e-4, 10.0};
+  cfg.ga.population = 12;
+  cfg.ga.generations = 6;
+  cfg.seed_with_heuristics = false;
+  cfg.parallel.num_threads = cold::bench::bench_threads();
+  return cfg;
+}
+
+EnsembleResult run_streamed(const Synthesizer& synth, std::size_t count) {
+  EnsembleOptions opts;
+  opts.count = count;
+  opts.base_seed = 1;
+  opts.retain = RetainMode::kStreamed;
+  return generate_ensemble(synth, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cold::bench::banner(
+      "Sparse-first memory ceilings",
+      "streamed 10k-run ensemble peak RSS flat vs 1k; one n = 2000 "
+      "synthesis completes sparse inside an absolute RSS ceiling");
+
+  cold::bench::GateSet gates;
+
+  // --- Streamed ensemble: 10x the runs, flat peak RSS. ---------------------
+  const std::size_t count_small = 1000;
+  const std::size_t count_large = 10000;
+  const Synthesizer synth(ensemble_config());
+
+  const EnsembleResult small = run_streamed(synth, count_small);
+  const double rss_small = peak_rss_mib();
+  std::printf("streamed ensemble %zu runs: peak RSS %.1f MiB\n", count_small,
+              rss_small);
+
+  const EnsembleResult large = run_streamed(synth, count_large);
+  const double rss_large = peak_rss_mib();
+  std::printf("streamed ensemble %zu runs: peak RSS %.1f MiB\n", count_large,
+              rss_large);
+
+  const double ratio = rss_large / rss_small;
+  const double growth_mib = rss_large - rss_small;
+  std::printf("peak RSS ratio (10x runs): %.3f (growth %.1f MiB)\n", ratio,
+              growth_mib);
+  gates.require("streamed_counts_complete",
+                small.num_runs() == count_small &&
+                    large.num_runs() == count_large);
+  gates.require("streamed_retains_nothing", !small.acc.retains_runs() &&
+                                                !large.acc.retains_runs());
+  // Absolute slack, not a ratio: the legitimate O(count) state (the
+  // distinctness hash set, 8 bytes a run) plus allocator noise is well
+  // under 16 MiB, while *retaining* the 9000 extra runs would add
+  // hundreds — a ratio gate at this tiny baseline would flap on noise.
+  gates.require("streamed_rss_flat_within_16mib", growth_mib <= 16.0);
+
+  // --- n = 2000 synthesis inside an absolute ceiling. ----------------------
+  const double rss_before_city = peak_rss_mib();
+  SynthesisConfig city;
+  city.context.num_pops = 2000;
+  city.costs = CostParams{10.0, 1.0, 4e-4, 10.0};
+  city.ga.population = 6;
+  city.ga.generations = 2;
+  city.ga.include_clique_seed = false;  // the full mesh is 2M edges
+  city.seed_with_heuristics = false;
+  const SynthesisResult r = Synthesizer(city).synthesize(1);
+  const double rss_city = peak_rss_mib();
+  std::printf("n = 2000 synthesis: peak RSS %.1f MiB (was %.1f before)\n",
+              rss_city, rss_before_city);
+
+  gates.require("city_synthesis_sparse_backend",
+                !r.network.topology.has_dense_view());
+  gates.require("city_synthesis_connected",
+                is_connected(r.network.topology));
+  // The context's n^2 double matrices (distances, traffic ~ 32 MiB each)
+  // dominate the legitimate footprint; 1 GiB leaves room for workspaces
+  // and copies while catching any resurrected n^2-per-candidate storage
+  // (even one byte-matrix per GA individual would blow past it at scale).
+  gates.require_at_least("city_synthesis_rss_headroom", 1024.0 / rss_city,
+                         1.0);
+
+  std::printf("\n");
+  gates.print();
+
+  // --- JSON artifact. ------------------------------------------------------
+  const std::string path = (argc > 1 ? std::string(argv[1]) : std::string(".")) +
+                           "/BENCH_memory.json";
+  if (FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"memory\",\n"
+                 "  \"streamed_runs_small\": %zu,\n"
+                 "  \"streamed_runs_large\": %zu,\n"
+                 "  \"peak_rss_mib_small\": %.1f,\n"
+                 "  \"peak_rss_mib_large\": %.1f,\n"
+                 "  \"peak_rss_ratio\": %.4f,\n"
+                 "  \"peak_rss_growth_mib\": %.1f,\n"
+                 "  \"city_pops\": 2000,\n"
+                 "  \"city_peak_rss_mib\": %.1f,\n"
+                 "  \"gates\": %s\n"
+                 "}\n",
+                 count_small, count_large, rss_small, rss_large, ratio,
+                 growth_mib, rss_city, gates.json().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 2;
+  }
+  return gates.all_pass() ? 0 : 1;
+}

@@ -79,7 +79,7 @@ int main() {
 
   // The simulation study.
   std::vector<double> impacts;
-  for (const cold::SynthesisResult& run : ensemble.runs) {
+  for (const cold::SynthesisResult& run : ensemble.runs()) {
     impacts.push_back(failure_impact(run.network));
   }
   const cold::ConfidenceInterval ci = cold::bootstrap_mean_ci(impacts);

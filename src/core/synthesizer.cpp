@@ -88,7 +88,7 @@ SynthesisResult Synthesizer::optimize(
   }
   {
     PhaseTimer timer(observer, Phase::kAssembly, eval_count, engine_count);
-    result.cost = eval.breakdown(result.ga.best);
+    result.cost = eval.evaluate(result.ga.best).breakdown;
     result.network =
         build_network(result.ga.best, context.locations, context.populations,
                       context.traffic, config_.overprovision);

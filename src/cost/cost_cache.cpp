@@ -19,7 +19,7 @@ void pack_edges(const Topology& g, std::vector<std::uint64_t>& out) {
   out.reserve(g.num_edges());
   const std::size_t n = g.num_nodes();
   for (NodeId u = 0; u < n; ++u) {
-    for (const NodeId v : g.adjacency(u)) {
+    for (const NodeId v : g.neighbors(u)) {
       if (v > u) {
         out.push_back(static_cast<std::uint64_t>(u) << 32 | v);
       }

@@ -36,7 +36,6 @@ Evaluator::Evaluator(std::shared_ptr<const Matrix<double>> lengths,
   if (traffic_->rows() != n) {
     throw std::invalid_argument("Evaluator: traffic/lengths size mismatch");
   }
-  loads_ = Matrix<double>::square(n, 0.0);
   if (engine_.cache.enabled && !engine_.cache.shared) {
     cache_ = std::make_unique<CostCache>(engine_.cache);
   }
@@ -87,20 +86,39 @@ const Matrix<double>& Evaluator::last_loads() const {
         "Evaluator::last_loads: no feasible routing backs the loads (the "
         "last evaluation was infeasible, served from cache, or never ran)");
   }
-  return loads_;
+  loads_.scatter(legacy_loads_);
+  return legacy_loads_;
 }
 
+EvalResult Evaluator::evaluate(const Topology& g, const EvalRequest& req) {
+  // An explicit request hint wins; otherwise consume (one-shot) whatever
+  // the deprecated set_parent_hint() planted, so legacy flows behave
+  // exactly as before.
+  const std::uint64_t hint =
+      req.parent_hint != 0 ? req.parent_hint : std::exchange(parent_hint_, 0);
+  EvalResult r;
+  r.breakdown = breakdown_impl(g, hint);
+  if (req.want_loads && loads_valid_) {
+    r.loads = loads_;
+    r.loads_valid = true;
+  }
+  return r;
+}
+
+double Evaluator::cost(const Topology& g) { return evaluate(g).total(); }
+
 CostBreakdown Evaluator::breakdown(const Topology& g) {
+  return evaluate(g).breakdown;
+}
+
+CostBreakdown Evaluator::breakdown_impl(const Topology& g,
+                                        std::uint64_t hint) {
   if (g.num_nodes() != num_nodes()) {
     throw std::invalid_argument("Evaluator: topology size mismatch");
   }
   // Cache hits count: evaluations_ tracks requested evaluations so budgets
   // and traces are identical whether or not the cache is enabled.
   ++evaluations_;
-  // Hints are one-shot: a stale hint must not outlive the evaluation it
-  // described, so consume it before any early return.
-  const std::uint64_t hint = parent_hint_;
-  parent_hint_ = 0;
   if (shared_cache_ != nullptr) {
     CostBreakdown hit;
     if (shared_cache_->find(g, hit)) {
@@ -146,15 +164,12 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
     return finish_breakdown(g);
   }
   ++delta_stats_.hits;
-  SpAlgorithm algo = engine_.sp_algorithm;
-  if (algo == SpAlgorithm::kAuto) {
-    algo = select_sp_algorithm(n, g.num_edges());
-  }
+  const SpAlgorithm algo = resolve_sp_algorithm(g, engine_.sp_algorithm);
   const std::size_t max_resettled = static_cast<std::size_t>(
       engine_.delta.max_resettle_ratio * static_cast<double>(n));
   RoutingState& slot = delta_store_->begin_fill(parent);
   slot.trees.resize(n);
-  loads_.fill(0.0);
+  loads_.build(g);
   // Block-batched resettle: per block of kSpSourceBlock sources, (1) copy
   // the parent trees and run the incremental updates, collecting the
   // sources whose affected region blew the cutoff, (2) recompute those in
@@ -219,12 +234,15 @@ CostBreakdown Evaluator::finish_breakdown(const Topology& g) {
   const Matrix<double>& lengths = *lengths_;
   const std::size_t n = g.num_nodes();
   double sum_len = 0.0, sum_bw_len = 0.0;
+  // EdgeLoads values are stored in lexicographic (i < j) edge order — the
+  // exact order the old dense row scan visited canonical cells — so a
+  // running index walks them with the identical FP summation order.
+  std::size_t idx = 0;
   for (NodeId i = 0; i < n; ++i) {
-    const std::uint8_t* r = g.row(i);
-    for (NodeId j = i + 1; j < n; ++j) {
-      if (!r[j]) continue;
+    for (const NodeId j : g.neighbors(i)) {
+      if (j <= i) continue;
       sum_len += lengths(i, j);
-      sum_bw_len += lengths(i, j) * loads_(i, j);
+      sum_bw_len += lengths(i, j) * loads_.value[idx++];
     }
   }
   b.existence = params_.k0 * static_cast<double>(g.num_edges());
@@ -243,7 +261,5 @@ void Evaluator::insert_in_cache(const Topology& g, const CostBreakdown& b) {
     cache_->insert(g, b);
   }
 }
-
-double Evaluator::cost(const Topology& g) { return breakdown(g).total(); }
 
 }  // namespace cold

@@ -34,6 +34,34 @@ namespace cold {
 
 class SharedCostCache;
 
+/// Inputs of one evaluation beyond the topology itself. The request carries
+/// everything the old stateful surface smuggled through the evaluator
+/// (set_parent_hint) plus which outputs the caller wants, so one call site
+/// reads as one evaluation.
+struct EvalRequest {
+  /// Zobrist fingerprint of the topology this candidate was derived from —
+  /// the delta engine's parent probe (purely a performance hint; matches
+  /// are verified by a real adjacency diff). 0 means "no hint", in which
+  /// case any hint planted via the deprecated set_parent_hint() is used.
+  std::uint64_t parent_hint = 0;
+  /// Copy the per-link loads into the result when the routing is feasible
+  /// and actually ran (cache hits skip routing and cannot produce loads).
+  bool want_loads = false;
+};
+
+/// Outcome of one evaluation. Owns its outputs: unlike the deprecated
+/// last_loads() accessor, the loads here cannot be invalidated by a later
+/// evaluation on the same evaluator.
+struct EvalResult {
+  CostBreakdown breakdown;
+  /// True iff `loads` is populated (requested + feasible + freshly routed).
+  bool loads_valid = false;
+  EdgeLoads loads;
+
+  double total() const { return breakdown.total(); }
+  bool feasible() const { return breakdown.feasible; }
+};
+
 class Evaluator {
  public:
   /// `lengths`: symmetric PoP distance matrix. `traffic`: demand matrix
@@ -56,19 +84,32 @@ class Evaluator {
   /// cache_stats() report exact totals across all threads.
   void merge_stats(Evaluator& worker);
 
+  /// The evaluation entry point: scores `g` under the cost model, routing
+  /// it if no cache entry matches. `req` carries the delta-engine parent
+  /// hint and selects outputs; the result owns everything it returns.
+  /// Feasibility semantics: an unroutable (disconnected) topology yields
+  /// breakdown.feasible == false and total() == +infinity.
+  EvalResult evaluate(const Topology& g, const EvalRequest& req = {});
+
   /// Total cost of the topology; +infinity if it cannot carry the traffic
-  /// (i.e. is disconnected). The hot path of the whole system.
+  /// (i.e. is disconnected). The hot path of the whole system — sugar for
+  /// evaluate(g).total().
   double cost(const Topology& g);
 
-  /// Full per-component breakdown (same feasibility semantics).
+  /// DEPRECATED(PR7): use evaluate(g).breakdown. Thin wrapper kept so
+  /// pre-sparse call sites compile; consumes any planted parent hint, like
+  /// evaluate().
   CostBreakdown breakdown(const Topology& g);
 
-  /// Link loads from the most recent breakdown that actually routed a
-  /// feasible topology. Throws std::logic_error when no such loads are
-  /// available: before the first evaluation, after an infeasible one, and
-  /// after a cache hit (which skips routing entirely).
+  /// DEPRECATED(PR7): use evaluate(g, {.want_loads = true}).loads, which the
+  /// caller owns. This accessor scatters the sparse loads into a dense
+  /// matrix view that is invalidated by the next evaluation. Throws
+  /// std::logic_error when no feasible routing backs the loads: before the
+  /// first evaluation, after an infeasible one, and after a cache hit
+  /// (which skips routing entirely).
   const Matrix<double>& last_loads() const;
 
+  /// DEPRECATED(PR7): query evaluate()'s EvalResult::loads_valid instead.
   /// Whether last_loads() is currently backed by a fresh feasible routing.
   bool has_last_loads() const { return loads_valid_; }
 
@@ -103,12 +144,14 @@ class Evaluator {
   /// Evaluations served by dedup fan-out (merged like evaluations()).
   std::size_t dedup_skipped() const { return dedup_skipped_; }
 
-  /// Plants the Zobrist fingerprint of the topology the *next* breakdown()
+  /// DEPRECATED(PR7): pass the hint in EvalRequest::parent_hint instead.
+  /// Plants the Zobrist fingerprint of the topology the *next* evaluation's
   /// argument was derived from (the GA records it during variation). Purely
   /// a performance hint for the delta engine's parent probe — matches are
   /// verified by a real adjacency diff, and a wrong or missing hint can
   /// only cost probe time, never exactness. Consumed by one evaluation;
-  /// 0 means "no hint". Ignored when the delta engine is off.
+  /// 0 means "no hint"; a nonzero EvalRequest::parent_hint wins over a
+  /// planted one. Ignored when the delta engine is off.
   void set_parent_hint(std::uint64_t fingerprint) {
     parent_hint_ = fingerprint;
   }
@@ -141,6 +184,10 @@ class Evaluator {
   /// Stores `b` for `g` in whichever cache (shared or private) is active.
   void insert_in_cache(const Topology& g, const CostBreakdown& b);
 
+  /// evaluate()'s core: cache probe, then routing (delta or full sweep).
+  /// `hint` is already resolved; does not touch parent_hint_.
+  CostBreakdown breakdown_impl(const Topology& g, std::uint64_t hint);
+
   /// Routes `g` via the delta engine: incremental repair of a retained
   /// parent's trees when one matches, full (retained) sweep otherwise.
   CostBreakdown breakdown_delta(const Topology& g, std::uint64_t hint);
@@ -161,8 +208,11 @@ class Evaluator {
   std::shared_ptr<SharedCostCache> shared_cache_;  ///< null unless shared
   EvalCacheStats shared_stats_;  ///< *this* instance's shared-cache ops
   EvalCacheStats merged_cache_stats_;  ///< folded in from workers
-  Matrix<double> loads_;
+  EdgeLoads loads_;  ///< O(n + m) per-link loads of the last feasible routing
   bool loads_valid_ = false;
+  /// Dense scatter backing the deprecated last_loads() accessor only;
+  /// empty until that accessor is used.
+  mutable Matrix<double> legacy_loads_;
   RoutingWorkspace ws_;
   std::size_t evaluations_ = 0;
   std::size_t dedup_skipped_ = 0;

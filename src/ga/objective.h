@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "cost/evaluator.h"
 #include "graph/topology.h"
@@ -72,7 +73,13 @@ class EvaluatorObjective final : public Objective {
       : owned_(std::make_unique<Evaluator>(std::move(owned))),
         eval_(owned_.get()) {}
 
-  double cost(const Topology& g) override { return eval_->cost(g); }
+  double cost(const Topology& g) override {
+    // The hint buffered by set_parent_hint() rides along in the request —
+    // the adapter owns the one-shot semantics, not the evaluator.
+    EvalRequest req;
+    req.parent_hint = std::exchange(hint_, 0);
+    return eval_->evaluate(g, req).total();
+  }
   const Matrix<double>& lengths() const override { return eval_->lengths(); }
 
   std::unique_ptr<Objective> clone() const override {
@@ -90,7 +97,7 @@ class EvaluatorObjective final : public Objective {
   }
 
   void set_parent_hint(std::uint64_t fingerprint) override {
-    eval_->set_parent_hint(fingerprint);
+    hint_ = fingerprint;
   }
 
   const DeltaStats* delta_stats() const override {
@@ -102,6 +109,7 @@ class EvaluatorObjective final : public Objective {
  private:
   std::unique_ptr<Evaluator> owned_;  ///< set only for clones
   Evaluator* eval_;
+  std::uint64_t hint_ = 0;  ///< buffered parent hint for the next cost()
 };
 
 }  // namespace cold

@@ -128,7 +128,11 @@ bool node_mutation(Topology& g, const Matrix<double>& lengths, Rng& rng) {
     if (h == victim) continue;
     if (target == n || lengths(victim, h) < lengths(victim, target)) target = h;
   }
-  for (NodeId u : g.neighbors(victim)) g.remove_edge(victim, u);
+  // neighbors() is a live view: detach via front() so the span is re-fetched
+  // after each mutation.
+  while (g.degree(victim) > 0) {
+    g.remove_edge(victim, g.neighbors(victim).front());
+  }
   g.add_edge(victim, target);
   return true;
 }

@@ -20,9 +20,8 @@ std::vector<std::size_t> connected_components(const Topology& g) {
     while (!stack.empty()) {
       const NodeId v = stack.back();
       stack.pop_back();
-      const std::uint8_t* r = g.row(v);
-      for (NodeId u = 0; u < n; ++u) {
-        if (r[u] && label[u] == kUnvisited) {
+      for (const NodeId u : g.neighbors(v)) {
+        if (label[u] == kUnvisited) {
           label[u] = next_label;
           stack.push_back(u);
         }
@@ -139,9 +138,8 @@ std::vector<int> bfs_hops(const Topology& g, NodeId source) {
   while (!q.empty()) {
     const NodeId v = q.front();
     q.pop();
-    const std::uint8_t* r = g.row(v);
-    for (NodeId u = 0; u < n; ++u) {
-      if (r[u] && hops[u] < 0) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (hops[u] < 0) {
         hops[u] = hops[v] + 1;
         q.push(u);
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <queue>
+#include <span>
 
 #include "graph/algorithms.h"
 
@@ -29,15 +30,16 @@ struct LowLink {
     const std::size_t n = g.num_nodes();
     for (NodeId root = 0; root < n; ++root) {
       if (disc[root] != -1) continue;
-      // Frame: (node, next neighbour to scan).
-      std::vector<std::pair<NodeId, NodeId>> stack{{root, 0}};
+      // Frame: (node, next index into its sorted neighbour list) — same
+      // ascending-id visit order as the old full-row scan, in O(deg).
+      std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
       disc[root] = low[root] = timer++;
       std::size_t root_children = 0;
       while (!stack.empty()) {
         auto& [v, next] = stack.back();
-        if (next < n) {
-          const NodeId u = next++;
-          if (!g.has_edge(v, u)) continue;
+        const std::span<const NodeId> nbrs = g.neighbors(v);
+        if (next < nbrs.size()) {
+          const NodeId u = nbrs[next++];
           if (disc[u] == -1) {
             parent[u] = v;
             if (v == root) ++root_children;
@@ -62,17 +64,27 @@ struct LowLink {
 };
 
 // Unit-capacity max flow (Edmonds–Karp) between s and t over g's edges.
+// Residual capacity only ever lives on directed adjacency pairs (both
+// directions of an undirected link are adjacency slots), so the residual is
+// a per-directed-slot CSR array — O(n + m) instead of an n² matrix.
 std::size_t unit_max_flow(const Topology& g, NodeId s, NodeId t) {
   const std::size_t n = g.num_nodes();
-  // Residual capacities; each undirected link is 1 in both directions.
-  Matrix<int> residual = Matrix<int>::square(n, 0);
-  for (const Edge& e : g.edges()) {
-    residual(e.u, e.v) = 1;
-    residual(e.v, e.u) = 1;
+  std::vector<std::size_t> off(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    off[v + 1] = off[v] + g.neighbors(v).size();
   }
+  std::vector<int> residual(off[n], 1);
+  // Directed slot (v -> u): off[v] + rank of u in v's sorted neighbours.
+  const auto slot = [&](NodeId v, NodeId u) {
+    const std::span<const NodeId> nbrs = g.neighbors(v);
+    return off[v] + static_cast<std::size_t>(
+                        std::lower_bound(nbrs.begin(), nbrs.end(), u) -
+                        nbrs.begin());
+  };
   std::size_t flow = 0;
   while (true) {
-    // BFS for an augmenting path.
+    // BFS for an augmenting path. Neighbour lists are sorted, so the visit
+    // order matches the old ascending full-row scan.
     std::vector<NodeId> pred(n, n);
     std::queue<NodeId> q;
     q.push(s);
@@ -80,8 +92,10 @@ std::size_t unit_max_flow(const Topology& g, NodeId s, NodeId t) {
     while (!q.empty() && pred[t] == n) {
       const NodeId v = q.front();
       q.pop();
-      for (NodeId u = 0; u < n; ++u) {
-        if (pred[u] == n && residual(v, u) > 0) {
+      const std::span<const NodeId> nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId u = nbrs[i];
+        if (pred[u] == n && residual[off[v] + i] > 0) {
           pred[u] = v;
           q.push(u);
         }
@@ -89,8 +103,8 @@ std::size_t unit_max_flow(const Topology& g, NodeId s, NodeId t) {
     }
     if (pred[t] == n) break;
     for (NodeId v = t; v != s; v = pred[v]) {
-      --residual(pred[v], v);
-      ++residual(v, pred[v]);
+      --residual[slot(pred[v], v)];
+      ++residual[slot(v, pred[v])];
     }
     ++flow;
   }

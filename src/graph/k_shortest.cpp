@@ -35,7 +35,11 @@ std::vector<NodeId> masked_shortest_path(const Topology& g,
   Topology masked = g;
   for (const Edge& e : banned_edges) masked.remove_edge(e.u, e.v);
   for (NodeId v : banned_nodes) {
-    for (NodeId u : masked.neighbors(v)) masked.remove_edge(v, u);
+    // neighbors() is a live view: detach via front() so the span is
+    // re-fetched after each mutation.
+    while (masked.degree(v) > 0) {
+      masked.remove_edge(v, masked.neighbors(v).front());
+    }
   }
   const ShortestPathTree tree = shortest_path_tree(masked, lengths, s);
   if (tree.hops[t] < 0) return {};

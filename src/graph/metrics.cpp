@@ -62,15 +62,31 @@ double average_path_length(const Topology& g) {
 }
 
 std::size_t count_triangles(const Topology& g) {
+  // Each triangle i < j < k is counted once at its smallest vertex: for
+  // every edge (i, j), intersect the sorted neighbour lists above j.
   const std::size_t n = g.num_nodes();
   std::size_t triangles = 0;
   for (NodeId i = 0; i < n; ++i) {
-    const std::uint8_t* ri = g.row(i);
-    for (NodeId j = i + 1; j < n; ++j) {
-      if (!ri[j]) continue;
-      const std::uint8_t* rj = g.row(j);
-      for (NodeId k = j + 1; k < n; ++k) {
-        if (ri[k] && rj[k]) ++triangles;
+    const std::span<const NodeId> ni = g.neighbors(i);
+    for (const NodeId j : ni) {
+      if (j <= i) continue;
+      const std::span<const NodeId> nj = g.neighbors(j);
+      std::size_t a = ni.size(), b = nj.size();
+      // Walk both sorted lists from the first entry above j.
+      std::size_t pa = static_cast<std::size_t>(
+          std::upper_bound(ni.begin(), ni.end(), j) - ni.begin());
+      std::size_t pb = static_cast<std::size_t>(
+          std::upper_bound(nj.begin(), nj.end(), j) - nj.begin());
+      while (pa < a && pb < b) {
+        if (ni[pa] == nj[pb]) {
+          ++triangles;
+          ++pa;
+          ++pb;
+        } else if (ni[pa] < nj[pb]) {
+          ++pa;
+        } else {
+          ++pb;
+        }
       }
     }
   }
@@ -171,15 +187,14 @@ void brandes(const Topology& g, std::vector<double>* node_score,
              std::vector<double>* edge_score,
              const std::vector<Edge>* edges) {
   const std::size_t n = g.num_nodes();
-  std::vector<std::vector<std::size_t>> edge_index;
-  if (edge_score != nullptr) {
-    edge_index.assign(n, std::vector<std::size_t>(n, 0));
-    for (std::size_t i = 0; i < edges->size(); ++i) {
-      const Edge& e = (*edges)[i];
-      edge_index[e.u][e.v] = i;
-      edge_index[e.v][e.u] = i;
-    }
-  }
+  // Edge scores are indexed into the caller's lexicographically sorted edge
+  // list (Topology::edges() order), so a canonical pair resolves to its
+  // index by binary search — no n² lookup table.
+  const auto edge_at = [edges](NodeId a, NodeId b) {
+    const Edge e = make_edge(a, b);
+    return static_cast<std::size_t>(
+        std::lower_bound(edges->begin(), edges->end(), e) - edges->begin());
+  };
   std::vector<double> sigma(n), delta(n);
   std::vector<int> dist(n);
   std::vector<std::vector<NodeId>> preds(n);
@@ -197,9 +212,7 @@ void brandes(const Topology& g, std::vector<double>* node_score,
       const NodeId v = q.front();
       q.pop();
       stack.push_back(v);
-      const std::uint8_t* r = g.row(v);
-      for (NodeId w = 0; w < n; ++w) {
-        if (!r[w]) continue;
+      for (const NodeId w : g.neighbors(v)) {
         if (dist[w] < 0) {
           dist[w] = dist[v] + 1;
           q.push(w);
@@ -216,7 +229,7 @@ void brandes(const Topology& g, std::vector<double>* node_score,
         const double share = sigma[v] / sigma[w] * (1.0 + delta[w]);
         delta[v] += share;
         if (edge_score != nullptr) {
-          (*edge_score)[edge_index[v][w]] += share;
+          (*edge_score)[edge_at(v, w)] += share;
         }
       }
       if (w != s && node_score != nullptr) (*node_score)[w] += delta[w];

@@ -109,7 +109,7 @@ bool dense_blocked_step(const Topology& g, const Matrix<double>& lengths,
   // 3. Relax over contiguous rows. cand is always finite (dist[best] and
   // every length are), so cand == dist[u] implies dist[u] is finite and the
   // scalar rule's explicit infinity guard is subsumed by the fast reject.
-  const std::uint8_t* r = g.row(best);
+  const std::uint8_t* r = g.dense_row(best);
   const double* len_row = &lengths(best, 0);
   const double dist_best = out.dist[best];
   const int cand_hops = out.hops[best] + 1;
@@ -161,7 +161,7 @@ void shortest_path_tree_sparse(const Topology& g, const Matrix<double>& lengths,
     }
     out.settled[v] = 1;
     out.order.push_back(v);
-    for (const NodeId u : g.adjacency(v)) {
+    for (const NodeId u : g.neighbors(v)) {
       if (out.settled[u]) continue;
       const double cand = out.dist[v] + lengths(v, u);
       const int cand_hops = out.hops[v] + 1;
@@ -207,7 +207,8 @@ void shortest_path_tree_reference(const Topology& g,
   out.hops[source] = 0;
   out.parent[source] = source;
   // The pre-blocked O(n^2) scan, byte-for-byte: repeatedly settle the
-  // unsettled node with the smallest (dist, hops, id) key.
+  // unsettled node with the smallest (dist, hops, id) key. A yardstick, not
+  // a production path — it reads dense rows, so it requires the dense view.
   for (std::size_t round = 0; round < n; ++round) {
     NodeId best = n;
     for (NodeId v = 0; v < n; ++v) {
@@ -222,7 +223,7 @@ void shortest_path_tree_reference(const Topology& g,
     if (best == n) break;  // remaining nodes unreachable
     out.settled[best] = 1;
     out.order.push_back(best);
-    const std::uint8_t* r = g.row(best);
+    const std::uint8_t* r = g.dense_row(best);
     for (NodeId u = 0; u < n; ++u) {
       if (!r[u] || out.settled[u]) continue;
       const double cand = out.dist[best] + lengths(best, u);
@@ -250,9 +251,7 @@ void shortest_path_tree_batch(const Topology& g, const Matrix<double>& lengths,
     throw std::invalid_argument(
         "shortest_path_tree_batch: length shape mismatch");
   }
-  if (algo == SpAlgorithm::kAuto) {
-    algo = select_sp_algorithm(n, g.num_edges());
-  }
+  algo = resolve_sp_algorithm(g, algo);
   if (algo == SpAlgorithm::kSparse) {
     // The heap solver's working set is already tiny; per-source is optimal.
     for (std::size_t i = 0; i < count; ++i) {
@@ -421,7 +420,7 @@ SpUpdateResult update_shortest_path_tree(const Topology& g,
   // inserted edge from whichever endpoint is reachable.
   for (std::size_t i = 0; i < num_invalidated; ++i) {
     const NodeId x = ws.dirty_list[i];
-    for (const NodeId y : g.adjacency(x)) {
+    for (const NodeId y : g.neighbors(x)) {
       if (tree.dist[y] != kInf) relax(y, x);
     }
   }
@@ -439,7 +438,7 @@ SpUpdateResult update_shortest_path_tree(const Topology& g,
     heap.pop_back();
     const NodeId v = top.id;
     if (top.dist != tree.dist[v] || top.hops != tree.hops[v]) continue;
-    for (const NodeId u : g.adjacency(v)) relax(v, u);
+    for (const NodeId u : g.neighbors(v)) relax(v, u);
   }
   if (overflow) return {false, ws.dirty_list.size()};
   if (ws.dirty_list.empty()) return {true, 0};  // labels untouched
@@ -470,6 +469,19 @@ SpUpdateResult update_shortest_path_tree(const Topology& g,
   while (ci < ws.changed.size()) ws.merged.push_back(ws.changed[ci++]);
   tree.order.assign(ws.merged.begin(), ws.merged.end());
   return {true, ws.dirty_list.size()};
+}
+
+SpAlgorithm resolve_sp_algorithm(const Topology& g, SpAlgorithm algo) {
+  if (algo == SpAlgorithm::kAuto) {
+    algo = select_sp_algorithm(g.num_nodes(), g.num_edges());
+  }
+  // The dense kernels read dense_row(); without the view the heap solver is
+  // the only backend — and it returns bit-identical trees, so the fallback
+  // is invisible to every consumer.
+  if (algo == SpAlgorithm::kDense && !g.has_dense_view()) {
+    algo = SpAlgorithm::kSparse;
+  }
+  return algo;
 }
 
 SpAlgorithm select_sp_algorithm(std::size_t n, std::size_t m) {
@@ -524,9 +536,7 @@ void shortest_path_tree(const Topology& g, const Matrix<double>& lengths,
   out.hops[source] = 0;
   out.parent[source] = source;
 
-  if (algo == SpAlgorithm::kAuto) {
-    algo = select_sp_algorithm(n, g.num_edges());
-  }
+  algo = resolve_sp_algorithm(g, algo);
   if (algo == SpAlgorithm::kSparse) {
     shortest_path_tree_sparse(g, lengths, source, out);
   } else {
@@ -550,10 +560,7 @@ Matrix<double> floyd_warshall(const Topology& g, const Matrix<double>& lengths) 
   Matrix<double> d = Matrix<double>::square(n, kInf);
   for (NodeId i = 0; i < n; ++i) {
     d(i, i) = 0.0;
-    const std::uint8_t* r = g.row(i);
-    for (NodeId j = 0; j < n; ++j) {
-      if (r[j]) d(i, j) = lengths(i, j);
-    }
+    for (const NodeId j : g.neighbors(i)) d(i, j) = lengths(i, j);
   }
   for (NodeId k = 0; k < n; ++k) {
     for (NodeId i = 0; i < n; ++i) {

@@ -39,6 +39,13 @@ enum class SpAlgorithm {
 /// Deterministic — depends only on (n, m).
 SpAlgorithm select_sp_algorithm(std::size_t n, std::size_t m);
 
+/// Backend-aware resolution used by every sweep entry point: kAuto resolves
+/// by density, then any dense choice is forced to kSparse when `g` carries
+/// no dense view (the dense kernels read dense_row(), which only exists on
+/// dense-backed topologies). Never changes a result — the solvers are
+/// bit-identical — only which kernel runs.
+SpAlgorithm resolve_sp_algorithm(const Topology& g, SpAlgorithm algo);
+
 /// Single-source shortest-path tree.
 struct ShortestPathTree {
   NodeId source = 0;
@@ -87,7 +94,8 @@ ShortestPathTree shortest_path_tree(const Topology& g,
 /// The original scalar dense scan, kept verbatim as the exactness yardstick
 /// for the blocked kernel: tests cross-check bit-identity against it and
 /// bench/evaluator measures the blocked kernel's speedup over it. Not a
-/// production path.
+/// production path; requires `g` to carry the dense view (it reads dense
+/// rows) and throws std::logic_error otherwise.
 void shortest_path_tree_reference(const Topology& g,
                                   const Matrix<double>& lengths,
                                   NodeId source, ShortestPathTree& out);

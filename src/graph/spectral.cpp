@@ -21,10 +21,9 @@ void apply_shifted(const Topology& g, double c, const std::vector<double>& x,
   const std::size_t n = g.num_nodes();
   for (NodeId v = 0; v < n; ++v) {
     double acc = (c - g.degree(v)) * x[v];
-    const std::uint8_t* row = g.row(v);
-    for (NodeId u = 0; u < n; ++u) {
-      if (row[u]) acc += x[u];
-    }
+    // Sorted neighbour lists: same ascending-id accumulation order as the
+    // old full-row scan, so the FP result is bit-identical.
+    for (const NodeId u : g.neighbors(v)) acc += x[u];
     y[v] = acc;
   }
 }

@@ -1,9 +1,24 @@
 #include "graph/topology.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 namespace cold {
+
+namespace {
+// Consulted only at construction; a plain atomic keeps concurrent test
+// fixtures and the CLI safe without ordering requirements.
+std::atomic<std::size_t> g_dense_auto_threshold{512};
+}  // namespace
+
+std::size_t Topology::dense_auto_threshold() {
+  return g_dense_auto_threshold.load(std::memory_order_relaxed);
+}
+
+void Topology::set_dense_auto_threshold(std::size_t n) {
+  g_dense_auto_threshold.store(n, std::memory_order_relaxed);
+}
 
 Edge make_edge(NodeId a, NodeId b) {
   if (a == b) throw std::invalid_argument("make_edge: self-loop");
@@ -23,8 +38,9 @@ std::uint64_t Topology::edge_key(NodeId a, NodeId b) {
   return z ^ (z >> 31);
 }
 
-Topology::Topology(std::size_t n)
-    : n_(n), adj_(n * n, 0), degree_(n, 0), nbrs_(n) {}
+Topology::Topology(std::size_t n) : n_(n), degree_(n, 0), nbrs_(n) {
+  if (n <= dense_auto_threshold()) materialize_dense_view();
+}
 
 Topology Topology::complete(std::size_t n) {
   Topology t(n);
@@ -54,20 +70,58 @@ Topology Topology::star(std::size_t n, NodeId centre) {
   return t;
 }
 
+bool Topology::has_edge_sparse(NodeId a, NodeId b) const {
+  const std::vector<NodeId>& na = nbrs_[a];
+  const std::vector<NodeId>& nb = nbrs_[b];
+  // Search the shorter list; both are sorted.
+  if (na.size() <= nb.size()) {
+    return std::binary_search(na.begin(), na.end(), b);
+  }
+  return std::binary_search(nb.begin(), nb.end(), a);
+}
+
+const std::uint8_t* Topology::dense_row(NodeId v) const {
+  if (!dense_view_) {
+    throw std::logic_error(
+        "Topology::dense_row: no dense view (n exceeds the auto threshold "
+        "and materialize_dense_view() was not called); iterate neighbors() "
+        "instead");
+  }
+  return dense_.data() + v * n_;
+}
+
+void Topology::materialize_dense_view() {
+  if (dense_view_) return;
+  dense_.assign(n_ * n_, 0);
+  for (NodeId v = 0; v < n_; ++v) {
+    for (const NodeId u : nbrs_[v]) dense_[v * n_ + u] = 1;
+  }
+  dense_view_ = true;
+}
+
+void Topology::drop_dense_view() {
+  dense_view_ = false;
+  dense_.clear();
+  dense_.shrink_to_fit();
+}
+
 bool Topology::add_edge(NodeId a, NodeId b) {
   if (a >= n_ || b >= n_) throw std::out_of_range("add_edge: node out of range");
   if (a == b) throw std::invalid_argument("add_edge: self-loop");
-  if (adj_[a * n_ + b]) return false;
-  adj_[a * n_ + b] = 1;
-  adj_[b * n_ + a] = 1;
+  auto& na = nbrs_[a];
+  const auto pos = std::lower_bound(na.begin(), na.end(), b);
+  if (pos != na.end() && *pos == b) return false;
+  na.insert(pos, b);
+  auto& nb = nbrs_[b];
+  nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+  if (dense_view_) {
+    dense_[a * n_ + b] = 1;
+    dense_[b * n_ + a] = 1;
+  }
   ++degree_[a];
   ++degree_[b];
   ++num_edges_;
   fingerprint_ ^= edge_key(a, b);
-  auto& na = nbrs_[a];
-  na.insert(std::lower_bound(na.begin(), na.end(), b), b);
-  auto& nb = nbrs_[b];
-  nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
   return true;
 }
 
@@ -75,17 +129,21 @@ bool Topology::remove_edge(NodeId a, NodeId b) {
   if (a >= n_ || b >= n_) {
     throw std::out_of_range("remove_edge: node out of range");
   }
-  if (a == b || !adj_[a * n_ + b]) return false;
-  adj_[a * n_ + b] = 0;
-  adj_[b * n_ + a] = 0;
+  if (a == b) return false;
+  auto& na = nbrs_[a];
+  const auto pos = std::lower_bound(na.begin(), na.end(), b);
+  if (pos == na.end() || *pos != b) return false;
+  na.erase(pos);
+  auto& nb = nbrs_[b];
+  nb.erase(std::lower_bound(nb.begin(), nb.end(), a));
+  if (dense_view_) {
+    dense_[a * n_ + b] = 0;
+    dense_[b * n_ + a] = 0;
+  }
   --degree_[a];
   --degree_[b];
   --num_edges_;
   fingerprint_ ^= edge_key(a, b);
-  auto& na = nbrs_[a];
-  na.erase(std::lower_bound(na.begin(), na.end(), b));
-  auto& nb = nbrs_[b];
-  nb.erase(std::lower_bound(nb.begin(), nb.end(), a));
   return true;
 }
 
@@ -108,11 +166,6 @@ std::vector<Edge> Topology::edges() const {
   return out;
 }
 
-std::vector<NodeId> Topology::neighbors(NodeId v) const {
-  if (v >= n_) throw std::out_of_range("neighbors: node out of range");
-  return nbrs_[v];
-}
-
 std::size_t Topology::num_core_nodes() const {
   std::size_t count = 0;
   for (int d : degree_) {
@@ -130,7 +183,7 @@ std::size_t Topology::num_leaf_nodes() const {
 }
 
 void Topology::clear_edges() {
-  std::fill(adj_.begin(), adj_.end(), 0);
+  std::fill(dense_.begin(), dense_.end(), 0);
   std::fill(degree_.begin(), degree_.end(), 0);
   for (auto& list : nbrs_) list.clear();
   num_edges_ = 0;
@@ -141,13 +194,28 @@ std::size_t Topology::edge_difference(const Topology& a, const Topology& b) {
   if (a.n_ != b.n_) {
     throw std::invalid_argument("edge_difference: size mismatch");
   }
-  std::size_t diff = 0;
-  for (NodeId i = 0; i < a.n_; ++i) {
-    for (NodeId j = i + 1; j < a.n_; ++j) {
-      if (a.adj_[i * a.n_ + j] != b.adj_[i * b.n_ + j]) ++diff;
+  // Sorted-list symmetric difference per node; each unordered pair is seen
+  // from both endpoints, so halve. O(n + m_a + m_b), backend-independent.
+  std::size_t directed_diff = 0;
+  for (NodeId u = 0; u < a.n_; ++u) {
+    const std::vector<NodeId>& la = a.nbrs_[u];
+    const std::vector<NodeId>& lb = b.nbrs_[u];
+    std::size_t i = 0, j = 0;
+    while (i < la.size() && j < lb.size()) {
+      if (la[i] == lb[j]) {
+        ++i;
+        ++j;
+      } else if (la[i] < lb[j]) {
+        ++directed_diff;
+        ++i;
+      } else {
+        ++directed_diff;
+        ++j;
+      }
     }
+    directed_diff += (la.size() - i) + (lb.size() - j);
   }
-  return diff;
+  return directed_diff / 2;
 }
 
 bool Topology::diff_edges(const Topology& from, const Topology& to,

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "geom/distance.h"
 #include "geom/point_process.h"
@@ -38,8 +39,10 @@ GrowthEvaluator GrowthEvaluator::clone() const {
   return GrowthEvaluator(inner_.clone(), installed_, decommission_factor_);
 }
 
-double GrowthEvaluator::cost(const Topology& g) {
-  double total = inner_.cost(g);
+double GrowthEvaluator::cost(const Topology& g, std::uint64_t parent_hint) {
+  EvalRequest req;
+  req.parent_hint = parent_hint;
+  double total = inner_.evaluate(g, req).total();
   if (!std::isfinite(total)) return total;
   const CostParams& k = inner_.params();
   for (const Edge& e : installed_) {
@@ -61,7 +64,9 @@ class GrowthObjective final : public Objective {
       : owned_(std::make_unique<GrowthEvaluator>(std::move(owned))),
         eval_(owned_.get()) {}
 
-  double cost(const Topology& g) override { return eval_->cost(g); }
+  double cost(const Topology& g) override {
+    return eval_->cost(g, std::exchange(hint_, 0));
+  }
   const Matrix<double>& lengths() const override {
     return eval_->inner().lengths();
   }
@@ -81,12 +86,13 @@ class GrowthObjective final : public Objective {
   }
 
   void set_parent_hint(std::uint64_t fingerprint) override {
-    eval_->inner().set_parent_hint(fingerprint);
+    hint_ = fingerprint;
   }
 
  private:
   std::unique_ptr<GrowthEvaluator> owned_;  ///< set only for clones
   GrowthEvaluator* eval_;
+  std::uint64_t hint_ = 0;  ///< buffered parent hint for the next cost()
 };
 
 }  // namespace

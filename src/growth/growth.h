@@ -63,7 +63,9 @@ class GrowthEvaluator {
                   CostParams params, std::vector<Edge> installed,
                   double decommission_factor, EvalEngineConfig engine = {});
 
-  double cost(const Topology& g);
+  /// Inner cost plus decommission charges. `parent_hint` is forwarded to
+  /// the inner evaluation's EvalRequest (0 = none).
+  double cost(const Topology& g, std::uint64_t parent_hint = 0);
   Evaluator& inner() { return inner_; }
 
   /// Thread-private copy (shares the context matrices via the inner

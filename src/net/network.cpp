@@ -49,7 +49,7 @@ Network build_network(const Topology& topology,
   net.lengths = distance_matrix(locations);
   net.overprovision = overprovision;
 
-  Matrix<double> loads;
+  EdgeLoads loads;
   RoutingWorkspace ws;
   if (!route_loads(topology, net.lengths, traffic, loads, ws)) {
     throw std::logic_error("build_network: routing failed on connected graph");
@@ -58,7 +58,7 @@ Network build_network(const Topology& topology,
     Link link;
     link.edge = e;
     link.length = net.lengths(e.u, e.v);
-    link.load = loads(e.u, e.v);
+    link.load = loads.at(e.u, e.v);
     link.capacity = overprovision * link.load;
     net.links.push_back(link);
   }

@@ -1,9 +1,57 @@
 #include "net/routing.h"
 
+#include <cassert>
 #include <limits>
 #include <stdexcept>
 
 namespace cold {
+
+void EdgeLoads::build(const Topology& g) {
+  n = g.num_nodes();
+  off.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    off[v + 1] = off[v] + g.neighbors(v).size();
+  }
+  adj.resize(off[n]);
+  eid.resize(off[n]);
+  std::uint32_t next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t slot = off[u];
+    for (const NodeId v : g.neighbors(u)) {
+      adj[slot] = v;
+      if (u < v) {
+        // First (lexicographic) visit of the undirected edge: assign the
+        // next id. Edges are therefore numbered in Topology::edges() order.
+        eid[slot] = next++;
+      } else {
+        // Mirror slot: v < u, so v's row was fully numbered already.
+        const std::size_t lo = off[v];
+        const std::size_t hi = off[v + 1];
+        const auto it =
+            std::lower_bound(adj.begin() + static_cast<std::ptrdiff_t>(lo),
+                             adj.begin() + static_cast<std::ptrdiff_t>(hi), u);
+        assert(it != adj.begin() + static_cast<std::ptrdiff_t>(hi) && *it == u);
+        eid[slot] = eid[static_cast<std::size_t>(it - adj.begin())];
+      }
+      ++slot;
+    }
+  }
+  assert(next == g.num_edges());
+  value.assign(next, 0.0);
+}
+
+void EdgeLoads::scatter(Matrix<double>& out) const {
+  if (out.rows() != n || out.cols() != n) {
+    out = Matrix<double>::square(n, 0.0);
+  } else {
+    out.fill(0.0);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t s = off[u]; s < off[u + 1]; ++s) {
+      out(u, adj[s]) = value[eid[s]];
+    }
+  }
+}
 
 bool route_loads(const Topology& g, const Matrix<double>& lengths,
                  const Matrix<double>& traffic, Matrix<double>& loads,
@@ -18,15 +66,40 @@ bool route_loads(const Topology& g, const Matrix<double>& lengths,
     loads.fill(0.0);
   }
   ws.aggregate.assign(n, 0.0);
-  // Resolve the auto-selection once per sweep, not per source.
-  if (algo == SpAlgorithm::kAuto) {
-    algo = select_sp_algorithm(n, g.num_edges());
-  }
+  // Resolve the auto-selection (and dense-view availability) once per sweep.
+  algo = resolve_sp_algorithm(g, algo);
 
   // Batched sweep: compute kSpSourceBlock trees in lockstep (shared
   // cache-resident frontier state), then accumulate them in increasing
   // source order — the accumulation order fixes the floating-point result,
   // so it must match the scalar per-source loop exactly.
+  ws.block.resize(kSpSourceBlock);
+  NodeId sources[kSpSourceBlock];
+  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
+    const std::size_t width =
+        std::min<std::size_t>(kSpSourceBlock, n - base);
+    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
+    shortest_path_tree_batch(g, lengths, sources, width, ws.block.data(),
+                             algo);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (ws.block[b].order.size() != n) return false;  // disconnected
+      accumulate_tree_loads(ws.block[b], traffic, sources[b], loads,
+                            ws.aggregate);
+    }
+  }
+  return true;
+}
+
+bool route_loads(const Topology& g, const Matrix<double>& lengths,
+                 const Matrix<double>& traffic, EdgeLoads& loads,
+                 RoutingWorkspace& ws, SpAlgorithm algo) {
+  const std::size_t n = g.num_nodes();
+  if (traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument("route_loads: traffic shape mismatch");
+  }
+  loads.build(g);
+  ws.aggregate.assign(n, 0.0);
+  algo = resolve_sp_algorithm(g, algo);
   ws.block.resize(kSpSourceBlock);
   NodeId sources[kSpSourceBlock];
   for (NodeId base = 0; base < n; base += kSpSourceBlock) {
@@ -63,6 +136,23 @@ void accumulate_tree_loads(const ShortestPathTree& tree,
   }
 }
 
+void accumulate_tree_loads(const ShortestPathTree& tree,
+                           const Matrix<double>& traffic, NodeId s,
+                           EdgeLoads& loads, std::vector<double>& aggregate) {
+  // Same walk as the dense overload; the dense form's two symmetric writes
+  // collapse into the edge's single accumulator, which receives the exact
+  // same ordered sequence of adds — bit-identical per canonical cell.
+  const std::size_t n = tree.dist.size();
+  aggregate.resize(n);
+  for (NodeId t = 0; t < n; ++t) aggregate[t] = traffic(s, t);
+  for (std::size_t i = n; i-- > 1;) {  // skip the source (order[0])
+    const NodeId t = tree.order[i];
+    const NodeId p = tree.parent[t];
+    loads.value[loads.index_of(p, t)] += aggregate[t];
+    aggregate[p] += aggregate[t];
+  }
+}
+
 bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
                           const Matrix<double>& traffic, Matrix<double>& loads,
                           std::vector<ShortestPathTree>& trees,
@@ -77,12 +167,36 @@ bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
     loads.fill(0.0);
   }
   trees.resize(n);
-  if (algo == SpAlgorithm::kAuto) {
-    algo = select_sp_algorithm(n, g.num_edges());
-  }
+  algo = resolve_sp_algorithm(g, algo);
   // The retained trees live in `trees` directly, so the batch kernel can
   // run over whole blocks in place; accumulation stays in increasing
   // source order for bit-identical loads.
+  NodeId sources[kSpSourceBlock];
+  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
+    const std::size_t width =
+        std::min<std::size_t>(kSpSourceBlock, n - base);
+    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
+    shortest_path_tree_batch(g, lengths, sources, width, &trees[base], algo);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (trees[base + b].order.size() != n) return false;  // disconnected
+      accumulate_tree_loads(trees[base + b], traffic, sources[b], loads,
+                            ws.aggregate);
+    }
+  }
+  return true;
+}
+
+bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
+                          const Matrix<double>& traffic, EdgeLoads& loads,
+                          std::vector<ShortestPathTree>& trees,
+                          RoutingWorkspace& ws, SpAlgorithm algo) {
+  const std::size_t n = g.num_nodes();
+  if (traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument("route_loads_retained: traffic shape mismatch");
+  }
+  loads.build(g);
+  trees.resize(n);
+  algo = resolve_sp_algorithm(g, algo);
   NodeId sources[kSpSourceBlock];
   for (NodeId base = 0; base < n; base += kSpSourceBlock) {
     const std::size_t width =
@@ -103,9 +217,7 @@ double total_demand_weighted_length(const Topology& g,
                                     const Matrix<double>& traffic,
                                     RoutingWorkspace& ws, SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
-  if (algo == SpAlgorithm::kAuto) {
-    algo = select_sp_algorithm(n, g.num_edges());
-  }
+  algo = resolve_sp_algorithm(g, algo);
   double total = 0.0;
   for (NodeId s = 0; s < n; ++s) {
     shortest_path_tree(g, lengths, s, ws.tree, algo);
@@ -128,9 +240,7 @@ Matrix<NodeId> routing_matrix(const Topology& g, const Matrix<double>& lengths,
                               RoutingWorkspace& ws, SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
   Matrix<NodeId> next_hop = Matrix<NodeId>::square(n, 0);
-  if (algo == SpAlgorithm::kAuto) {
-    algo = select_sp_algorithm(n, g.num_edges());
-  }
+  algo = resolve_sp_algorithm(g, algo);
   for (NodeId s = 0; s < n; ++s) {
     shortest_path_tree(g, lengths, s, ws.tree, algo);
     if (ws.tree.order.size() != n) {

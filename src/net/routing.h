@@ -15,6 +15,8 @@
 // so relative costs are unaffected.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "graph/shortest_paths.h"
@@ -22,6 +24,54 @@
 #include "util/matrix.h"
 
 namespace cold {
+
+/// Sparse per-link load accumulator — the O(n + m) replacement for the n²
+/// loads matrix. The skeleton is a CSR mirror of the topology's sorted
+/// adjacency (off/adj) plus a parallel eid array mapping each directed slot
+/// to its undirected edge's index in lexicographic (u < v, then v) edge
+/// order; value[] holds one double accumulator per undirected edge, in that
+/// same lexicographic order (value[k] is the k-th edge of Topology::edges()).
+///
+/// Bit-identity with the dense matrix: dense accumulation adds the same
+/// addend to both (p,t) and (t,p), and every consumer reads only the
+/// canonical (min,max) cell — so folding both writes into ONE accumulator
+/// that receives the identical ordered sequence of adds yields the same
+/// doubles (see DESIGN.md §4.7).
+struct EdgeLoads {
+  std::size_t n = 0;               ///< node count of the built topology
+  std::vector<std::size_t> off;    ///< n+1 row offsets into adj/eid
+  std::vector<NodeId> adj;         ///< 2m neighbours, each row sorted
+  std::vector<std::uint32_t> eid;  ///< directed slot -> undirected edge index
+  std::vector<double> value;       ///< m loads, lexicographic edge order
+
+  /// Rebuilds the CSR skeleton from `g` and zeroes every accumulator.
+  /// O(n + m log Δ); steady state reuses capacity across topologies of the
+  /// same size.
+  void build(const Topology& g);
+
+  /// Zeroes the accumulators, keeping the skeleton.
+  void reset() { std::fill(value.begin(), value.end(), 0.0); }
+
+  /// Undirected edge index of {u, v} (its rank in Topology::edges()).
+  /// Precondition: the edge exists in the topology the skeleton was built
+  /// from — checked only by assert, this is the routing hot path.
+  std::size_t index_of(NodeId u, NodeId v) const {
+    const std::size_t lo = off[u];
+    const std::size_t hi = off[u + 1];
+    const auto it = std::lower_bound(adj.begin() + static_cast<std::ptrdiff_t>(lo),
+                                     adj.begin() + static_cast<std::ptrdiff_t>(hi), v);
+    return eid[static_cast<std::size_t>(it - adj.begin())];
+  }
+
+  /// Load on link {u, v}.
+  double at(NodeId u, NodeId v) const { return value[index_of(u, v)]; }
+
+  std::size_t num_edges() const { return value.size(); }
+
+  /// Expands into a symmetric dense matrix (compat shim for callers that
+  /// still want Matrix-shaped loads; resizes/zeroes `out`).
+  void scatter(Matrix<double>& out) const;
+};
 
 /// Reusable scratch space for routing computations.
 struct RoutingWorkspace {
@@ -45,6 +95,13 @@ bool route_loads(const Topology& g, const Matrix<double>& lengths,
                  const Matrix<double>& traffic, Matrix<double>& loads,
                  RoutingWorkspace& ws, SpAlgorithm algo = SpAlgorithm::kAuto);
 
+/// Sparse-primary variant: accumulates into an EdgeLoads (rebuilt from `g`
+/// here), bit-identical per link to the dense overload's canonical cells.
+/// O(n + m) load state instead of n².
+bool route_loads(const Topology& g, const Matrix<double>& lengths,
+                 const Matrix<double>& traffic, EdgeLoads& loads,
+                 RoutingWorkspace& ws, SpAlgorithm algo = SpAlgorithm::kAuto);
+
 /// The per-source half of route_loads: pushes row `s` of `traffic` down
 /// `tree` (the shortest-path tree rooted at s, which must span all n nodes),
 /// accumulating into `loads`. Exposed so the delta evaluation engine can
@@ -56,6 +113,12 @@ void accumulate_tree_loads(const ShortestPathTree& tree,
                            Matrix<double>& loads,
                            std::vector<double>& aggregate);
 
+/// EdgeLoads variant of the per-source aggregation; `loads` must have been
+/// built from the routed topology. Same operation order as the dense form.
+void accumulate_tree_loads(const ShortestPathTree& tree,
+                           const Matrix<double>& traffic, NodeId s,
+                           EdgeLoads& loads, std::vector<double>& aggregate);
+
 /// route_loads, but each source's tree is computed into (and left in)
 /// `trees[s]` instead of transient workspace — the delta engine retains them
 /// as parent state for incremental re-routing. `trees` is resized to n.
@@ -63,6 +126,14 @@ void accumulate_tree_loads(const ShortestPathTree& tree,
 /// loads and trees partial.
 bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
                           const Matrix<double>& traffic, Matrix<double>& loads,
+                          std::vector<ShortestPathTree>& trees,
+                          RoutingWorkspace& ws,
+                          SpAlgorithm algo = SpAlgorithm::kAuto);
+
+/// Sparse-primary variant of route_loads_retained (see the EdgeLoads
+/// route_loads overload).
+bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
+                          const Matrix<double>& traffic, EdgeLoads& loads,
                           std::vector<ShortestPathTree>& trees,
                           RoutingWorkspace& ws,
                           SpAlgorithm algo = SpAlgorithm::kAuto);

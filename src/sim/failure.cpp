@@ -87,7 +87,11 @@ FailureImpact simulate_pop_failure(const Network& net, NodeId pop) {
     throw std::out_of_range("simulate_pop_failure: no such PoP");
   }
   Topology damaged = net.topology;
-  for (NodeId u : net.topology.neighbors(pop)) damaged.remove_edge(pop, u);
+  // Iterating the intact topology's neighbour view while mutating the copy
+  // is safe — but fetch it once into the loop over the *source* graph.
+  for (const NodeId u : net.topology.neighbors(pop)) {
+    damaged.remove_edge(pop, u);
+  }
   return assess(net, damaged, pop);
 }
 

@@ -37,6 +37,26 @@ std::uint64_t get_wall(const JsonValue& obj) {
              : 0;
 }
 
+JsonValue aggregate_to_json(const MetricAggregate& agg) {
+  JsonObject obj;
+  obj["count"] = agg.count;
+  obj["mean"] = agg.mean;
+  obj["m2"] = agg.m2;
+  obj["min"] = agg.min;
+  obj["max"] = agg.max;
+  return JsonValue{std::move(obj)};
+}
+
+MetricAggregate aggregate_from_json(const JsonValue& obj) {
+  MetricAggregate agg;
+  agg.count = static_cast<std::size_t>(obj.field("count").number());
+  agg.mean = obj.field("mean").number();
+  agg.m2 = obj.field("m2").number();
+  agg.min = obj.field("min").number();
+  agg.max = obj.field("max").number();
+  return agg;
+}
+
 }  // namespace
 
 void write_run_report_json(std::ostream& os, const RunReport& report,
@@ -46,8 +66,9 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
   // v2 added result.cache; v3 added per-phase/per-generation engine
   // counters and gates all of them (result.cache included) behind
   // include_timing; v4 added the delta-evaluation counters; v5 added the
-  // per-worker dsssp split and the affinity steal count; see report.h.
-  root["version"] = 5;
+  // per-worker dsssp split and the affinity steal count; v6 added the
+  // streamed ensemble_aggregates block; see report.h.
+  root["version"] = 6;
 
   JsonObject run;
   run["seed"] = static_cast<double>(report.seed);
@@ -143,6 +164,24 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
     ensemble_runs.push_back(std::move(obj));
   }
   root["ensemble_runs"] = std::move(ensemble_runs);
+
+  // Logical content, not performance data: the aggregates depend only on
+  // the folded runs, so timing-free reports keep them (a streamed ensemble
+  // retains them *instead of* per-run results).
+  if (report.has_ensemble_aggregates) {
+    const EnsembleAggregates& a = report.ensemble_aggregates;
+    JsonObject agg;
+    agg["runs"] = a.runs;
+    agg["streamed"] = a.streamed;
+    agg["avg_degree"] = aggregate_to_json(a.avg_degree);
+    agg["diameter"] = aggregate_to_json(a.diameter);
+    agg["clustering"] = aggregate_to_json(a.clustering);
+    agg["degree_cv"] = aggregate_to_json(a.degree_cv);
+    agg["hubs"] = aggregate_to_json(a.hubs);
+    agg["assortativity"] = aggregate_to_json(a.assortativity);
+    agg["best_cost"] = aggregate_to_json(a.best_cost);
+    root["ensemble_aggregates"] = std::move(agg);
+  }
 
   write_json(os, JsonValue{std::move(root)});
   os << "\n";
@@ -277,6 +316,22 @@ RunReport run_report_from_json(const std::string& json) {
     run_done.wall_ns = get_wall(r);
     report.ensemble_runs.push_back(run_done);
   }
+
+  if (doc.has("ensemble_aggregates")) {  // absent before v6
+    const JsonValue& agg = doc.field("ensemble_aggregates");
+    EnsembleAggregates a;
+    a.runs = static_cast<std::size_t>(agg.field("runs").number());
+    a.streamed = agg.field("streamed").boolean();
+    a.avg_degree = aggregate_from_json(agg.field("avg_degree"));
+    a.diameter = aggregate_from_json(agg.field("diameter"));
+    a.clustering = aggregate_from_json(agg.field("clustering"));
+    a.degree_cv = aggregate_from_json(agg.field("degree_cv"));
+    a.hubs = aggregate_from_json(agg.field("hubs"));
+    a.assortativity = aggregate_from_json(agg.field("assortativity"));
+    a.best_cost = aggregate_from_json(agg.field("best_cost"));
+    report.ensemble_aggregates = a;
+    report.has_ensemble_aggregates = true;
+  }
   return report;
 }
 
@@ -300,6 +355,11 @@ void JsonReportSink::on_generation_end(const GenerationEnd& e) {
 
 void JsonReportSink::on_ensemble_run_done(const EnsembleRunDone& e) {
   report_.ensemble_runs.push_back(e);
+}
+
+void JsonReportSink::on_ensemble_aggregates(const EnsembleAggregates& e) {
+  report_.ensemble_aggregates = e;
+  report_.has_ensemble_aggregates = true;
 }
 
 void JsonReportSink::on_run_end(const RunSummary& e) {

@@ -35,7 +35,10 @@
 //                      "evaluations": n, ["dedup_skipped": n],
 //                      ["wall_ns": n]}, ...],
 //     "ensemble_runs": [{"index": n, "seed": u64, "best_cost": x,
-//                        ["wall_ns": n]}, ...]
+//                        ["wall_ns": n]}, ...],
+//     "ensemble_aggregates": {"runs": n, "streamed": bool,
+//                             "<metric>": {"count": n, "mean": x, "m2": x,
+//                                          "min": x, "max": x}, ...}
 //   }
 //
 // Version history: v1 had no "cache" object; v2 added it (emitted
@@ -44,9 +47,15 @@
 // emitted with timing); v4 added the delta-evaluation (dynamic SSSP)
 // counters, timing-gated like the rest; v5 added the per-worker split and
 // the affinity-scheduler steal count inside the dsssp object ("workers" /
-// "steals"), so the affinity effect is directly observable per worker. The
-// parser accepts all five — missing counters read back as zero/empty; the
-// writer always emits v5.
+// "steals"), so the affinity effect is directly observable per worker;
+// v6 added "ensemble_aggregates" — the streamed Welford moments of every
+// ensemble metric (avg_degree, diameter, clustering, degree_cv, hubs,
+// assortativity, best_cost). The aggregates are logical content, not
+// performance data: they depend only on the folded runs (bit-identical for
+// any thread count), so they are emitted even timing-free — they are what
+// a streamed ensemble retains instead of per-run results. The parser
+// accepts all six versions — missing counters/objects read back as
+// zero/empty; the writer always emits v6.
 //
 // Round-trips through io/json: run_report_from_json(run_report_to_json(r))
 // reproduces every field (wall times included when serialized with timing).
@@ -85,6 +94,8 @@ struct RunReport {
   std::vector<HeuristicDone> heuristics;    ///< in run order
   std::vector<GenerationEnd> generations;   ///< per GA generation
   std::vector<EnsembleRunDone> ensemble_runs;
+  bool has_ensemble_aggregates = false;  ///< aggregates block present (v6)
+  EnsembleAggregates ensemble_aggregates;
 };
 
 /// Serializes a report. With `include_timing == false` every performance
@@ -109,6 +120,7 @@ class JsonReportSink final : public RunObserver {
   void on_heuristic_done(const HeuristicDone& e) override;
   void on_generation_end(const GenerationEnd& e) override;
   void on_ensemble_run_done(const EnsembleRunDone& e) override;
+  void on_ensemble_aggregates(const EnsembleAggregates& e) override;
   void on_run_end(const RunSummary& e) override;
 
   const RunReport& report() const { return report_; }

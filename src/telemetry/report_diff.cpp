@@ -160,6 +160,33 @@ ReportDiff diff_run_reports(const RunReport& a, const RunReport& b) {
                perf.field(p + ".wall_ns", x.wall_ns, y.wall_ns);
              });
 
+  // Streamed aggregates are logical content: folded in seed order on the
+  // coordinating thread, they are bit-identical for any thread count.
+  logical.field("ensemble_aggregates.present", a.has_ensemble_aggregates,
+                b.has_ensemble_aggregates);
+  if (a.has_ensemble_aggregates && b.has_ensemble_aggregates) {
+    const auto diff_agg = [&](const std::string& p, const MetricAggregate& x,
+                              const MetricAggregate& y) {
+      logical.field(p + ".count", x.count, y.count);
+      logical.field(p + ".mean", x.mean, y.mean);
+      logical.field(p + ".m2", x.m2, y.m2);
+      logical.field(p + ".min", x.min, y.min);
+      logical.field(p + ".max", x.max, y.max);
+    };
+    const EnsembleAggregates& x = a.ensemble_aggregates;
+    const EnsembleAggregates& y = b.ensemble_aggregates;
+    logical.field("ensemble_aggregates.runs", x.runs, y.runs);
+    logical.field("ensemble_aggregates.streamed", x.streamed, y.streamed);
+    diff_agg("ensemble_aggregates.avg_degree", x.avg_degree, y.avg_degree);
+    diff_agg("ensemble_aggregates.diameter", x.diameter, y.diameter);
+    diff_agg("ensemble_aggregates.clustering", x.clustering, y.clustering);
+    diff_agg("ensemble_aggregates.degree_cv", x.degree_cv, y.degree_cv);
+    diff_agg("ensemble_aggregates.hubs", x.hubs, y.hubs);
+    diff_agg("ensemble_aggregates.assortativity", x.assortativity,
+             y.assortativity);
+    diff_agg("ensemble_aggregates.best_cost", x.best_cost, y.best_cost);
+  }
+
   return out;
 }
 

@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "util/stats.h"
+
 namespace cold {
 
 /// Pipeline phases, in the order Synthesizer emits them. kEnsemble wraps
@@ -119,6 +121,24 @@ struct EnsembleRunDone {
   std::uint64_t wall_ns = 0;
 };
 
+/// Ensemble-level metric aggregates (emitted once, after the fan-out join
+/// and the per-run EnsembleRunDone events, before RunSummary). Carries the
+/// streamed count/mean/M2/min/max state per topology metric, so the full
+/// statistical picture survives even when the ensemble retains no per-run
+/// results (streamed mode). Part of the logical event stream — aggregates
+/// fold in seed order and are bit-identical for any thread count.
+struct EnsembleAggregates {
+  std::size_t runs = 0;     ///< runs folded into the aggregates
+  bool streamed = false;    ///< true when per-run results were not retained
+  MetricAggregate avg_degree;
+  MetricAggregate diameter;
+  MetricAggregate clustering;
+  MetricAggregate degree_cv;
+  MetricAggregate hubs;
+  MetricAggregate assortativity;
+  MetricAggregate best_cost;
+};
+
 /// A run ended (normally or via the stop condition).
 ///
 /// The cache_* counters aggregate the evaluation cache (cost/cost_cache.h
@@ -180,6 +200,7 @@ class RunObserver {
   virtual void on_heuristic_done(const HeuristicDone& /*event*/) {}
   virtual void on_generation_end(const GenerationEnd& /*event*/) {}
   virtual void on_ensemble_run_done(const EnsembleRunDone& /*event*/) {}
+  virtual void on_ensemble_aggregates(const EnsembleAggregates& /*event*/) {}
   virtual void on_run_end(const RunSummary& /*event*/) {}
 };
 
@@ -212,6 +233,9 @@ class MultiObserver final : public RunObserver {
   }
   void on_ensemble_run_done(const EnsembleRunDone& e) override {
     for (auto* c : children_) c->on_ensemble_run_done(e);
+  }
+  void on_ensemble_aggregates(const EnsembleAggregates& e) override {
+    for (auto* c : children_) c->on_ensemble_aggregates(e);
   }
   void on_run_end(const RunSummary& e) override {
     for (auto* c : children_) c->on_run_end(e);

@@ -128,6 +128,44 @@ std::vector<double> log_space(double lo, double hi, std::size_t count) {
   return out;
 }
 
+double MetricAggregate::stddev() const { return std::sqrt(variance()); }
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("normal_quantile: p must be in (0, 1)");
+  }
+  // Phi(x) = (1 + erf(x / sqrt(2))) / 2 is monotone; bisect Phi(x) = p.
+  // 60 halvings of [-16, 16] reach ~1e-17 interval width — below double
+  // resolution over this range, and deterministic on every platform.
+  double lo = -16.0, hi = 16.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double cdf = 0.5 * (1.0 + std::erf(mid / std::sqrt(2.0)));
+    if (cdf < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+ConfidenceInterval normal_mean_ci(const MetricAggregate& agg, double level) {
+  if (level <= 0.0 || level >= 1.0) {
+    throw std::invalid_argument("normal_mean_ci: level must be in (0, 1)");
+  }
+  ConfidenceInterval ci;
+  ci.mean = agg.mean;
+  ci.lo = ci.hi = agg.mean;
+  if (agg.count < 2) return ci;
+  const double z = normal_quantile(0.5 + level / 2.0);
+  const double half =
+      z * agg.stddev() / std::sqrt(static_cast<double>(agg.count));
+  ci.lo = agg.mean - half;
+  ci.hi = agg.mean + half;
+  return ci;
+}
+
 std::vector<double> lin_space(double lo, double hi, std::size_t count) {
   if (count == 0) return {};
   if (count == 1) return {lo};

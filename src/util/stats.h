@@ -39,6 +39,50 @@ ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& xs,
                                      int resamples = 1000,
                                      std::uint64_t seed = 12345);
 
+/// Streaming moments of one scalar metric: count/mean/M2 (Welford) plus
+/// min/max, in O(1) state. This is what lets ensemble aggregation run
+/// memory-flat — fold() one value at a time, never retaining the sample.
+/// Folding the same values in the same order is deterministic (pure FP
+/// recurrence), so a streamed pass and a post-hoc pass over retained values
+/// produce bit-identical aggregates.
+struct MetricAggregate {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations from the running mean
+  double min = 0.0;
+  double max = 0.0;
+
+  void fold(double x) {
+    if (count == 0) {
+      min = max = x;
+    } else {
+      if (x < min) min = x;
+      if (x > max) max = x;
+    }
+    ++count;
+    const double d = x - mean;
+    mean += d / static_cast<double>(count);
+    m2 += d * (x - mean);
+  }
+
+  /// Sample variance (n-1 denominator); 0 with fewer than two values.
+  double variance() const {
+    return count < 2 ? 0.0 : m2 / static_cast<double>(count - 1);
+  }
+  double stddev() const;
+};
+
+/// Two-sided normal-approximation CI for the mean from streamed moments:
+/// mean +/- z * stddev / sqrt(n). The streamed-mode stand-in for
+/// bootstrap_mean_ci (which needs the full sample); the two agree
+/// asymptotically but are not bit-identical.
+ConfidenceInterval normal_mean_ci(const MetricAggregate& agg,
+                                  double level = 0.95);
+
+/// Quantile function of the standard normal (probit), by bisection on
+/// std::erf — deterministic, ~1e-12 accurate. `p` in (0, 1).
+double normal_quantile(double p);
+
 /// Pearson correlation of two equal-length samples; 0 if degenerate.
 double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
 

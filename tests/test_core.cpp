@@ -153,7 +153,7 @@ TEST(Synthesizer, ValidatesConfig) {
 TEST(Ensemble, StatsAndDistinctness) {
   const Synthesizer synth(small_config(10, CostParams{10, 1, 4e-4, 10}));
   const EnsembleResult e = generate_ensemble(synth, 6, /*base_seed=*/100);
-  EXPECT_EQ(e.runs.size(), 6u);
+  EXPECT_EQ(e.num_runs(), 6u);
   // Paper criterion 1: networks are distinct by construction (contexts
   // differ even when two hubby topologies repeat a labeled star shape).
   EXPECT_TRUE(e.all_distinct);

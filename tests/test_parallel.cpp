@@ -206,12 +206,12 @@ TEST(Ensemble, ThreadCountDoesNotChangeResults) {
   for (const std::size_t threads : {3u, 8u}) {
     const Synthesizer par(small_synthesis(threads));
     const EnsembleResult r = generate_ensemble(par, 6, /*base_seed=*/5);
-    ASSERT_EQ(r.runs.size(), ref.runs.size());
-    for (std::size_t i = 0; i < r.runs.size(); ++i) {
-      EXPECT_TRUE(r.runs[i].network.topology == ref.runs[i].network.topology)
+    ASSERT_EQ(r.num_runs(), ref.num_runs());
+    for (std::size_t i = 0; i < r.num_runs(); ++i) {
+      EXPECT_TRUE(r.runs()[i].network.topology == ref.runs()[i].network.topology)
           << "run " << i << ", " << threads << " threads";
-      EXPECT_EQ(r.runs[i].ga.best_cost, ref.runs[i].ga.best_cost);
-      EXPECT_TRUE(r.runs[i].network.traffic == ref.runs[i].network.traffic);
+      EXPECT_EQ(r.runs()[i].ga.best_cost, ref.runs()[i].ga.best_cost);
+      EXPECT_TRUE(r.runs()[i].network.traffic == ref.runs()[i].network.traffic);
     }
     // Aggregates (incl. bootstrap CIs, drawn sequentially after the join).
     EXPECT_EQ(r.stats.avg_degree.mean, ref.stats.avg_degree.mean);

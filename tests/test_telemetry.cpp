@@ -367,7 +367,7 @@ TEST(EnsembleTelemetry, TraceIsIdenticalAcrossThreadCounts) {
     cfg.observer = &sink;
     const Synthesizer synth(cfg);
     const EnsembleResult e = generate_ensemble(synth, 5, 11);
-    EXPECT_EQ(e.runs.size(), 5u);
+    EXPECT_EQ(e.num_runs(), 5u);
     EXPECT_EQ(sink.count<EnsembleRunDone>(), 5u);
     // Inner runs never reach the ensemble observer: one kEnsemble phase,
     // no per-run phases or generations.
@@ -403,8 +403,8 @@ TEST(EnsembleTelemetry, EvalBudgetTruncatesRunsButKeepsThemValid) {
   const EnsembleResult e = generate_ensemble(Synthesizer(cfg), 50, 1);
   EXPECT_TRUE(e.stopped_early);
   EXPECT_EQ(e.stop_reason, StopReason::kEvalBudget);
-  EXPECT_LT(e.runs.size(), 50u);
-  for (const SynthesisResult& r : e.runs) {
+  EXPECT_LT(e.num_runs(), 50u);
+  for (const SynthesisResult& r : e.runs()) {
     EXPECT_TRUE(is_connected(r.network.topology));
   }
 }
@@ -501,7 +501,7 @@ TEST(RunReport, EmitsV5WithCacheCountersWhenCacheEnabled) {
   EXPECT_EQ(report.cache_misses, report.cache_inserts);  // every miss inserts
 
   const std::string json = run_report_to_json(report);
-  EXPECT_EQ(parse_json(json).field("version").number(), 5.0);
+  EXPECT_EQ(parse_json(json).field("version").number(), 6.0);
   const RunReport parsed = run_report_from_json(json);
   EXPECT_EQ(parsed.cache_hits, report.cache_hits);
   EXPECT_EQ(parsed.cache_misses, report.cache_misses);
@@ -621,7 +621,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   ASSERT_NE(end, std::string::npos);
   ASSERT_EQ(json[end + 1], ',');
   json.erase(cache_pos, end + 2 - cache_pos);
-  const std::size_t ver = json.find("\"version\": 5");
+  const std::size_t ver = json.find("\"version\": 6");
   ASSERT_NE(ver, std::string::npos);
   json[ver + std::string("\"version\": ").size()] = '1';
 
@@ -634,7 +634,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   EXPECT_EQ(parsed.cache_evictions, 0u);
   // Re-serializing a v1-sourced report upgrades it to the current schema.
   EXPECT_EQ(parse_json(run_report_to_json(parsed)).field("version").number(),
-            5.0);
+            6.0);
 }
 
 TEST(RunReport, AcceptsV3ReportsWithoutDssspCounters) {

@@ -113,7 +113,9 @@ CliOptions spec_for(const std::string& command) {
   if (command == "synth") return {"synth", synth_specs()};
   if (command == "ensemble") {
     return {"ensemble",
-            concat_specs({{{"count", true, "N (20)"}}, synth_specs()})};
+            concat_specs({{{"count", true, "N (20)"},
+                           {"retain-runs", true, "on|off|auto (auto)"}},
+                          synth_specs()})};
   }
   if (command == "metrics") {
     return {"metrics", concat_specs({{{"in", true, "FILE (edge list)"},
@@ -152,7 +154,9 @@ void print_usage() {
       "            --threads K (0 = all cores; output identical for any K)\n"
       "            --out FILE (stdout)\n"
       "  ensemble  synthesize many networks, print metric CIs\n"
-      "            --count N (20) + synth options\n"
+      "            --count N (20) --retain-runs on|off|auto (auto: retain\n"
+      "            up to 1024 runs, stream aggregates above — memory stays\n"
+      "            flat for any count) + synth options\n"
       "  metrics   print metrics of an edge-list file\n"
       "            --in FILE --format text|json (text) --out FILE\n"
       "  estimate  ABC-estimate cost parameters from an edge-list file\n"
@@ -359,15 +363,29 @@ int cmd_ensemble(const CliOptions& args) {
   cfg.observer = telemetry.observer();
   cfg.stop = telemetry.stop();
   const Synthesizer synth(cfg);
-  const std::size_t count = args.uint("count", 20);
-  const std::uint64_t seed = args.uint("seed", 1);
-  const EnsembleResult e = generate_ensemble(synth, count, seed);
+  EnsembleOptions opts;
+  opts.count = args.uint("count", 20);
+  opts.base_seed = args.uint("seed", 1);
+  const std::string retain = args.get("retain-runs", "auto");
+  if (retain == "on") {
+    opts.retain = RetainMode::kRetainAll;
+  } else if (retain == "off") {
+    opts.retain = RetainMode::kStreamed;
+  } else if (retain == "auto") {
+    opts.retain = RetainMode::kAuto;
+  } else {
+    throw std::invalid_argument("--retain-runs must be on, off or auto");
+  }
+  const EnsembleResult e = generate_ensemble(synth, opts);
   auto show = [](const char* name, const ConfidenceInterval& ci) {
     std::cout << name << ": " << ci.mean << "  [" << ci.lo << ", " << ci.hi
               << "]\n";
   };
-  std::cout << "ensemble of " << e.runs.size() << " / " << count
-            << " networks (95% bootstrap CIs)\n";
+  std::cout << "ensemble of " << e.num_runs() << " / " << opts.count
+            << " networks ("
+            << (e.acc.retains_runs() ? "95% bootstrap CIs"
+                                     : "streamed; 95% normal CIs")
+            << ")\n";
   if (e.stopped_early) {
     std::cout << "stopped early: " << to_string(e.stop_reason) << "\n";
   }
@@ -377,7 +395,8 @@ int cmd_ensemble(const CliOptions& args) {
   show("CVND         ", e.stats.degree_cv);
   show("hub PoPs     ", e.stats.hubs);
   show("assortativity", e.stats.assortativity);
-  std::cout << "all distinct: " << (e.all_distinct ? "yes" : "no") << "\n";
+  std::cout << "all distinct: " << (e.all_distinct ? "yes" : "no")
+            << (e.pairwise_checked ? "" : " (hash-based)") << "\n";
   telemetry.finish();
   return 0;
 }
