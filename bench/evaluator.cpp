@@ -75,7 +75,7 @@ class RecordingObjective final : public Objective {
     pending_hint_ = 0;
     return eval_->cost(g);
   }
-  const Matrix<double>& lengths() const override { return eval_->lengths(); }
+  const DistanceProvider& lengths() const override { return eval_->lengths(); }
 
   void set_parent_hint(std::uint64_t fingerprint) override {
     pending_hint_ = fingerprint;

@@ -13,17 +13,30 @@
 //      synthesis (far above the dense-view auto threshold, so no n^2 byte
 //      matrix ever exists) must complete connected inside an absolute RSS
 //      ceiling.
+//   3. Matrix-free distances are not a throughput cliff: evaluating the
+//      same m ~ n topology at n = 200 with the distance matrix forced
+//      dense vs forced on-demand (recompute + LRU row tiles) must keep
+//      >= 0.9x of the dense evals/sec, with bit-identical costs. Guards
+//      the DistanceProvider recompute path against regressions.
+//   4. Metro-scale synthesis: one n = 10000 synthesis (matrix-free
+//      distances, CSR traffic, byte-bounded routing workspaces — the only
+//      remaining O(n^2) object is the ~1.1 GiB traffic CSR itself) must
+//      complete sparse and connected under an absolute 2 GiB RSS ceiling.
 //
 // Results — including the "gates" array for the CI baseline diff — go to
 // BENCH_memory.json (first argv, default ./).
 #include <sys/resource.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "bench_common.h"
+#include "core/context.h"
 #include "core/ensemble.h"
 #include "core/synthesizer.h"
+#include "cost/evaluator.h"
+#include "geom/distance.h"
 #include "graph/algorithms.h"
 
 namespace {
@@ -56,13 +69,74 @@ EnsembleResult run_streamed(const Synthesizer& synth, std::size_t count) {
   return generate_ensemble(synth, opts);
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// An m ~ n topology of the kind synthesis produces: the MST of the
+/// context's PoPs plus ~n/8 random chords (same shape bench/evaluator.cpp
+/// measures).
+Topology sparse_instance(const Context& ctx, std::uint64_t seed) {
+  Topology g = minimum_spanning_tree(ctx.distances);
+  const std::size_t n = g.num_nodes();
+  Rng rng(seed, /*stream=*/7);
+  for (std::size_t added = 0; added < n / 8;) {
+    const NodeId u = rng.uniform_index(n);
+    const NodeId v = rng.uniform_index(n);
+    if (u != v && g.add_edge(u, v)) ++added;
+  }
+  return g;
+}
+
+struct ThroughputSample {
+  std::size_t pops = 0;
+  double dense_eps = 0.0;        // evals/sec, distance matrix materialized
+  double matrix_free_eps = 0.0;  // evals/sec, on-demand recompute + LRU tiles
+  bool identical = false;        // costs bit-equal across the two providers
+};
+
+/// Evaluates the same topology `reps` times with the distance provider
+/// forced dense vs forced matrix-free. Both contexts are drawn from the
+/// same seed, so coordinates, populations, and traffic are identical; only
+/// the distance representation differs — and the engine's contract is that
+/// the costs are bit-identical either way.
+ThroughputSample measure_matrix_free_throughput(std::size_t n,
+                                                std::size_t reps) {
+  ThroughputSample s;
+  s.pops = n;
+  const CostParams costs{10.0, 1.0, 4e-4, 10.0};
+  const std::size_t saved = DistanceProvider::dense_auto_threshold();
+  double dense_cost = 0.0, free_cost = 0.0;
+  for (const bool dense : {true, false}) {
+    DistanceProvider::set_dense_auto_threshold(dense ? 4096 : 0);
+    ContextConfig ctx_cfg;
+    ctx_cfg.num_pops = n;
+    Rng ctx_rng(11 + n);
+    const Context ctx = generate_context(ctx_cfg, ctx_rng);
+    const Topology g = sparse_instance(ctx, 11 + n);
+    Evaluator eval(ctx.distances, ctx.traffic, costs);
+    eval.cost(g);  // warm the workspace outside the timed region
+    double last = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) last = eval.cost(g);
+    const double eps = static_cast<double>(reps) / seconds_since(t0);
+    (dense ? s.dense_eps : s.matrix_free_eps) = eps;
+    (dense ? dense_cost : free_cost) = last;
+  }
+  DistanceProvider::set_dense_auto_threshold(saved);
+  s.identical = dense_cost == free_cost;
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cold::bench::banner(
       "Sparse-first memory ceilings",
-      "streamed 10k-run ensemble peak RSS flat vs 1k; one n = 2000 "
-      "synthesis completes sparse inside an absolute RSS ceiling");
+      "streamed 10k-run ensemble peak RSS flat vs 1k; n = 2000 and "
+      "n = 10000 syntheses complete sparse inside absolute RSS ceilings; "
+      "matrix-free distances keep >= 0.9x dense evals/sec at n = 200");
 
   cold::bench::GateSet gates;
 
@@ -121,6 +195,49 @@ int main(int argc, char** argv) {
   gates.require_at_least("city_synthesis_rss_headroom", 1024.0 / rss_city,
                          1.0);
 
+  // --- Matrix-free distance throughput at n = 200. -------------------------
+  const ThroughputSample tp =
+      measure_matrix_free_throughput(200, cold::bench::trials(40, 200));
+  const double tp_ratio = tp.matrix_free_eps / tp.dense_eps;
+  std::printf(
+      "n=%zu  dense %8.1f evals/s | matrix-free %8.1f evals/s | "
+      "%.2fx  identical=%s\n",
+      tp.pops, tp.dense_eps, tp.matrix_free_eps, tp_ratio,
+      tp.identical ? "yes" : "NO");
+  gates.require_at_least("matrix_free_n200_throughput_ratio", tp_ratio, 0.9);
+  gates.require("matrix_free_n200_identical", tp.identical);
+
+  // --- n = 10000 synthesis inside the 2 GiB ceiling. -----------------------
+  // The full evaluation context is matrix-free: distances recompute from
+  // coordinates (no 800 MiB matrix), loads are EdgeLoads, per-worker
+  // routing scratch is byte-capped. The one legitimately quadratic object
+  // left is the exact gravity CSR itself (~n^2 nonzeros, ~1.1 GiB at this
+  // n), which is shared immutably across all workers — so the ceiling
+  // catches any resurrected per-candidate or per-worker n^2 state.
+  const double rss_before_metro = peak_rss_mib();
+  SynthesisConfig metro;
+  metro.context.num_pops = 10000;
+  metro.costs = CostParams{10.0, 1.0, 4e-4, 10.0};
+  metro.ga.population = 4;
+  metro.ga.generations = 1;
+  metro.ga.include_clique_seed = false;  // the full mesh is 50M edges
+  metro.seed_with_heuristics = false;
+  metro.parallel.num_threads = cold::bench::bench_threads();
+  const auto t_metro = std::chrono::steady_clock::now();
+  const SynthesisResult m = Synthesizer(metro).synthesize(1);
+  const double metro_secs = seconds_since(t_metro);
+  const double rss_metro = peak_rss_mib();
+  std::printf(
+      "n = 10000 synthesis: peak RSS %.1f MiB (was %.1f before), %.1f s\n",
+      rss_metro, rss_before_metro, metro_secs);
+
+  gates.require("metro_synthesis_sparse_backend",
+                !m.network.topology.has_dense_view());
+  gates.require("metro_synthesis_connected",
+                is_connected(m.network.topology));
+  gates.require_at_least("metro_synthesis_rss_headroom", 2048.0 / rss_metro,
+                         1.0);
+
   std::printf("\n");
   gates.print();
 
@@ -139,10 +256,20 @@ int main(int argc, char** argv) {
                  "  \"peak_rss_growth_mib\": %.1f,\n"
                  "  \"city_pops\": 2000,\n"
                  "  \"city_peak_rss_mib\": %.1f,\n"
+                 "  \"matrix_free_throughput\": {\"pops\": %zu, "
+                 "\"evals_per_sec_dense\": %.1f, "
+                 "\"evals_per_sec_matrix_free\": %.1f, \"ratio\": %.3f, "
+                 "\"identical_costs\": %s},\n"
+                 "  \"metro_pops\": 10000,\n"
+                 "  \"metro_peak_rss_mib\": %.1f,\n"
+                 "  \"metro_seconds\": %.1f,\n"
                  "  \"gates\": %s\n"
                  "}\n",
                  count_small, count_large, rss_small, rss_large, ratio,
-                 growth_mib, rss_city, gates.json().c_str());
+                 growth_mib, rss_city, tp.pops, tp.dense_eps,
+                 tp.matrix_free_eps, tp_ratio,
+                 tp.identical ? "true" : "false", rss_metro, metro_secs,
+                 gates.json().c_str());
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   } else {

@@ -20,8 +20,8 @@ Context generate_context(const ContextConfig& config, Rng& rng) {
   Context ctx;
   ctx.locations = process.sample(config.num_pops, config.region, rng);
   ctx.populations = populations.sample(config.num_pops, rng);
-  ctx.traffic = gravity_matrix(ctx.populations, config.gravity);
-  ctx.distances = distance_matrix(ctx.locations);
+  ctx.traffic = gravity_traffic(ctx.populations, config.gravity);
+  ctx.distances = DistanceProvider::from_points(ctx.locations);
   return ctx;
 }
 
@@ -32,12 +32,11 @@ Context make_context(std::vector<Point> locations,
   if (populations.size() != n || traffic.rows() != n || traffic.cols() != n) {
     throw std::invalid_argument("make_context: shape mismatch");
   }
-  validate_traffic_matrix(traffic);
   Context ctx;
   ctx.locations = std::move(locations);
   ctx.populations = std::move(populations);
-  ctx.traffic = std::move(traffic);
-  ctx.distances = distance_matrix(ctx.locations);
+  ctx.traffic = CompressedTraffic(traffic);  // ctor validates invariants
+  ctx.distances = DistanceProvider::from_points(ctx.locations);
   return ctx;
 }
 

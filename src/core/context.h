@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "geom/distance.h"
 #include "geom/point.h"
 #include "geom/point_process.h"
 #include "geom/region.h"
@@ -19,11 +20,17 @@
 namespace cold {
 
 /// A fully instantiated synthesis context.
+///
+/// Matrix-free currencies: `traffic` is CSR over nonzero demands and
+/// `distances` is a DistanceProvider (dense-backed only at small n, else
+/// recomputed from `locations` on demand), so a context is O(n + nnz)
+/// resident rather than O(n^2). Both are value types over shared immutable
+/// cores — copying a Context is cheap and copies share the same data.
 struct Context {
   std::vector<Point> locations;
   std::vector<double> populations;
-  Matrix<double> traffic;   ///< gravity demand matrix
-  Matrix<double> distances; ///< pairwise PoP distances
+  CompressedTraffic traffic;    ///< gravity demand matrix (CSR)
+  DistanceProvider distances;   ///< pairwise PoP distances (on demand)
 
   std::size_t num_pops() const { return locations.size(); }
 };

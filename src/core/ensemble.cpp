@@ -94,7 +94,8 @@ EnsembleAccumulator::EnsembleAccumulator(bool retain_all,
 }
 
 void EnsembleAccumulator::fold(SynthesisResult&& run,
-                               const TopologyMetrics& metrics) {
+                               const TopologyMetrics& metrics,
+                               std::uint64_t seed) {
   ++agg_.runs;
   agg_.avg_degree.fold(metrics.avg_degree);
   agg_.diameter.fold(static_cast<double>(metrics.diameter));
@@ -125,11 +126,34 @@ void EnsembleAccumulator::fold(SynthesisResult&& run,
     const std::size_t i = agg_.runs - 1;
     if (sample_.size() < reservoir_cap_) {
       sample_.push_back(std::move(run));
+      sample_meta_.push_back({i, seed});
     } else {
       const std::size_t j = rng_.uniform_index(i + 1);
-      if (j < reservoir_cap_) sample_[j] = std::move(run);
+      if (j < reservoir_cap_) {
+        sample_[j] = std::move(run);
+        sample_meta_[j] = {i, seed};
+      }
     }
   }
+}
+
+std::vector<EnsembleExemplar> EnsembleAccumulator::exemplars() const {
+  std::vector<EnsembleExemplar> out;
+  out.reserve(sample_.size());
+  for (std::size_t k = 0; k < sample_.size(); ++k) {
+    EnsembleExemplar e;
+    e.index = sample_meta_[k].index;
+    e.seed = sample_meta_[k].seed;
+    e.best_cost = sample_[k].ga.best_cost;
+    e.num_pops = sample_[k].network.num_pops();
+    e.num_links = sample_[k].network.links.size();
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EnsembleExemplar& a, const EnsembleExemplar& b) {
+              return a.index < b.index;
+            });
+  return out;
 }
 
 const std::vector<SynthesisResult>& EnsembleAccumulator::runs() const {
@@ -171,7 +195,8 @@ EnsembleResult generate_ensemble(const Synthesizer& synth,
   const auto started = std::chrono::steady_clock::now();
   if (stop != nullptr) stop->arm();
   if (observer != nullptr) {
-    observer->on_run_start({base_seed, synth.config().context.num_pops});
+    observer->on_run_start({base_seed, synth.config().context.num_pops,
+                            synth.config().context.gravity.topk});
   }
 
   // Wave buffers: the only place whole SynthesisResults wait, O(threads) of
@@ -235,7 +260,8 @@ EnsembleResult generate_ensemble(const Synthesizer& synth,
           records.push_back(
               {wave_runs[slot].ga.best_cost, wave_wall[slot]});
         }
-        result.acc.fold(std::move(wave_runs[slot]), wave_metrics[slot]);
+        result.acc.fold(std::move(wave_runs[slot]), wave_metrics[slot],
+                        base_seed + i);
         wave_runs[slot] = SynthesisResult{};  // release moved-from storage
       }
       completed = wave_end;
@@ -250,6 +276,10 @@ EnsembleResult generate_ensemble(const Synthesizer& synth,
           {i, base_seed + i, records[i].best_cost, records[i].wall_ns});
     }
     observer->on_ensemble_aggregates(result.acc.aggregates());
+    const std::vector<EnsembleExemplar> exemplars = result.acc.exemplars();
+    if (!exemplars.empty()) {
+      observer->on_ensemble_exemplars({options.reservoir, exemplars});
+    }
   }
 
   if (retain_all) {

@@ -62,8 +62,10 @@ class EnsembleAccumulator {
 
   /// Folds one finished run (takes ownership; in streamed mode the run is
   /// dropped after the aggregates, totals, distinctness hash and reservoir
-  /// are updated).
-  void fold(SynthesisResult&& run, const TopologyMetrics& metrics);
+  /// are updated). `seed` is the run's synthesis seed, recorded alongside
+  /// any reservoir slot the run lands in so exemplars stay replayable.
+  void fold(SynthesisResult&& run, const TopologyMetrics& metrics,
+            std::uint64_t seed = 0);
 
   /// Runs folded so far.
   std::size_t count() const { return agg_.runs; }
@@ -81,6 +83,12 @@ class EnsembleAccumulator {
   /// Streamed-mode reservoir sample (empty when retaining, or reservoir=0).
   /// A uniform sample of the folded runs, not in seed order.
   const std::vector<SynthesisResult>& sample() const { return sample_; }
+
+  /// Compact records of the reservoir sample (run index, seed, best cost,
+  /// network size), sorted by run index — what the telemetry stream and
+  /// the run report surface as `ensemble_exemplars`. Empty whenever
+  /// sample() is.
+  std::vector<EnsembleExemplar> exemplars() const;
 
   /// Streamed metric aggregates (always maintained, also when retaining).
   const EnsembleAggregates& aggregates() const { return agg_; }
@@ -106,6 +114,13 @@ class EnsembleAccumulator {
   std::vector<SynthesisResult> runs_;
   std::vector<TopologyMetrics> metrics_;
   std::vector<SynthesisResult> sample_;
+  /// (run index, seed) per reservoir slot, maintained in lockstep with
+  /// sample_ — SynthesisResult does not carry its own seed.
+  struct SampleMeta {
+    std::size_t index = 0;
+    std::uint64_t seed = 0;
+  };
+  std::vector<SampleMeta> sample_meta_;
   std::unordered_set<std::uint64_t> seen_;
   bool all_distinct_ = true;
   std::size_t evaluations_ = 0;

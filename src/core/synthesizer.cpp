@@ -18,7 +18,8 @@ SynthesisResult Synthesizer::synthesize(std::uint64_t seed) const {
   const auto started = std::chrono::steady_clock::now();
   if (config_.stop != nullptr) config_.stop->arm();
   if (config_.observer != nullptr) {
-    config_.observer->on_run_start({seed, config_.context.num_pops});
+    config_.observer->on_run_start(
+        {seed, config_.context.num_pops, config_.context.gravity.topk});
   }
   Rng context_rng(seed, /*stream=*/0);
   Context ctx;
@@ -34,7 +35,8 @@ SynthesisResult Synthesizer::synthesize_for_context(const Context& context,
   const auto started = std::chrono::steady_clock::now();
   if (config_.stop != nullptr) config_.stop->arm();
   if (config_.observer != nullptr) {
-    config_.observer->on_run_start({seed, context.num_pops()});
+    config_.observer->on_run_start(
+        {seed, context.num_pops(), context.traffic.topk()});
   }
   return optimize(context, seed, started);
 }

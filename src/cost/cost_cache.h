@@ -26,6 +26,7 @@
 // internal locking); parallel engines give each worker clone its own.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -86,11 +87,33 @@ struct DeltaConfig {
   /// offspring are still resident when their mutants are scored.
   std::size_t retained_states = 24;
 
+  /// Byte budget for the whole retained-state ring. The effective capacity
+  /// is resolved_states(n) — retained_states shrunk until the ring fits —
+  /// so the delta engine's memory is bounded in bytes, not state count: at
+  /// n <= ~600 the default budget holds all 24 states (existing behaviour),
+  /// while at city scale the quadratic states stop fitting and the engine
+  /// degrades to fewer states and finally (capacity 0) switches itself off.
+  /// Like every delta knob this moves time and memory, never results.
+  std::size_t max_state_bytes = std::size_t{256} << 20;  ///< 256 MiB
+
+  /// Estimated resident bytes of one retained state at n nodes (n trees at
+  /// ~29 bytes per node: dist 8 + parent 8 + order 8 + hops 4 + settled 1).
+  static std::size_t state_bytes(std::size_t n) { return 29 * n * n; }
+
+  /// Ring capacity at n nodes under the byte budget (possibly 0).
+  std::size_t resolved_states(std::size_t n) const {
+    const std::size_t per = state_bytes(n);
+    if (per == 0) return retained_states;
+    return std::min(retained_states, max_state_bytes / per);
+  }
+
   /// kAuto switches the engine on at this node count.
   std::size_t auto_threshold = 16;
 
-  /// True iff the engine runs for n-node topologies.
+  /// True iff the engine runs for n-node topologies (the mode says on AND
+  /// at least one retained state fits the byte budget).
   bool enabled(std::size_t n) const {
+    if (resolved_states(n) == 0) return false;
     if (mode == DsspMode::kOn) return true;
     if (mode == DsspMode::kAuto) return n >= auto_threshold;
     return false;

@@ -10,46 +10,49 @@ namespace cold {
 
 Evaluator::Evaluator(Matrix<double> lengths, Matrix<double> traffic,
                      CostParams params, EvalEngineConfig engine)
-    : Evaluator(std::make_shared<const Matrix<double>>(std::move(lengths)),
-                std::make_shared<const Matrix<double>>(std::move(traffic)),
-                params, engine) {
-  // Only the root evaluator creates the shared cache; clones receive the
-  // same instance in clone() so every worker sees every entry.
-  if (engine_.cache.enabled && engine_.cache.shared) {
-    shared_cache_ = std::make_shared<SharedCostCache>(engine_.cache);
-  }
-}
+    : Evaluator(DistanceProvider::from_matrix(std::move(lengths)),
+                CompressedTraffic(traffic), params, engine) {}
 
-Evaluator::Evaluator(std::shared_ptr<const Matrix<double>> lengths,
-                     std::shared_ptr<const Matrix<double>> traffic,
+Evaluator::Evaluator(DistanceProvider lengths, CompressedTraffic traffic,
                      CostParams params, EvalEngineConfig engine)
     : lengths_(std::move(lengths)),
       traffic_(std::move(traffic)),
       params_(params),
       engine_(engine) {
   params_.validate();
-  const std::size_t n = lengths_->rows();
-  if (lengths_->cols() != n) {
-    throw std::invalid_argument("Evaluator: lengths must be square");
-  }
-  validate_traffic_matrix(*traffic_);
-  if (traffic_->rows() != n) {
+  const std::size_t n = lengths_.rows();
+  if (traffic_.rows() != n) {
     throw std::invalid_argument("Evaluator: traffic/lengths size mismatch");
   }
+  init_engine_state();
+  // Only root evaluators create the shared cache; clones receive the same
+  // instance in clone() so every worker sees every entry.
+  if (engine_.cache.enabled && engine_.cache.shared) {
+    shared_cache_ = std::make_shared<SharedCostCache>(engine_.cache);
+  }
+}
+
+Evaluator::Evaluator(CloneTag, const Evaluator& parent)
+    : lengths_(parent.lengths_),  // shares the core; fresh row-tile cache
+      traffic_(parent.traffic_),
+      params_(parent.params_),
+      engine_(parent.engine_) {
+  init_engine_state();
+  shared_cache_ = parent.shared_cache_;
+}
+
+void Evaluator::init_engine_state() {
+  const std::size_t n = lengths_.rows();
   if (engine_.cache.enabled && !engine_.cache.shared) {
     cache_ = std::make_unique<CostCache>(engine_.cache);
   }
   if (engine_.delta.enabled(n)) {
-    delta_store_ =
-        std::make_unique<RoutingStateStore>(engine_.delta.retained_states);
+    delta_store_ = std::make_unique<RoutingStateStore>(
+        engine_.delta.resolved_states(n));
   }
 }
 
-Evaluator Evaluator::clone() const {
-  Evaluator c(lengths_, traffic_, params_, engine_);
-  c.shared_cache_ = shared_cache_;
-  return c;
-}
+Evaluator Evaluator::clone() const { return Evaluator(CloneTag{}, *this); }
 
 EvalCacheStats Evaluator::take_cache_stats() {
   EvalCacheStats s = merged_cache_stats_;
@@ -138,7 +141,7 @@ CostBreakdown Evaluator::breakdown_impl(const Topology& g,
     }
   }
   if (delta_store_) return breakdown_delta(g, hint);
-  if (!route_loads(g, *lengths_, *traffic_, loads_, ws_,
+  if (!route_loads(g, lengths_, traffic_, loads_, ws_,
                    engine_.sp_algorithm)) {
     return infeasible_breakdown(g);  // disconnected: cannot carry traffic
   }
@@ -155,7 +158,7 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
     // this topology can serve as a parent later.
     ++delta_stats_.fallbacks;
     RoutingState& slot = delta_store_->begin_fill(nullptr);
-    if (!route_loads_retained(g, *lengths_, *traffic_, loads_, slot.trees,
+    if (!route_loads_retained(g, lengths_, traffic_, loads_, slot.trees,
                               ws_, engine_.sp_algorithm)) {
       return infeasible_breakdown(g);  // slot stays free
     }
@@ -164,30 +167,32 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
     return finish_breakdown(g);
   }
   ++delta_stats_.hits;
-  const SpAlgorithm algo = resolve_sp_algorithm(g, engine_.sp_algorithm);
+  const SpAlgorithm algo =
+      resolve_sp_algorithm(g, lengths_, engine_.sp_algorithm);
   const std::size_t max_resettled = static_cast<std::size_t>(
       engine_.delta.max_resettle_ratio * static_cast<double>(n));
   RoutingState& slot = delta_store_->begin_fill(parent);
   slot.trees.resize(n);
   loads_.build(g);
-  // Block-batched resettle: per block of kSpSourceBlock sources, (1) copy
-  // the parent trees and run the incremental updates, collecting the
-  // sources whose affected region blew the cutoff, (2) recompute those in
-  // one batched sweep (identical result by the solvers' exactness
-  // contract), (3) accumulate the block in increasing source order — the
-  // same accumulation order as the scalar loop, so loads stay
-  // bit-identical.
+  // Block-batched resettle: per source block (byte-capped like
+  // route_loads'), (1) copy the parent trees and run the incremental
+  // updates, collecting the sources whose affected region blew the cutoff,
+  // (2) recompute those in one batched sweep (identical result by the
+  // solvers' exactness contract), (3) accumulate the block in increasing
+  // source order — the same accumulation order as the scalar loop, so
+  // loads stay bit-identical.
+  const std::size_t bw = ws_.block_width(n);
   NodeId fallback_sources[kSpSourceBlock];
   ShortestPathTree* fallback_trees[kSpSourceBlock];
-  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
-    const std::size_t width = std::min<std::size_t>(kSpSourceBlock, n - base);
+  for (NodeId base = 0; base < n; base += bw) {
+    const std::size_t width = std::min<std::size_t>(bw, n - base);
     std::size_t num_fallback = 0;
     for (std::size_t b = 0; b < width; ++b) {
       const NodeId s = base + b;
       ShortestPathTree& tree = slot.trees[s];
       tree = parent->trees[s];
       const SpUpdateResult r = update_shortest_path_tree(
-          g, *lengths_, diff_added_, diff_removed_, tree, sp_ws_,
+          g, lengths_, diff_added_, diff_removed_, tree, sp_ws_,
           max_resettled);
       if (r.applied) {
         delta_stats_.vertices_resettled += r.resettled;
@@ -200,7 +205,7 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
     for (std::size_t f = 0; f < num_fallback; ++f) {
       // Dense fallbacks within one block could share a lockstep pass, but
       // they rarely co-occur; per-source keeps the pointer plumbing simple.
-      shortest_path_tree_batch(g, *lengths_, &fallback_sources[f], 1,
+      shortest_path_tree_batch(g, lengths_, &fallback_sources[f], 1,
                                fallback_trees[f], algo);
     }
     for (std::size_t b = 0; b < width; ++b) {
@@ -211,7 +216,7 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
       }
       // Aggregation is the exact route_loads code path in the exact source
       // order, so the loads are bit-identical to a full sweep's.
-      accumulate_tree_loads(tree, *traffic_, s, loads_, ws_.aggregate);
+      accumulate_tree_loads(tree, traffic_, s, loads_, ws_.aggregate);
     }
   }
   slot.topology = g;
@@ -231,7 +236,7 @@ CostBreakdown Evaluator::finish_breakdown(const Topology& g) {
   CostBreakdown b;
   b.feasible = true;
   loads_valid_ = true;
-  const Matrix<double>& lengths = *lengths_;
+  const DistanceProvider& lengths = lengths_;
   const std::size_t n = g.num_nodes();
   double sum_len = 0.0, sum_bw_len = 0.0;
   // EdgeLoads values are stored in lexicographic (i < j) edge order — the

@@ -66,8 +66,17 @@ class Evaluator {
  public:
   /// `lengths`: symmetric PoP distance matrix. `traffic`: demand matrix
   /// (ordered pairs, symmetric under the gravity model). Both n x n.
+  /// Compat form: wraps the matrices in an always-dense DistanceProvider
+  /// and a CompressedTraffic, so this path is bit-for-bit the historical
+  /// dense evaluator at any n.
   Evaluator(Matrix<double> lengths, Matrix<double> traffic, CostParams params,
             EvalEngineConfig engine = {});
+
+  /// Matrix-free form: the provider may be coordinate-backed (no n^2
+  /// matrix) and the traffic is CSR. Both share their immutable cores
+  /// across clones. Costs are bit-identical to the dense form.
+  Evaluator(DistanceProvider lengths, CompressedTraffic traffic,
+            CostParams params, EvalEngineConfig engine = {});
 
   /// A thread-private copy: shares `lengths`/`traffic` with this evaluator
   /// (immutable, so concurrent reads are safe) but owns fresh `loads`/
@@ -113,9 +122,9 @@ class Evaluator {
   /// Whether last_loads() is currently backed by a fresh feasible routing.
   bool has_last_loads() const { return loads_valid_; }
 
-  std::size_t num_nodes() const { return lengths_->rows(); }
-  const Matrix<double>& lengths() const { return *lengths_; }
-  const Matrix<double>& traffic() const { return *traffic_; }
+  std::size_t num_nodes() const { return lengths_.rows(); }
+  const DistanceProvider& lengths() const { return lengths_; }
+  const CompressedTraffic& traffic() const { return traffic_; }
   const CostParams& params() const { return params_; }
   const EvalEngineConfig& engine() const { return engine_; }
 
@@ -172,9 +181,14 @@ class Evaluator {
   const SharedCostCache* shared_cache() const { return shared_cache_.get(); }
 
  private:
-  Evaluator(std::shared_ptr<const Matrix<double>> lengths,
-            std::shared_ptr<const Matrix<double>> traffic, CostParams params,
-            EvalEngineConfig engine);
+  /// Clone construction: shares the parent's context (provider cores, CSR,
+  /// shared cache) with fresh scratch, caches and counters.
+  struct CloneTag {};
+  Evaluator(CloneTag, const Evaluator& parent);
+
+  /// Creates the per-instance engine state (private cache, delta store)
+  /// from engine_; shared by both public ctors and the clone ctor.
+  void init_engine_state();
 
   /// Returns this instance's cache counters and zeroes them (the live
   /// cache's, this instance's shared-cache view, and the merged
@@ -199,9 +213,11 @@ class Evaluator {
   CostBreakdown finish_breakdown(const Topology& g);
 
   // The context is shared across clones and never mutated after
-  // construction; scratch, cache and counters are per-instance.
-  std::shared_ptr<const Matrix<double>> lengths_;
-  std::shared_ptr<const Matrix<double>> traffic_;
+  // construction; scratch, cache and counters are per-instance. Both
+  // members are value types over shared immutable cores, so copies cost
+  // O(1) memory regardless of n.
+  DistanceProvider lengths_;
+  CompressedTraffic traffic_;
   CostParams params_;
   EvalEngineConfig engine_;
   std::unique_ptr<CostCache> cache_;  ///< null when disabled or shared

@@ -135,13 +135,15 @@ class ParallelScorer {
   /// written by exactly one task and counters are summed after the join.
   /// `hints` (nullable, aligned with `gs`) carries each offspring's parent
   /// fingerprint to the worker's objective — the delta evaluation engine's
-  /// probe hint; exactness never depends on it.
+  /// probe hint; exactness never depends on it. Repair reads distances
+  /// through the *worker's* provider (each clone owns a private row-tile
+  /// cache; a shared matrix-free provider would race in row_view) — same
+  /// core, bit-identical doubles, so results are unaffected.
   void score(std::vector<Topology>& gs, std::vector<double>& costs,
-             std::size_t begin, const Matrix<double>& lengths,
-             GaResult& result,
+             std::size_t begin, GaResult& result,
              const std::vector<std::uint64_t>* hints = nullptr) {
     if (dedup_) {
-      score_dedup(gs, costs, begin, lengths, result, hints);
+      score_dedup(gs, costs, begin, result, hints);
       return;
     }
     struct Counters {
@@ -151,7 +153,8 @@ class ParallelScorer {
     };
     std::vector<Counters> per_worker(objectives_.size());
     const auto body = [&](std::size_t i, std::size_t w) {
-      const std::size_t added = repair_connectivity(gs[i], lengths);
+      const std::size_t added =
+          repair_connectivity(gs[i], objectives_[w]->lengths());
       if (added > 0) {
         ++per_worker[w].repairs;
         per_worker[w].links_repaired += added;
@@ -244,8 +247,7 @@ class ParallelScorer {
   /// links), duplicates take the representative's exact topology and cost,
   /// and every candidate is still charged as a repair/evaluation.
   void score_dedup(std::vector<Topology>& gs, std::vector<double>& costs,
-                   std::size_t begin, const Matrix<double>& lengths,
-                   GaResult& result,
+                   std::size_t begin, GaResult& result,
                    const std::vector<std::uint64_t>* hints = nullptr) {
     std::vector<std::uint64_t> fps(gs.size());
     for (std::size_t i = 0; i < gs.size(); ++i) fps[i] = gs[i].fingerprint();
@@ -260,7 +262,7 @@ class ParallelScorer {
     executor_.assign(gs.size(), 0);
     const auto body = [&](std::size_t k, std::size_t w) {
       const std::size_t i = uniques[k];
-      added[i] = repair_connectivity(gs[i], lengths);
+      added[i] = repair_connectivity(gs[i], objectives_[w]->lengths());
       if (hints != nullptr) objectives_[w]->set_parent_hint((*hints)[i]);
       costs[i] = objectives_[w]->cost(gs[i]);
       executor_[i] = static_cast<std::uint32_t>(w);  // slot-owned
@@ -359,14 +361,14 @@ GaResult run_ga(Objective& eval, Rng& rng, const GaRunOptions& options) {
   if (stop != nullptr) stop->arm();
 
   GaResult result;
-  const Matrix<double>& lengths = eval.lengths();
+  const DistanceProvider& lengths = eval.lengths();
   ParallelScorer scorer(
       eval, std::min(cfg.parallel.resolved_threads(), cfg.population),
       cfg.dedup, cfg.affinity);
 
   std::vector<Topology> pop = initial_population(eval, cfg, rng, options.seeds);
   std::vector<double> costs(pop.size(), 0.0);
-  scorer.score(pop, costs, 0, lengths, result);
+  scorer.score(pop, costs, 0, result);
   if (stop != nullptr) stop->add_evaluations(result.evaluations);
 
   std::vector<Topology> next;
@@ -444,8 +446,7 @@ GaResult run_ga(Objective& eval, Rng& rng, const GaRunOptions& options) {
       next_costs.push_back(0.0);
     }
     // 3. Repair + score every non-elite in parallel.
-    scorer.score(next, next_costs, cfg.num_saved, lengths, result,
-                 &parent_hints);
+    scorer.score(next, next_costs, cfg.num_saved, result, &parent_hints);
     pop.swap(next);
     costs.swap(next_costs);
     ++result.generations_run;

@@ -29,7 +29,8 @@ class Objective {
   virtual double cost(const Topology& g) = 0;
 
   /// Physical PoP distances (used for repair, MST seeding, node mutation).
-  virtual const Matrix<double>& lengths() const = 0;
+  /// A DistanceProvider: dense-backed at small n, matrix-free at scale.
+  virtual const DistanceProvider& lengths() const = 0;
 
   /// A thread-private copy for parallel scoring, or nullptr if this
   /// objective cannot be cloned (the caller then falls back to sequential
@@ -80,7 +81,9 @@ class EvaluatorObjective final : public Objective {
     req.parent_hint = std::exchange(hint_, 0);
     return eval_->evaluate(g, req).total();
   }
-  const Matrix<double>& lengths() const override { return eval_->lengths(); }
+  const DistanceProvider& lengths() const override {
+    return eval_->lengths();
+  }
 
   std::unique_ptr<Objective> clone() const override {
     return std::make_unique<EvaluatorObjective>(eval_->clone());

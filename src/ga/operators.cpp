@@ -114,7 +114,7 @@ std::size_t link_mutation(Topology& g, Rng& rng) {
   return changed;
 }
 
-bool node_mutation(Topology& g, const Matrix<double>& lengths, Rng& rng) {
+bool node_mutation(Topology& g, const DistanceProvider& lengths, Rng& rng) {
   const std::size_t n = g.num_nodes();
   std::vector<NodeId> non_leaves;
   for (NodeId v = 0; v < n; ++v) {

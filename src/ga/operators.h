@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "geom/distance.h"
 #include "graph/topology.h"
 #include "util/matrix.h"
 #include "util/rng.h"
@@ -34,7 +35,7 @@ std::size_t link_mutation(Topology& g, Rng& rng);
 /// into a leaf whose single link runs to the closest remaining non-leaf
 /// node (§4.1.2). Returns false (leaving g untouched) when fewer than two
 /// non-leaf nodes exist.
-bool node_mutation(Topology& g, const Matrix<double>& lengths, Rng& rng);
+bool node_mutation(Topology& g, const DistanceProvider& lengths, Rng& rng);
 
 /// Samples a population index with probability inversely proportional to
 /// cost (used to pick mutation victims and crossover gene donors).

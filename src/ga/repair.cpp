@@ -4,7 +4,7 @@
 
 namespace cold {
 
-std::size_t repair_connectivity(Topology& g, const Matrix<double>& lengths) {
+std::size_t repair_connectivity(Topology& g, const DistanceProvider& lengths) {
   return connect_components(g, lengths);
 }
 

@@ -5,6 +5,7 @@
 // components, and adds the minimum (distance) spanning tree over components.
 #pragma once
 
+#include "geom/distance.h"
 #include "graph/topology.h"
 #include "util/matrix.h"
 
@@ -12,6 +13,6 @@ namespace cold {
 
 /// Makes `g` connected by the paper's component-MST rule. Returns the number
 /// of links added (0 when already connected).
-std::size_t repair_connectivity(Topology& g, const Matrix<double>& lengths);
+std::size_t repair_connectivity(Topology& g, const DistanceProvider& lengths);
 
 }  // namespace cold

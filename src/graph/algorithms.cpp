@@ -42,7 +42,7 @@ bool is_connected(const Topology& g) {
   return g.num_nodes() <= 1 || num_components(g) == 1;
 }
 
-Topology minimum_spanning_tree(const Matrix<double>& weights) {
+Topology minimum_spanning_tree(const DistanceProvider& weights) {
   const std::size_t n = weights.rows();
   if (n == 0 || weights.cols() != n) {
     throw std::invalid_argument("minimum_spanning_tree: need square n>=1 matrix");
@@ -54,7 +54,10 @@ Topology minimum_spanning_tree(const Matrix<double>& weights) {
   std::vector<double> best(n, std::numeric_limits<double>::infinity());
   std::vector<NodeId> parent(n, 0);
   in_tree[0] = true;
-  for (NodeId v = 1; v < n; ++v) best[v] = weights(0, v);
+  // Whole-row scans go through the provider's row() so matrix-free
+  // instances recompute each row once (LRU row tiles), not per entry.
+  const double* row0 = weights.row_view(0);
+  for (NodeId v = 1; v < n; ++v) best[v] = row0[v];
   for (std::size_t added = 1; added < n; ++added) {
     NodeId pick = n;
     for (NodeId v = 0; v < n; ++v) {
@@ -62,9 +65,10 @@ Topology minimum_spanning_tree(const Matrix<double>& weights) {
     }
     in_tree[pick] = true;
     tree.add_edge(parent[pick], pick);
+    const double* row = weights.row_view(pick);
     for (NodeId v = 0; v < n; ++v) {
-      if (!in_tree[v] && weights(pick, v) < best[v]) {
-        best[v] = weights(pick, v);
+      if (!in_tree[v] && row[v] < best[v]) {
+        best[v] = row[v];
         parent[v] = pick;
       }
     }
@@ -73,7 +77,7 @@ Topology minimum_spanning_tree(const Matrix<double>& weights) {
 }
 
 std::vector<Edge> minimum_spanning_forest(const Topology& g,
-                                          const Matrix<double>& weights) {
+                                          const DistanceProvider& weights) {
   const std::size_t n = g.num_nodes();
   if (weights.rows() != n || weights.cols() != n) {
     throw std::invalid_argument("minimum_spanning_forest: weight shape mismatch");
@@ -91,7 +95,7 @@ std::vector<Edge> minimum_spanning_forest(const Topology& g,
   return out;
 }
 
-std::size_t connect_components(Topology& g, const Matrix<double>& distances) {
+std::size_t connect_components(Topology& g, const DistanceProvider& distances) {
   const std::size_t n = g.num_nodes();
   if (distances.rows() != n || distances.cols() != n) {
     throw std::invalid_argument("connect_components: distance shape mismatch");
@@ -106,12 +110,13 @@ std::size_t connect_components(Topology& g, const Matrix<double>& distances) {
   Matrix<double> comp_dist = Matrix<double>::square(k, kInf);
   Matrix<Edge> comp_edge = Matrix<Edge>::square(k);
   for (NodeId i = 0; i < n; ++i) {
+    const double* row = distances.row_view(i);  // one recompute per row, tiled
     for (NodeId j = i + 1; j < n; ++j) {
       const std::size_t a = label[i], b = label[j];
       if (a == b) continue;
-      if (distances(i, j) < comp_dist(a, b)) {
-        comp_dist(a, b) = distances(i, j);
-        comp_dist(b, a) = distances(i, j);
+      if (row[j] < comp_dist(a, b)) {
+        comp_dist(a, b) = row[j];
+        comp_dist(b, a) = row[j];
         comp_edge(a, b) = Edge{i, j};
         comp_edge(b, a) = Edge{i, j};
       }

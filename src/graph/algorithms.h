@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "geom/distance.h"
 #include "graph/topology.h"
 #include "util/matrix.h"
 
@@ -23,19 +24,19 @@ bool is_connected(const Topology& g);
 /// Minimum spanning tree under the given symmetric weight matrix (Prim,
 /// O(n^2) — ideal for dense geometric instances). The graph is implicitly
 /// complete: any node pair may become a tree edge. Requires n >= 1.
-Topology minimum_spanning_tree(const Matrix<double>& weights);
+Topology minimum_spanning_tree(const DistanceProvider& weights);
 
 /// Minimum spanning forest restricted to edges of `g` (Kruskal). Each
 /// component of `g` yields its own tree. Used to cross-check Prim and to
 /// extract tree skeletons from existing networks.
 std::vector<Edge> minimum_spanning_forest(const Topology& g,
-                                          const Matrix<double>& weights);
+                                          const DistanceProvider& weights);
 
 /// The paper's connectedness repair (§4.1.3): find connected components,
 /// compute the shortest inter-component link for each component pair, and
 /// add the minimum spanning tree over components (weights = physical link
 /// distance). Returns the number of links added. No-op on connected input.
-std::size_t connect_components(Topology& g, const Matrix<double>& distances);
+std::size_t connect_components(Topology& g, const DistanceProvider& distances);
 
 /// Hop distances from `source` by BFS; unreachable nodes get -1.
 std::vector<int> bfs_hops(const Topology& g, NodeId source);

@@ -11,7 +11,7 @@ namespace cold {
 namespace {
 
 double path_length(const std::vector<NodeId>& nodes,
-                   const Matrix<double>& lengths) {
+                   const DistanceProvider& lengths) {
   double total = 0.0;
   for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
     total += lengths(nodes[i], nodes[i + 1]);
@@ -28,7 +28,7 @@ bool path_less(const WeightedPath& a, const WeightedPath& b) {
 
 // Shortest path with some edges/nodes masked out; empty if unreachable.
 std::vector<NodeId> masked_shortest_path(const Topology& g,
-                                         const Matrix<double>& lengths,
+                                         const DistanceProvider& lengths,
                                          NodeId s, NodeId t,
                                          const std::set<Edge>& banned_edges,
                                          const std::set<NodeId>& banned_nodes) {
@@ -49,7 +49,7 @@ std::vector<NodeId> masked_shortest_path(const Topology& g,
 }  // namespace
 
 std::vector<WeightedPath> k_shortest_paths(const Topology& g,
-                                           const Matrix<double>& lengths,
+                                           const DistanceProvider& lengths,
                                            NodeId s, NodeId t, std::size_t k) {
   const std::size_t n = g.num_nodes();
   if (s >= n || t >= n) {
@@ -111,7 +111,7 @@ std::vector<WeightedPath> k_shortest_paths(const Topology& g,
 }
 
 std::vector<WeightedPath> disjoint_path_pair(const Topology& g,
-                                             const Matrix<double>& lengths,
+                                             const DistanceProvider& lengths,
                                              NodeId s, NodeId t) {
   std::vector<WeightedPath> out;
   const auto first = masked_shortest_path(g, lengths, s, t, {}, {});

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "geom/distance.h"
 #include "graph/topology.h"
 #include "util/matrix.h"
 
@@ -24,7 +25,7 @@ struct WeightedPath {
 /// Throws on invalid endpoints or k == 0. O(k * n * n^2) with the dense
 /// Dijkstra — fine at PoP scale.
 std::vector<WeightedPath> k_shortest_paths(const Topology& g,
-                                           const Matrix<double>& lengths,
+                                           const DistanceProvider& lengths,
                                            NodeId s, NodeId t, std::size_t k);
 
 /// Two link-disjoint paths s->t if they exist (shortest pair by total
@@ -32,7 +33,7 @@ std::vector<WeightedPath> k_shortest_paths(const Topology& g,
 /// heuristic adequate for protection-path studies; empty second path if the
 /// graph has no disjoint pair). First element is always the shortest path.
 std::vector<WeightedPath> disjoint_path_pair(const Topology& g,
-                                             const Matrix<double>& lengths,
+                                             const DistanceProvider& lengths,
                                              NodeId s, NodeId t);
 
 }  // namespace cold

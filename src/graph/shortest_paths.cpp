@@ -60,7 +60,7 @@ void dense_blocked_init(ShortestPathTree& out, std::size_t n, NodeId source) {
 
 /// One settle + relax round. Returns false when no reachable unsettled node
 /// remains (the tree is complete for its component).
-bool dense_blocked_step(const Topology& g, const Matrix<double>& lengths,
+bool dense_blocked_step(const Topology& g, const DistanceProvider& lengths,
                         ShortestPathTree& out) {
   const std::size_t n = out.dist.size();
   const double* key = out.frontier_key.data();
@@ -110,7 +110,7 @@ bool dense_blocked_step(const Topology& g, const Matrix<double>& lengths,
   // every length are), so cand == dist[u] implies dist[u] is finite and the
   // scalar rule's explicit infinity guard is subsumed by the fast reject.
   const std::uint8_t* r = g.dense_row(best);
-  const double* len_row = &lengths(best, 0);
+  const double* len_row = lengths.dense_row(best);
   const double dist_best = out.dist[best];
   const int cand_hops = out.hops[best] + 1;
   for (NodeId u = 0; u < n; ++u) {
@@ -131,15 +131,16 @@ bool dense_blocked_step(const Topology& g, const Matrix<double>& lengths,
   return true;
 }
 
-void shortest_path_tree_dense(const Topology& g, const Matrix<double>& lengths,
+void shortest_path_tree_dense(const Topology& g, const DistanceProvider& lengths,
                               ShortestPathTree& out) {
   dense_blocked_init(out, g.num_nodes(), out.source);
   while (dense_blocked_step(g, lengths, out)) {
   }
 }
 
-void shortest_path_tree_sparse(const Topology& g, const Matrix<double>& lengths,
-                               NodeId source, ShortestPathTree& out) {
+void shortest_path_tree_sparse(const Topology& g, const DistanceProvider& lengths,
+                               NodeId source, ShortestPathTree& out,
+                               const SpLengthCache* cache) {
   // Heap Dijkstra with lazy deletion. Entries carry the full composite
   // (dist, hops, id) key, so the valid heap minimum coincides with the
   // dense scan's selection at every step; stale entries (superseded by a
@@ -161,9 +162,15 @@ void shortest_path_tree_sparse(const Topology& g, const Matrix<double>& lengths,
     }
     out.settled[v] = 1;
     out.order.push_back(v);
-    for (const NodeId u : g.neighbors(v)) {
+    const std::span<const NodeId> nbrs = g.neighbors(v);
+    // Cached row: the identical doubles lengths(v, u) would return, read
+    // from one contiguous array instead of a recompute per scanned edge.
+    const double* row = cache != nullptr ? cache->row(v) : nullptr;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId u = nbrs[i];
       if (out.settled[u]) continue;
-      const double cand = out.dist[v] + lengths(v, u);
+      const double cand =
+          out.dist[v] + (row != nullptr ? row[i] : lengths(v, u));
       const int cand_hops = out.hops[v] + 1;
       const bool better =
           cand < out.dist[u] ||
@@ -191,7 +198,7 @@ void shortest_path_tree_sparse(const Topology& g, const Matrix<double>& lengths,
 }  // namespace
 
 void shortest_path_tree_reference(const Topology& g,
-                                  const Matrix<double>& lengths,
+                                  const DistanceProvider& lengths,
                                   NodeId source, ShortestPathTree& out) {
   const std::size_t n = g.num_nodes();
   if (lengths.rows() != n || lengths.cols() != n) {
@@ -243,19 +250,21 @@ void shortest_path_tree_reference(const Topology& g,
   }
 }
 
-void shortest_path_tree_batch(const Topology& g, const Matrix<double>& lengths,
+void shortest_path_tree_batch(const Topology& g, const DistanceProvider& lengths,
                               const NodeId* sources, std::size_t count,
-                              ShortestPathTree* trees, SpAlgorithm algo) {
+                              ShortestPathTree* trees, SpAlgorithm algo,
+                              const SpLengthCache* cache) {
   const std::size_t n = g.num_nodes();
   if (lengths.rows() != n || lengths.cols() != n) {
     throw std::invalid_argument(
         "shortest_path_tree_batch: length shape mismatch");
   }
-  algo = resolve_sp_algorithm(g, algo);
+  algo = resolve_sp_algorithm(g, lengths, algo);
   if (algo == SpAlgorithm::kSparse) {
     // The heap solver's working set is already tiny; per-source is optimal.
     for (std::size_t i = 0; i < count; ++i) {
-      shortest_path_tree(g, lengths, sources[i], trees[i], SpAlgorithm::kSparse);
+      shortest_path_tree(g, lengths, sources[i], trees[i], SpAlgorithm::kSparse,
+                         cache);
     }
     return;
   }
@@ -293,7 +302,7 @@ void shortest_path_tree_batch(const Topology& g, const Matrix<double>& lengths,
 }
 
 SpUpdateResult update_shortest_path_tree(const Topology& g,
-                                         const Matrix<double>& lengths,
+                                         const DistanceProvider& lengths,
                                          const std::vector<Edge>& inserted,
                                          const std::vector<Edge>& removed,
                                          ShortestPathTree& tree,
@@ -484,6 +493,19 @@ SpAlgorithm resolve_sp_algorithm(const Topology& g, SpAlgorithm algo) {
   return algo;
 }
 
+SpAlgorithm resolve_sp_algorithm(const Topology& g,
+                                 const DistanceProvider& lengths,
+                                 SpAlgorithm algo) {
+  algo = resolve_sp_algorithm(g, algo);
+  // The dense kernel also streams contiguous length rows; a matrix-free
+  // provider has none, so only the heap solver (one on-demand lookup per
+  // relaxation) can run. Bit-identical trees either way.
+  if (algo == SpAlgorithm::kDense && !lengths.has_dense()) {
+    algo = SpAlgorithm::kSparse;
+  }
+  return algo;
+}
+
 SpAlgorithm select_sp_algorithm(std::size_t n, std::size_t m) {
   // Dense does ~n^2 cheap scan steps per source; the heap does ~(n + m)
   // pushes/pops, each costing a log n sift of a 16-byte entry (~4x a scan
@@ -520,9 +542,24 @@ std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
   return path;
 }
 
-void shortest_path_tree(const Topology& g, const Matrix<double>& lengths,
+void SpLengthCache::build(const Topology& g, const DistanceProvider& lengths) {
+  n = g.num_nodes();
+  off.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    off[v + 1] = off[v] + g.neighbors(v).size();
+  }
+  len.resize(off[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    std::size_t slot = off[v];
+    for (const NodeId u : g.neighbors(v)) {
+      len[slot++] = lengths(v, u);  // the exact doubles the solver would see
+    }
+  }
+}
+
+void shortest_path_tree(const Topology& g, const DistanceProvider& lengths,
                         NodeId source, ShortestPathTree& out,
-                        SpAlgorithm algo) {
+                        SpAlgorithm algo, const SpLengthCache* cache) {
   const std::size_t n = g.num_nodes();
   if (lengths.rows() != n || lengths.cols() != n) {
     throw std::invalid_argument("shortest_path_tree: length shape mismatch");
@@ -536,23 +573,23 @@ void shortest_path_tree(const Topology& g, const Matrix<double>& lengths,
   out.hops[source] = 0;
   out.parent[source] = source;
 
-  algo = resolve_sp_algorithm(g, algo);
+  algo = resolve_sp_algorithm(g, lengths, algo);
   if (algo == SpAlgorithm::kSparse) {
-    shortest_path_tree_sparse(g, lengths, source, out);
+    shortest_path_tree_sparse(g, lengths, source, out, cache);
   } else {
     shortest_path_tree_dense(g, lengths, out);
   }
 }
 
 ShortestPathTree shortest_path_tree(const Topology& g,
-                                    const Matrix<double>& lengths,
+                                    const DistanceProvider& lengths,
                                     NodeId source, SpAlgorithm algo) {
   ShortestPathTree tree;
   shortest_path_tree(g, lengths, source, tree, algo);
   return tree;
 }
 
-Matrix<double> floyd_warshall(const Topology& g, const Matrix<double>& lengths) {
+Matrix<double> floyd_warshall(const Topology& g, const DistanceProvider& lengths) {
   const std::size_t n = g.num_nodes();
   if (lengths.rows() != n || lengths.cols() != n) {
     throw std::invalid_argument("floyd_warshall: length shape mismatch");

@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "geom/distance.h"
 #include "graph/topology.h"
 #include "util/matrix.h"
 
@@ -45,6 +46,16 @@ SpAlgorithm select_sp_algorithm(std::size_t n, std::size_t m);
 /// dense-backed topologies). Never changes a result — the solvers are
 /// bit-identical — only which kernel runs.
 SpAlgorithm resolve_sp_algorithm(const Topology& g, SpAlgorithm algo);
+
+/// Provider-aware form: additionally forces kSparse when `lengths` carries
+/// no materialized matrix (the dense kernel streams contiguous length rows,
+/// which a matrix-free provider cannot serve; the heap solver reads edge
+/// lengths from an SpLengthCache built once per sweep set, or one hypot on
+/// demand without one). Same bit-identity guarantee: only the kernel
+/// changes, never the tree.
+SpAlgorithm resolve_sp_algorithm(const Topology& g,
+                                 const DistanceProvider& lengths,
+                                 SpAlgorithm algo);
 
 /// Single-source shortest-path tree.
 struct ShortestPathTree {
@@ -76,18 +87,43 @@ struct ShortestPathTree {
   std::vector<double> block_min;
 };
 
+/// Per-topology cache of edge lengths, CSR-parallel to the topology's
+/// sorted adjacency: len[off[v] + i] is lengths(v, neighbors(v)[i]). Built
+/// once per sweep set (O(n + m) lookups) so the heap solver's relaxations
+/// read one array slot instead of recomputing a hypot per scanned edge —
+/// the entries are the very doubles lengths() returns, so cached and
+/// uncached sweeps are bit-identical. Only worth building for matrix-free
+/// providers (dense lookups are already one load); the routing entry
+/// points do exactly that. The caller must rebuild after any topology
+/// mutation — the cache carries no validity tracking (hot path).
+struct SpLengthCache {
+  std::size_t n = 0;
+  std::vector<std::size_t> off;  ///< n+1 offsets, mirroring the adjacency
+  std::vector<double> len;       ///< 2m lengths, adjacency slot order
+
+  void build(const Topology& g, const DistanceProvider& lengths);
+
+  /// Lengths of v's incident edges, in neighbors(v) order.
+  const double* row(NodeId v) const { return len.data() + off[v]; }
+};
+
 /// Dijkstra from `source` over the edges of `g` weighted by `lengths`.
 /// Ties are broken deterministically by (distance, hops, predecessor id),
 /// which makes routing — and therefore link loads and cost — reproducible.
 /// `out` is reused across calls to avoid allocation. `algo` selects the
-/// solver; every choice produces bit-identical trees.
-void shortest_path_tree(const Topology& g, const Matrix<double>& lengths,
+/// solver; every choice produces bit-identical trees. `lengths` may be a
+/// dense matrix (implicitly wrapped) or a matrix-free coordinate-backed
+/// provider — the trees are bit-identical either way. `cache`, when
+/// non-null, must have been built from this exact `g` and `lengths`; the
+/// sparse solver then reads edge lengths from it instead of recomputing.
+void shortest_path_tree(const Topology& g, const DistanceProvider& lengths,
                         NodeId source, ShortestPathTree& out,
-                        SpAlgorithm algo = SpAlgorithm::kAuto);
+                        SpAlgorithm algo = SpAlgorithm::kAuto,
+                        const SpLengthCache* cache = nullptr);
 
 /// Convenience allocating wrapper.
 ShortestPathTree shortest_path_tree(const Topology& g,
-                                    const Matrix<double>& lengths,
+                                    const DistanceProvider& lengths,
                                     NodeId source,
                                     SpAlgorithm algo = SpAlgorithm::kAuto);
 
@@ -97,7 +133,7 @@ ShortestPathTree shortest_path_tree(const Topology& g,
 /// production path; requires `g` to carry the dense view (it reads dense
 /// rows) and throws std::logic_error otherwise.
 void shortest_path_tree_reference(const Topology& g,
-                                  const Matrix<double>& lengths,
+                                  const DistanceProvider& lengths,
                                   NodeId source, ShortestPathTree& out);
 
 /// Batched multi-source sweep: computes trees[i] from sources[i] for every
@@ -108,10 +144,12 @@ void shortest_path_tree_reference(const Topology& g,
 /// the whole pass instead of n independent traversals each re-warming it;
 /// the sparse solver runs per source (its working set is the heap, already
 /// tiny). `algo` is resolved once for the batch.
-void shortest_path_tree_batch(const Topology& g, const Matrix<double>& lengths,
+void shortest_path_tree_batch(const Topology& g,
+                              const DistanceProvider& lengths,
                               const NodeId* sources, std::size_t count,
                               ShortestPathTree* trees,
-                              SpAlgorithm algo = SpAlgorithm::kAuto);
+                              SpAlgorithm algo = SpAlgorithm::kAuto,
+                              const SpLengthCache* cache = nullptr);
 
 /// Source-block width used by the batched sweeps (route_loads and the delta
 /// engine's resettle passes share it so their pass structure matches).
@@ -160,7 +198,7 @@ struct SpUpdateResult {
 /// is left in an unspecified state). Cost: O(A log A + n) where A is the
 /// affected region, versus O(n^2) / O((n+m) log n) for a sweep.
 SpUpdateResult update_shortest_path_tree(const Topology& g,
-                                         const Matrix<double>& lengths,
+                                         const DistanceProvider& lengths,
                                          const std::vector<Edge>& inserted,
                                          const std::vector<Edge>& removed,
                                          ShortestPathTree& tree,
@@ -169,7 +207,8 @@ SpUpdateResult update_shortest_path_tree(const Topology& g,
 
 /// All-pairs shortest path lengths via Floyd–Warshall. O(n^3); used for
 /// cross-checking Dijkstra and for small-instance analysis.
-Matrix<double> floyd_warshall(const Topology& g, const Matrix<double>& lengths);
+Matrix<double> floyd_warshall(const Topology& g,
+                              const DistanceProvider& lengths);
 
 /// All-pairs hop counts via BFS; -1 where unreachable.
 Matrix<int> all_pairs_hops(const Topology& g);

@@ -20,6 +20,15 @@ GrowthEvaluator::GrowthEvaluator(Matrix<double> lengths,
                                  std::vector<Edge> installed,
                                  double decommission_factor,
                                  EvalEngineConfig engine)
+    : GrowthEvaluator(DistanceProvider::from_matrix(std::move(lengths)),
+                      CompressedTraffic(traffic), params, std::move(installed),
+                      decommission_factor, engine) {}
+
+GrowthEvaluator::GrowthEvaluator(DistanceProvider lengths,
+                                 CompressedTraffic traffic, CostParams params,
+                                 std::vector<Edge> installed,
+                                 double decommission_factor,
+                                 EvalEngineConfig engine)
     : inner_(std::move(lengths), std::move(traffic), params, engine),
       installed_(std::move(installed)),
       decommission_factor_(decommission_factor) {
@@ -67,7 +76,7 @@ class GrowthObjective final : public Objective {
   double cost(const Topology& g) override {
     return eval_->cost(g, std::exchange(hint_, 0));
   }
-  const Matrix<double>& lengths() const override {
+  const DistanceProvider& lengths() const override {
     return eval_->inner().lengths();
   }
 
@@ -130,8 +139,8 @@ GrowthResult grow_network(const Network& base, const GrowthConfig& config,
   gravity.scale = 10.0;
   result.context.locations = locations;
   result.context.populations = populations;
-  result.context.traffic = gravity_matrix(populations, gravity);
-  result.context.distances = distance_matrix(locations);
+  result.context.traffic = gravity_traffic(populations, gravity);
+  result.context.distances = DistanceProvider::from_points(locations);
 
   // Installed plant.
   std::vector<Edge> installed = base.topology.edges();

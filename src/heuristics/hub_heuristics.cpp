@@ -24,13 +24,13 @@ struct HubState {
 };
 
 Topology realize(const HubState& state, std::size_t n,
-                 const Matrix<double>& lengths) {
+                 const DistanceProvider& lengths) {
   return build_hub_topology(n, state.hubs, state.hub_links, lengths);
 }
 
 // Cheapest-by-distance existing hub for a new node.
 NodeId nearest_hub(const HubState& state, NodeId v,
-                   const Matrix<double>& lengths) {
+                   const DistanceProvider& lengths) {
   NodeId best = state.hubs.front();
   for (NodeId h : state.hubs) {
     if (lengths(v, h) < lengths(v, best)) best = h;
@@ -58,7 +58,7 @@ std::pair<HubState, double> best_star(Evaluator& eval) {
 // (clique for Complete, MST for Mst). GreedyAttachment/RandomGreedy keep
 // explicit incremental links and do not use this.
 void rewire_fixed(HubState& state, HubStrategy strategy,
-                  const Matrix<double>& lengths) {
+                  const DistanceProvider& lengths) {
   state.hub_links.clear();
   const std::size_t h = state.hubs.size();
   if (h < 2) return;
@@ -221,7 +221,7 @@ std::string to_string(HubStrategy s) {
 
 Topology build_hub_topology(std::size_t n, const std::vector<NodeId>& hubs,
                             const std::vector<Edge>& hub_edges,
-                            const Matrix<double>& lengths) {
+                            const DistanceProvider& lengths) {
   if (hubs.empty()) throw std::invalid_argument("build_hub_topology: no hubs");
   Topology g(n);
   std::vector<bool> is_hub(n, false);

@@ -68,6 +68,6 @@ std::vector<HeuristicResult> run_all_heuristics(
 /// attaches to its closest hub by distance. Exposed for testing.
 Topology build_hub_topology(std::size_t n, const std::vector<NodeId>& hubs,
                             const std::vector<Edge>& hub_edges,
-                            const Matrix<double>& lengths);
+                            const DistanceProvider& lengths);
 
 }  // namespace cold

@@ -28,7 +28,8 @@ double Network::max_utilization() const {
 Network build_network(const Topology& topology,
                       const std::vector<Point>& locations,
                       const std::vector<double>& populations,
-                      const Matrix<double>& traffic, double overprovision) {
+                      const CompressedTraffic& traffic,
+                      const NetworkBuildOptions& options) {
   const std::size_t n = topology.num_nodes();
   if (locations.size() != n || populations.size() != n ||
       traffic.rows() != n || traffic.cols() != n) {
@@ -37,7 +38,7 @@ Network build_network(const Topology& topology,
   if (!is_connected(topology)) {
     throw std::invalid_argument("build_network: topology is disconnected");
   }
-  if (overprovision < 1.0) {
+  if (options.overprovision < 1.0) {
     throw std::invalid_argument("build_network: overprovision must be >= 1");
   }
 
@@ -46,12 +47,14 @@ Network build_network(const Topology& topology,
   net.locations = locations;
   net.populations = populations;
   net.traffic = traffic;
-  net.lengths = distance_matrix(locations);
-  net.overprovision = overprovision;
+  // Dense only at small n (DistanceProvider::from_points mirrors the solver
+  // threshold); at scale the provider recomputes lengths from coordinates.
+  net.lengths = DistanceProvider::from_points(locations);
+  net.overprovision = options.overprovision;
 
   EdgeLoads loads;
   RoutingWorkspace ws;
-  if (!route_loads(topology, net.lengths, traffic, loads, ws)) {
+  if (!route_loads(topology, net.lengths, net.traffic, loads, ws)) {
     throw std::logic_error("build_network: routing failed on connected graph");
   }
   for (const Edge& e : topology.edges()) {
@@ -59,11 +62,27 @@ Network build_network(const Topology& topology,
     link.edge = e;
     link.length = net.lengths(e.u, e.v);
     link.load = loads.at(e.u, e.v);
-    link.capacity = overprovision * link.load;
+    link.capacity = options.overprovision * link.load;
     net.links.push_back(link);
   }
-  net.routing = routing_matrix(topology, net.lengths, ws);
+  const bool want_routing =
+      options.materialize_routing == NetworkBuildOptions::Routing::kAlways ||
+      (options.materialize_routing == NetworkBuildOptions::Routing::kAuto &&
+       n <= Topology::dense_auto_threshold());
+  if (want_routing) {
+    net.routing = routing_matrix(topology, net.lengths, ws);
+  }
   return net;
+}
+
+Network build_network(const Topology& topology,
+                      const std::vector<Point>& locations,
+                      const std::vector<double>& populations,
+                      const CompressedTraffic& traffic,
+                      double overprovision) {
+  NetworkBuildOptions options;
+  options.overprovision = overprovision;
+  return build_network(topology, locations, populations, traffic, options);
 }
 
 void validate_network(const Network& net) {
@@ -91,7 +110,10 @@ void validate_network(const Network& net) {
       throw std::logic_error("capacity != overprovision * load");
     }
   }
-  // Routing must deliver every demand over existing links.
+  // Routing must deliver every demand over existing links — when the
+  // next-hop matrix was materialized at all (it is optional above the
+  // dense threshold).
+  if (!net.has_routing()) return;
   if (net.routing.rows() != n || net.routing.cols() != n) {
     throw std::logic_error("routing shape");
   }

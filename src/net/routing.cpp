@@ -6,6 +6,25 @@
 
 namespace cold {
 
+namespace {
+
+// Builds ws.length_cache when the sweep will run the heap solver against a
+// matrix-free provider (the only case where relaxations would otherwise
+// recompute a hypot per scanned edge); returns the cache to pass to the
+// solvers, or nullptr when it isn't worth building (dense providers serve
+// one load already). Cached entries are the exact doubles lengths()
+// returns, so results are bit-identical with or without it.
+const SpLengthCache* maybe_length_cache(const Topology& g,
+                                        const DistanceProvider& lengths,
+                                        SpAlgorithm algo,
+                                        RoutingWorkspace& ws) {
+  if (algo != SpAlgorithm::kSparse || lengths.has_dense()) return nullptr;
+  ws.length_cache.build(g, lengths);
+  return &ws.length_cache;
+}
+
+}  // namespace
+
 void EdgeLoads::build(const Topology& g) {
   n = g.num_nodes();
   off.assign(n + 1, 0);
@@ -53,9 +72,46 @@ void EdgeLoads::scatter(Matrix<double>& out) const {
   }
 }
 
-bool route_loads(const Topology& g, const Matrix<double>& lengths,
-                 const Matrix<double>& traffic, Matrix<double>& loads,
+bool route_loads(const Topology& g, const DistanceProvider& lengths,
+                 const CompressedTraffic& traffic, EdgeLoads& loads,
                  RoutingWorkspace& ws, SpAlgorithm algo) {
+  const std::size_t n = g.num_nodes();
+  if (traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument("route_loads: traffic shape mismatch");
+  }
+  loads.build(g);
+  ws.aggregate.assign(n, 0.0);
+  // Resolve the auto-selection (and dense availability) once per sweep.
+  algo = resolve_sp_algorithm(g, lengths, algo);
+  const SpLengthCache* cache = maybe_length_cache(g, lengths, algo, ws);
+
+  // Batched sweep: compute a block of trees in lockstep (shared
+  // cache-resident frontier state), then accumulate them in increasing
+  // source order — the accumulation order fixes the floating-point result,
+  // so it must match the scalar per-source loop exactly. The block width is
+  // byte-capped (block_width), which can only change the batching, never
+  // the trees.
+  const std::size_t bw = ws.block_width(n);
+  ws.block.resize(bw);
+  NodeId sources[kSpSourceBlock];
+  for (NodeId base = 0; base < n; base += bw) {
+    const std::size_t width = std::min<std::size_t>(bw, n - base);
+    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
+    shortest_path_tree_batch(g, lengths, sources, width, ws.block.data(),
+                             algo, cache);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (ws.block[b].order.size() != n) return false;  // disconnected
+      accumulate_tree_loads(ws.block[b], traffic, sources[b], loads,
+                            ws.aggregate);
+    }
+  }
+  return true;
+}
+
+bool route_loads_dense(  // deprecated-api-allowed (definition)
+    const Topology& g, const DistanceProvider& lengths,
+    const CompressedTraffic& traffic, Matrix<double>& loads,
+    RoutingWorkspace& ws, SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
   if (traffic.rows() != n || traffic.cols() != n) {
     throw std::invalid_argument("route_loads: traffic shape mismatch");
@@ -66,67 +122,59 @@ bool route_loads(const Topology& g, const Matrix<double>& lengths,
     loads.fill(0.0);
   }
   ws.aggregate.assign(n, 0.0);
-  // Resolve the auto-selection (and dense-view availability) once per sweep.
-  algo = resolve_sp_algorithm(g, algo);
-
-  // Batched sweep: compute kSpSourceBlock trees in lockstep (shared
-  // cache-resident frontier state), then accumulate them in increasing
-  // source order — the accumulation order fixes the floating-point result,
-  // so it must match the scalar per-source loop exactly.
-  ws.block.resize(kSpSourceBlock);
+  algo = resolve_sp_algorithm(g, lengths, algo);
+  const SpLengthCache* cache = maybe_length_cache(g, lengths, algo, ws);
+  const std::size_t bw = ws.block_width(n);
+  ws.block.resize(bw);
   NodeId sources[kSpSourceBlock];
-  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
-    const std::size_t width =
-        std::min<std::size_t>(kSpSourceBlock, n - base);
+  for (NodeId base = 0; base < n; base += bw) {
+    const std::size_t width = std::min<std::size_t>(bw, n - base);
     for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
     shortest_path_tree_batch(g, lengths, sources, width, ws.block.data(),
-                             algo);
+                             algo, cache);
     for (std::size_t b = 0; b < width; ++b) {
       if (ws.block[b].order.size() != n) return false;  // disconnected
-      accumulate_tree_loads(ws.block[b], traffic, sources[b], loads,
-                            ws.aggregate);
-    }
-  }
-  return true;
-}
-
-bool route_loads(const Topology& g, const Matrix<double>& lengths,
-                 const Matrix<double>& traffic, EdgeLoads& loads,
-                 RoutingWorkspace& ws, SpAlgorithm algo) {
-  const std::size_t n = g.num_nodes();
-  if (traffic.rows() != n || traffic.cols() != n) {
-    throw std::invalid_argument("route_loads: traffic shape mismatch");
-  }
-  loads.build(g);
-  ws.aggregate.assign(n, 0.0);
-  algo = resolve_sp_algorithm(g, algo);
-  ws.block.resize(kSpSourceBlock);
-  NodeId sources[kSpSourceBlock];
-  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
-    const std::size_t width =
-        std::min<std::size_t>(kSpSourceBlock, n - base);
-    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
-    shortest_path_tree_batch(g, lengths, sources, width, ws.block.data(),
-                             algo);
-    for (std::size_t b = 0; b < width; ++b) {
-      if (ws.block[b].order.size() != n) return false;  // disconnected
-      accumulate_tree_loads(ws.block[b], traffic, sources[b], loads,
-                            ws.aggregate);
+      accumulate_tree_loads_dense(  // deprecated-api-allowed (dense impl)
+          ws.block[b], traffic, sources[b], loads, ws.aggregate);
     }
   }
   return true;
 }
 
 void accumulate_tree_loads(const ShortestPathTree& tree,
-                           const Matrix<double>& traffic, NodeId s,
-                           Matrix<double>& loads,
-                           std::vector<double>& aggregate) {
+                           const CompressedTraffic& traffic, NodeId s,
+                           EdgeLoads& loads, std::vector<double>& aggregate) {
   // Push demands down the shortest-path tree: walking nodes in
   // decreasing-distance order, each node hands its subtree demand to its
-  // parent edge. O(n) per source.
+  // parent edge. O(n + row nnz) per source. The zero-fill + CSR row scatter
+  // seeds exactly the doubles a dense row copy would (absent pairs are
+  // exact zeros), and the dense form's two symmetric writes collapse into
+  // the edge's single accumulator, which receives the exact same ordered
+  // sequence of adds — bit-identical per canonical cell.
   const std::size_t n = tree.dist.size();
-  aggregate.resize(n);
-  for (NodeId t = 0; t < n; ++t) aggregate[t] = traffic(s, t);
+  aggregate.assign(n, 0.0);
+  const CompressedTraffic::RowSpan row = traffic.row_span(s);
+  for (std::size_t k = 0; k < row.len; ++k) {
+    aggregate[row.col[k]] = row.val[k];
+  }
+  for (std::size_t i = n; i-- > 1;) {  // skip the source (order[0])
+    const NodeId t = tree.order[i];
+    const NodeId p = tree.parent[t];
+    loads.value[loads.index_of(p, t)] += aggregate[t];
+    aggregate[p] += aggregate[t];
+  }
+}
+
+void accumulate_tree_loads_dense(  // deprecated-api-allowed (definition)
+    const ShortestPathTree& tree, const CompressedTraffic& traffic, NodeId s,
+    Matrix<double>& loads, std::vector<double>& aggregate) {
+  // Dense-loads walk: same order, two symmetric writes per hand-off.
+  const std::size_t n = tree.dist.size();
+  aggregate.assign(n, 0.0);
+  const CompressedTraffic::RowSpan row = traffic.row_span(s);
+  for (std::size_t k = 0; k < row.len; ++k) {
+    aggregate[row.col[k]] = row.val[k];
+  }
   for (std::size_t i = n; i-- > 1;) {  // skip the source (order[0])
     const NodeId t = tree.order[i];
     const NodeId p = tree.parent[t];
@@ -136,27 +184,42 @@ void accumulate_tree_loads(const ShortestPathTree& tree,
   }
 }
 
-void accumulate_tree_loads(const ShortestPathTree& tree,
-                           const Matrix<double>& traffic, NodeId s,
-                           EdgeLoads& loads, std::vector<double>& aggregate) {
-  // Same walk as the dense overload; the dense form's two symmetric writes
-  // collapse into the edge's single accumulator, which receives the exact
-  // same ordered sequence of adds — bit-identical per canonical cell.
-  const std::size_t n = tree.dist.size();
-  aggregate.resize(n);
-  for (NodeId t = 0; t < n; ++t) aggregate[t] = traffic(s, t);
-  for (std::size_t i = n; i-- > 1;) {  // skip the source (order[0])
-    const NodeId t = tree.order[i];
-    const NodeId p = tree.parent[t];
-    loads.value[loads.index_of(p, t)] += aggregate[t];
-    aggregate[p] += aggregate[t];
-  }
-}
-
-bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
-                          const Matrix<double>& traffic, Matrix<double>& loads,
+bool route_loads_retained(const Topology& g, const DistanceProvider& lengths,
+                          const CompressedTraffic& traffic, EdgeLoads& loads,
                           std::vector<ShortestPathTree>& trees,
                           RoutingWorkspace& ws, SpAlgorithm algo) {
+  const std::size_t n = g.num_nodes();
+  if (traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument("route_loads_retained: traffic shape mismatch");
+  }
+  loads.build(g);
+  trees.resize(n);
+  algo = resolve_sp_algorithm(g, lengths, algo);
+  const SpLengthCache* cache = maybe_length_cache(g, lengths, algo, ws);
+  // The retained trees live in `trees` directly, so the batch kernel can
+  // run over whole blocks in place; accumulation stays in increasing
+  // source order for bit-identical loads.
+  const std::size_t bw = ws.block_width(n);
+  NodeId sources[kSpSourceBlock];
+  for (NodeId base = 0; base < n; base += bw) {
+    const std::size_t width = std::min<std::size_t>(bw, n - base);
+    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
+    shortest_path_tree_batch(g, lengths, sources, width, &trees[base], algo,
+                             cache);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (trees[base + b].order.size() != n) return false;  // disconnected
+      accumulate_tree_loads(trees[base + b], traffic, sources[b], loads,
+                            ws.aggregate);
+    }
+  }
+  return true;
+}
+
+bool route_loads_retained_dense(  // deprecated-api-allowed (definition)
+    const Topology& g, const DistanceProvider& lengths,
+    const CompressedTraffic& traffic, Matrix<double>& loads,
+    std::vector<ShortestPathTree>& trees, RoutingWorkspace& ws,
+    SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
   if (traffic.rows() != n || traffic.cols() != n) {
     throw std::invalid_argument("route_loads_retained: traffic shape mismatch");
@@ -167,82 +230,63 @@ bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
     loads.fill(0.0);
   }
   trees.resize(n);
-  algo = resolve_sp_algorithm(g, algo);
-  // The retained trees live in `trees` directly, so the batch kernel can
-  // run over whole blocks in place; accumulation stays in increasing
-  // source order for bit-identical loads.
+  algo = resolve_sp_algorithm(g, lengths, algo);
+  const SpLengthCache* cache = maybe_length_cache(g, lengths, algo, ws);
+  const std::size_t bw = ws.block_width(n);
   NodeId sources[kSpSourceBlock];
-  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
-    const std::size_t width =
-        std::min<std::size_t>(kSpSourceBlock, n - base);
+  for (NodeId base = 0; base < n; base += bw) {
+    const std::size_t width = std::min<std::size_t>(bw, n - base);
     for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
-    shortest_path_tree_batch(g, lengths, sources, width, &trees[base], algo);
+    shortest_path_tree_batch(g, lengths, sources, width, &trees[base], algo,
+                             cache);
     for (std::size_t b = 0; b < width; ++b) {
       if (trees[base + b].order.size() != n) return false;  // disconnected
-      accumulate_tree_loads(trees[base + b], traffic, sources[b], loads,
-                            ws.aggregate);
-    }
-  }
-  return true;
-}
-
-bool route_loads_retained(const Topology& g, const Matrix<double>& lengths,
-                          const Matrix<double>& traffic, EdgeLoads& loads,
-                          std::vector<ShortestPathTree>& trees,
-                          RoutingWorkspace& ws, SpAlgorithm algo) {
-  const std::size_t n = g.num_nodes();
-  if (traffic.rows() != n || traffic.cols() != n) {
-    throw std::invalid_argument("route_loads_retained: traffic shape mismatch");
-  }
-  loads.build(g);
-  trees.resize(n);
-  algo = resolve_sp_algorithm(g, algo);
-  NodeId sources[kSpSourceBlock];
-  for (NodeId base = 0; base < n; base += kSpSourceBlock) {
-    const std::size_t width =
-        std::min<std::size_t>(kSpSourceBlock, n - base);
-    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
-    shortest_path_tree_batch(g, lengths, sources, width, &trees[base], algo);
-    for (std::size_t b = 0; b < width; ++b) {
-      if (trees[base + b].order.size() != n) return false;  // disconnected
-      accumulate_tree_loads(trees[base + b], traffic, sources[b], loads,
-                            ws.aggregate);
+      accumulate_tree_loads_dense(  // deprecated-api-allowed (dense impl)
+          trees[base + b], traffic, sources[b], loads, ws.aggregate);
     }
   }
   return true;
 }
 
 double total_demand_weighted_length(const Topology& g,
-                                    const Matrix<double>& lengths,
-                                    const Matrix<double>& traffic,
+                                    const DistanceProvider& lengths,
+                                    const CompressedTraffic& traffic,
                                     RoutingWorkspace& ws, SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
-  algo = resolve_sp_algorithm(g, algo);
+  algo = resolve_sp_algorithm(g, lengths, algo);
+  const SpLengthCache* cache = maybe_length_cache(g, lengths, algo, ws);
   double total = 0.0;
   for (NodeId s = 0; s < n; ++s) {
-    shortest_path_tree(g, lengths, s, ws.tree, algo);
+    shortest_path_tree(g, lengths, s, ws.tree, algo, cache);
     if (ws.tree.order.size() != n) {
       return std::numeric_limits<double>::infinity();
     }
-    for (NodeId t = 0; t < n; ++t) total += traffic(s, t) * ws.tree.dist[t];
+    // CSR row walk: zero demands contribute exact +0.0 addends in the
+    // dense loop, so skipping them is bit-neutral.
+    const CompressedTraffic::RowSpan row = traffic.row_span(s);
+    for (std::size_t k = 0; k < row.len; ++k) {
+      total += row.val[k] * ws.tree.dist[row.col[k]];
+    }
   }
   return total;
 }
 
 double total_demand_weighted_length(const Topology& g,
-                                    const Matrix<double>& lengths,
-                                    const Matrix<double>& traffic) {
+                                    const DistanceProvider& lengths,
+                                    const CompressedTraffic& traffic) {
   RoutingWorkspace ws;
   return total_demand_weighted_length(g, lengths, traffic, ws);
 }
 
-Matrix<NodeId> routing_matrix(const Topology& g, const Matrix<double>& lengths,
+Matrix<NodeId> routing_matrix(const Topology& g,
+                              const DistanceProvider& lengths,
                               RoutingWorkspace& ws, SpAlgorithm algo) {
   const std::size_t n = g.num_nodes();
   Matrix<NodeId> next_hop = Matrix<NodeId>::square(n, 0);
-  algo = resolve_sp_algorithm(g, algo);
+  algo = resolve_sp_algorithm(g, lengths, algo);
+  const SpLengthCache* cache = maybe_length_cache(g, lengths, algo, ws);
   for (NodeId s = 0; s < n; ++s) {
-    shortest_path_tree(g, lengths, s, ws.tree, algo);
+    shortest_path_tree(g, lengths, s, ws.tree, algo, cache);
     if (ws.tree.order.size() != n) {
       throw std::invalid_argument("routing_matrix: graph is disconnected");
     }
@@ -259,7 +303,7 @@ Matrix<NodeId> routing_matrix(const Topology& g, const Matrix<double>& lengths,
 }
 
 Matrix<NodeId> routing_matrix(const Topology& g,
-                              const Matrix<double>& lengths) {
+                              const DistanceProvider& lengths) {
   RoutingWorkspace ws;
   return routing_matrix(g, lengths, ws);
 }

@@ -26,9 +26,13 @@ FailureImpact assess(const Network& net, const Topology& damaged,
     if (s == ignore_endpoint) continue;
     shortest_path_tree(net.topology, net.lengths, s, base_tree);
     shortest_path_tree(damaged, net.lengths, s, dam_tree);
-    for (NodeId t = 0; t < n; ++t) {
-      if (t == s || t == ignore_endpoint) continue;
-      const double demand = net.traffic(s, t);
+    // Walk the CSR row (ascending t, zeros absent) — same visit order as
+    // the dense scan, which skipped non-positive demands anyway.
+    const CompressedTraffic::RowSpan row = net.traffic.row_span(s);
+    for (std::size_t k = 0; k < row.len; ++k) {
+      const NodeId t = row.col[k];
+      if (t == ignore_endpoint) continue;
+      const double demand = row.val[k];
       if (demand <= 0.0) continue;
       impact.total_traffic += demand;
       if (dam_tree.hops[t] < 0) {
@@ -51,13 +55,13 @@ FailureImpact assess(const Network& net, const Topology& damaged,
       stretch_weight > 0 ? stretch_sum / stretch_weight : 1.0;
 
   // Post-failure loads vs original capacities.
-  Matrix<double> loads;
+  EdgeLoads loads;
   RoutingWorkspace ws;
   if (route_loads(damaged, net.lengths, net.traffic, loads, ws)) {
     // Fully routable; compare per-link.
     for (const Link& l : net.links) {
       if (!damaged.has_edge(l.edge.u, l.edge.v)) continue;
-      const double load = loads(l.edge.u, l.edge.v);
+      const double load = loads.at(l.edge.u, l.edge.v);
       if (l.capacity > 0) {
         const double util = load / l.capacity;
         impact.max_utilization = std::max(impact.max_utilization, util);

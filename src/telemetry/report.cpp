@@ -67,12 +67,14 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
   // counters and gates all of them (result.cache included) behind
   // include_timing; v4 added the delta-evaluation counters; v5 added the
   // per-worker dsssp split and the affinity steal count; v6 added the
-  // streamed ensemble_aggregates block; see report.h.
-  root["version"] = 6;
+  // streamed ensemble_aggregates block; v7 added run.traffic_topk and the
+  // ensemble_exemplars reservoir block; see report.h.
+  root["version"] = 7;
 
   JsonObject run;
   run["seed"] = static_cast<double>(report.seed);
   run["num_pops"] = report.num_pops;
+  run["traffic_topk"] = report.traffic_topk;
   root["run"] = std::move(run);
 
   JsonObject result;
@@ -183,6 +185,26 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
     root["ensemble_aggregates"] = std::move(agg);
   }
 
+  // Logical content too: the reservoir's replacement choices depend only on
+  // (base_seed, fold order), never on timing or thread count.
+  if (report.has_ensemble_exemplars) {
+    const EnsembleExemplars& ex = report.ensemble_exemplars;
+    JsonObject block;
+    block["reservoir"] = ex.reservoir;
+    JsonArray exemplars;
+    for (const EnsembleExemplar& e : ex.exemplars) {
+      JsonObject obj;
+      obj["index"] = e.index;
+      obj["seed"] = static_cast<double>(e.seed);
+      obj["best_cost"] = e.best_cost;
+      obj["num_pops"] = e.num_pops;
+      obj["num_links"] = e.num_links;
+      exemplars.push_back(std::move(obj));
+    }
+    block["exemplars"] = std::move(exemplars);
+    root["ensemble_exemplars"] = std::move(block);
+  }
+
   write_json(os, JsonValue{std::move(root)});
   os << "\n";
 }
@@ -204,6 +226,10 @@ RunReport run_report_from_json(const std::string& json) {
   const JsonValue& run = doc.field("run");
   report.seed = static_cast<std::uint64_t>(run.field("seed").number());
   report.num_pops = static_cast<std::size_t>(run.field("num_pops").number());
+  if (run.has("traffic_topk")) {  // absent before v7
+    report.traffic_topk =
+        static_cast<std::size_t>(run.field("traffic_topk").number());
+  }
 
   const JsonValue& result = doc.field("result");
   report.best_cost = result.field("best_cost").number();
@@ -332,6 +358,25 @@ RunReport run_report_from_json(const std::string& json) {
     report.ensemble_aggregates = a;
     report.has_ensemble_aggregates = true;
   }
+
+  if (doc.has("ensemble_exemplars")) {  // absent before v7
+    const JsonValue& block = doc.field("ensemble_exemplars");
+    EnsembleExemplars ex;
+    ex.reservoir = static_cast<std::size_t>(block.field("reservoir").number());
+    for (const JsonValue& e : block.field("exemplars").array()) {
+      EnsembleExemplar exemplar;
+      exemplar.index = static_cast<std::size_t>(e.field("index").number());
+      exemplar.seed = static_cast<std::uint64_t>(e.field("seed").number());
+      exemplar.best_cost = e.field("best_cost").number();
+      exemplar.num_pops =
+          static_cast<std::size_t>(e.field("num_pops").number());
+      exemplar.num_links =
+          static_cast<std::size_t>(e.field("num_links").number());
+      ex.exemplars.push_back(exemplar);
+    }
+    report.ensemble_exemplars = std::move(ex);
+    report.has_ensemble_exemplars = true;
+  }
   return report;
 }
 
@@ -339,6 +384,7 @@ void JsonReportSink::on_run_start(const RunStart& e) {
   report_ = RunReport{};
   report_.seed = e.seed;
   report_.num_pops = e.num_pops;
+  report_.traffic_topk = e.traffic_topk;
 }
 
 void JsonReportSink::on_phase_end(const PhaseStats& e) {
@@ -360,6 +406,11 @@ void JsonReportSink::on_ensemble_run_done(const EnsembleRunDone& e) {
 void JsonReportSink::on_ensemble_aggregates(const EnsembleAggregates& e) {
   report_.ensemble_aggregates = e;
   report_.has_ensemble_aggregates = true;
+}
+
+void JsonReportSink::on_ensemble_exemplars(const EnsembleExemplars& e) {
+  report_.ensemble_exemplars = e;
+  report_.has_ensemble_exemplars = true;
 }
 
 void JsonReportSink::on_run_end(const RunSummary& e) {

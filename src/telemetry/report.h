@@ -11,7 +11,7 @@
 //   {
 //     "schema": "cold-run-report",
 //     "version": 4,
-//     "run": {"seed": u64, "num_pops": n},
+//     "run": {"seed": u64, "num_pops": n, "traffic_topk": n},
 //     "result": {"best_cost": x, "evaluations": n,
 //                "stopped_early": bool, "stop_reason": str,
 //                ["cache": {"hits": n, "misses": n,
@@ -38,7 +38,11 @@
 //                        ["wall_ns": n]}, ...],
 //     "ensemble_aggregates": {"runs": n, "streamed": bool,
 //                             "<metric>": {"count": n, "mean": x, "m2": x,
-//                                          "min": x, "max": x}, ...}
+//                                          "min": x, "max": x}, ...},
+//     "ensemble_exemplars": {"reservoir": n,
+//                            "exemplars": [{"index": n, "seed": u64,
+//                                           "best_cost": x, "num_pops": n,
+//                                           "num_links": n}, ...]}
 //   }
 //
 // Version history: v1 had no "cache" object; v2 added it (emitted
@@ -53,9 +57,14 @@
 // assortativity, best_cost). The aggregates are logical content, not
 // performance data: they depend only on the folded runs (bit-identical for
 // any thread count), so they are emitted even timing-free — they are what
-// a streamed ensemble retains instead of per-run results. The parser
-// accepts all six versions — missing counters/objects read back as
-// zero/empty; the writer always emits v6.
+// a streamed ensemble retains instead of per-run results; v7 added
+// "run.traffic_topk" (the gravity top-K truncation in effect, 0 = exact)
+// and the "ensemble_exemplars" block — the streamed ensemble's
+// deterministic reservoir sample (run index, seed, best cost, network
+// size per exemplar, sorted by index), present only when a reservoir was
+// configured and populated. Both are logical content, emitted even
+// timing-free. The parser accepts all seven versions — missing
+// counters/objects read back as zero/empty; the writer always emits v7.
 //
 // Round-trips through io/json: run_report_from_json(run_report_to_json(r))
 // reproduces every field (wall times included when serialized with timing).
@@ -73,6 +82,7 @@ namespace cold {
 struct RunReport {
   std::uint64_t seed = 0;
   std::size_t num_pops = 0;
+  std::size_t traffic_topk = 0;  ///< gravity top-K, 0 = exact (schema v7)
 
   double best_cost = 0.0;
   std::size_t evaluations = 0;
@@ -96,6 +106,8 @@ struct RunReport {
   std::vector<EnsembleRunDone> ensemble_runs;
   bool has_ensemble_aggregates = false;  ///< aggregates block present (v6)
   EnsembleAggregates ensemble_aggregates;
+  bool has_ensemble_exemplars = false;  ///< exemplars block present (v7)
+  EnsembleExemplars ensemble_exemplars;
 };
 
 /// Serializes a report. With `include_timing == false` every performance
@@ -121,6 +133,7 @@ class JsonReportSink final : public RunObserver {
   void on_generation_end(const GenerationEnd& e) override;
   void on_ensemble_run_done(const EnsembleRunDone& e) override;
   void on_ensemble_aggregates(const EnsembleAggregates& e) override;
+  void on_ensemble_exemplars(const EnsembleExemplars& e) override;
   void on_run_end(const RunSummary& e) override;
 
   const RunReport& report() const { return report_; }

@@ -84,6 +84,7 @@ ReportDiff diff_run_reports(const RunReport& a, const RunReport& b) {
 
   logical.field("run.seed", a.seed, b.seed);
   logical.field("run.num_pops", a.num_pops, b.num_pops);
+  logical.field("run.traffic_topk", a.traffic_topk, b.traffic_topk);
   logical.field("result.best_cost", a.best_cost, b.best_cost);
   logical.field("result.evaluations", a.evaluations, b.evaluations);
   logical.field("result.stopped_early", a.stopped_early, b.stopped_early);
@@ -185,6 +186,26 @@ ReportDiff diff_run_reports(const RunReport& a, const RunReport& b) {
     diff_agg("ensemble_aggregates.assortativity", x.assortativity,
              y.assortativity);
     diff_agg("ensemble_aggregates.best_cost", x.best_cost, y.best_cost);
+  }
+
+  // The reservoir sample is logical too: Algorithm R's choices depend only
+  // on (base_seed, fold order).
+  logical.field("ensemble_exemplars.present", a.has_ensemble_exemplars,
+                b.has_ensemble_exemplars);
+  if (a.has_ensemble_exemplars && b.has_ensemble_exemplars) {
+    logical.field("ensemble_exemplars.reservoir",
+                  a.ensemble_exemplars.reservoir,
+                  b.ensemble_exemplars.reservoir);
+    diff_array(logical, out.logical, "ensemble_exemplars.exemplars",
+               a.ensemble_exemplars.exemplars, b.ensemble_exemplars.exemplars,
+               [&](const std::string& p, const EnsembleExemplar& x,
+                   const EnsembleExemplar& y) {
+                 logical.field(p + ".index", x.index, y.index);
+                 logical.field(p + ".seed", x.seed, y.seed);
+                 logical.field(p + ".best_cost", x.best_cost, y.best_cost);
+                 logical.field(p + ".num_pops", x.num_pops, y.num_pops);
+                 logical.field(p + ".num_links", x.num_links, y.num_links);
+               });
   }
 
   return out;

@@ -71,6 +71,9 @@ std::string to_string(StopReason reason);
 struct RunStart {
   std::uint64_t seed = 0;
   std::size_t num_pops = 0;
+  /// Gravity top-K truncation in effect for the run's traffic (0 = exact
+  /// matrix). Logical content: it changes demands, so reports record it.
+  std::size_t traffic_topk = 0;
 };
 
 /// A phase finished. `evaluations` counts objective evaluations consumed by
@@ -139,6 +142,26 @@ struct EnsembleAggregates {
   MetricAggregate best_cost;
 };
 
+/// One run of a streamed ensemble's deterministic reservoir sample — the
+/// uniform exemplars a streamed ensemble keeps instead of every result.
+struct EnsembleExemplar {
+  std::size_t index = 0;    ///< 0-based run index within the ensemble
+  std::uint64_t seed = 0;   ///< the run's synthesis seed (replayable)
+  double best_cost = 0.0;
+  std::size_t num_pops = 0;
+  std::size_t num_links = 0;
+};
+
+/// The reservoir sample, emitted once after EnsembleAggregates (streamed
+/// ensembles with a configured reservoir only), sorted by run index. Part
+/// of the logical event stream: Algorithm R's replacement choices depend
+/// only on (base_seed, fold order), so the sample is bit-identical for any
+/// thread count.
+struct EnsembleExemplars {
+  std::size_t reservoir = 0;  ///< configured sample capacity
+  std::vector<EnsembleExemplar> exemplars;
+};
+
 /// A run ended (normally or via the stop condition).
 ///
 /// The cache_* counters aggregate the evaluation cache (cost/cost_cache.h
@@ -201,6 +224,7 @@ class RunObserver {
   virtual void on_generation_end(const GenerationEnd& /*event*/) {}
   virtual void on_ensemble_run_done(const EnsembleRunDone& /*event*/) {}
   virtual void on_ensemble_aggregates(const EnsembleAggregates& /*event*/) {}
+  virtual void on_ensemble_exemplars(const EnsembleExemplars& /*event*/) {}
   virtual void on_run_end(const RunSummary& /*event*/) {}
 };
 
@@ -236,6 +260,9 @@ class MultiObserver final : public RunObserver {
   }
   void on_ensemble_aggregates(const EnsembleAggregates& e) override {
     for (auto* c : children_) c->on_ensemble_aggregates(e);
+  }
+  void on_ensemble_exemplars(const EnsembleExemplars& e) override {
+    for (auto* c : children_) c->on_ensemble_exemplars(e);
   }
   void on_run_end(const RunSummary& e) override {
     for (auto* c : children_) c->on_run_end(e);

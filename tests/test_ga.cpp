@@ -266,7 +266,7 @@ class CountingObjective final : public Objective {
     ++calls_;
     return eval_.cost(g);
   }
-  const Matrix<double>& lengths() const override { return eval_.lengths(); }
+  const DistanceProvider& lengths() const override { return eval_.lengths(); }
   void charge_duplicates(std::size_t n) override { charged_ += n; }
   std::size_t calls() const { return calls_; }
   std::size_t charged() const { return charged_; }

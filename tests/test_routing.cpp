@@ -26,7 +26,7 @@ TEST(RouteLoads, PathGraphAccumulates) {
   for (int i = 0; i < 3; ++i) traffic(i, i) = 0.0;
   Matrix<double> loads;
   RoutingWorkspace ws;
-  ASSERT_TRUE(route_loads(g, len, traffic, loads, ws));
+  ASSERT_TRUE(route_loads_dense(g, len, traffic, loads, ws));
   EXPECT_DOUBLE_EQ(loads(0, 1), 4.0);
   EXPECT_DOUBLE_EQ(loads(1, 2), 4.0);
   EXPECT_DOUBLE_EQ(loads(1, 0), loads(0, 1));  // symmetric
@@ -40,7 +40,7 @@ TEST(RouteLoads, DisconnectedReturnsFalse) {
   Matrix<double> traffic = gravity_matrix({1.0, 1.0, 1.0});
   Matrix<double> loads;
   RoutingWorkspace ws;
-  EXPECT_FALSE(route_loads(g, len, traffic, loads, ws));
+  EXPECT_FALSE(route_loads_dense(g, len, traffic, loads, ws));
 }
 
 TEST(RouteLoads, AgreesWithExplicitPathAccumulation) {
@@ -59,7 +59,7 @@ TEST(RouteLoads, AgreesWithExplicitPathAccumulation) {
 
     Matrix<double> loads;
     RoutingWorkspace ws;
-    ASSERT_TRUE(route_loads(g, len, traffic, loads, ws));
+    ASSERT_TRUE(route_loads_dense(g, len, traffic, loads, ws));
 
     Matrix<double> expected = Matrix<double>::square(n, 0.0);
     for (NodeId s = 0; s < n; ++s) {
@@ -95,7 +95,7 @@ TEST(RouteLoads, TotalLoadLengthEqualsDemandWeightedLength) {
 
   Matrix<double> loads;
   RoutingWorkspace ws;
-  ASSERT_TRUE(route_loads(g, len, traffic, loads, ws));
+  ASSERT_TRUE(route_loads_dense(g, len, traffic, loads, ws));
   double lhs = 0.0;
   for (const Edge& e : g.edges()) lhs += len(e.u, e.v) * loads(e.u, e.v);
   const double rhs = total_demand_weighted_length(g, len, traffic);
@@ -147,9 +147,9 @@ TEST(RouteLoads, MatchesRoutePathWalksOnRandomGraphs) {
     const auto traffic = gravity_matrix(pops);
 
     Matrix<double> loads_dense, loads_sparse;
-    ASSERT_TRUE(route_loads(g, len, traffic, loads_dense, ws,
+    ASSERT_TRUE(route_loads_dense(g, len, traffic, loads_dense, ws,
                             SpAlgorithm::kDense));
-    ASSERT_TRUE(route_loads(g, len, traffic, loads_sparse, ws,
+    ASSERT_TRUE(route_loads_dense(g, len, traffic, loads_sparse, ws,
                             SpAlgorithm::kSparse));
     const auto next = routing_matrix(g, len, ws);
 

@@ -123,7 +123,7 @@ TEST(EdgeLoads, MatchesDenseRouteLoadsBitForBit) {
 
     Matrix<double> dense;
     RoutingWorkspace ws;
-    ASSERT_TRUE(route_loads(g, len, traffic, dense, ws));
+    ASSERT_TRUE(route_loads_dense(g, len, traffic, dense, ws));
 
     EdgeLoads sparse;
     RoutingWorkspace ws2;

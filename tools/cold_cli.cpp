@@ -1,12 +1,13 @@
 // cold — command-line front end for the COLD topology synthesizer.
 //
 //   cold synth    [--pops N] [--k0 X --k2 X --k3 X] [--seed S]
-//                 [--format dot|json|graphml] [--out FILE]
+//                 [--traffic-topk K] [--format dot|json|graphml] [--out FILE]
 //                 [--report FILE] [--progress] [--max-seconds T]
 //                 [--max-evals N] [--eval-cache] [--eval-cache-size N]
 //                 [--shared-cache] [--dedup] [--dijkstra auto|dense|sparse]
 //                 [--dsssp on|off|auto] [--affinity on|off]
-//   cold ensemble [--count N] + synth options
+//   cold ensemble [--count N] [--retain-runs on|off|auto] [--exemplars N]
+//                 + synth options
 //   cold metrics  --in FILE [--format text|json] [--out FILE]
 //   cold estimate --in FILE [--draws N] [--epsilon E] [--seed S]
 //                 [--format text|json] [--out FILE]
@@ -33,6 +34,7 @@
 #include "abc/abc.h"
 #include "core/ensemble.h"
 #include "core/synthesizer.h"
+#include "geom/distance.h"
 #include "graph/connectivity.h"
 #include "graph/metrics.h"
 #include "growth/growth.h"
@@ -80,6 +82,9 @@ const std::vector<OptionSpec> kEngineOpts = {
                     "offspring"},
     {"affinity", true, "on|off (on): route offspring to the worker "
                        "retaining their parent's routing state"},
+    {"dense-threshold", true,
+     "N (512): largest n with dense adjacency/distance backends; 0 forces "
+     "the matrix-free path (exact: results are bit-identical either way)"},
 };
 
 const std::vector<OptionSpec> kOutputOpts = {
@@ -100,7 +105,10 @@ const std::vector<OptionSpec> kRunControlOpts = {
 std::vector<OptionSpec> synth_specs() {
   return concat_specs({{{"pops", true, "N (30)"},
                         {"seed", true, "S (1)"},
-                        {"overprovision", true, "O (1)"}},
+                        {"overprovision", true, "O (1)"},
+                        {"traffic-topk", true,
+                         "K (0 = exact): keep each PoP's K largest demands, "
+                         "symmetrized and renormalized"}},
                        kCostOpts,
                        kGaOpts,
                        kEngineOpts,
@@ -114,7 +122,10 @@ CliOptions spec_for(const std::string& command) {
   if (command == "ensemble") {
     return {"ensemble",
             concat_specs({{{"count", true, "N (20)"},
-                           {"retain-runs", true, "on|off|auto (auto)"}},
+                           {"retain-runs", true, "on|off|auto (auto)"},
+                           {"exemplars", true,
+                            "N (0): keep a deterministic reservoir sample of "
+                            "N runs (streams the ensemble)"}},
                           synth_specs()})};
   }
   if (command == "metrics") {
@@ -152,11 +163,17 @@ void print_usage() {
       "            --seed S (1) --population M (48) --generations T (40)\n"
       "            --overprovision O (1) --format dot|json|graphml (json)\n"
       "            --threads K (0 = all cores; output identical for any K)\n"
+      "            --traffic-topk K (0 = exact: keep each PoP's K largest\n"
+      "            demands, symmetrized and renormalized — approximate,\n"
+      "            recorded in the run report)\n"
       "            --out FILE (stdout)\n"
       "  ensemble  synthesize many networks, print metric CIs\n"
       "            --count N (20) --retain-runs on|off|auto (auto: retain\n"
       "            up to 1024 runs, stream aggregates above — memory stays\n"
-      "            flat for any count) + synth options\n"
+      "            flat for any count) --exemplars N (0: keep a\n"
+      "            deterministic reservoir of N full runs while streaming;\n"
+      "            seeds land in the report's ensemble_exemplars block)\n"
+      "            + synth options\n"
       "  metrics   print metrics of an edge-list file\n"
       "            --in FILE --format text|json (text) --out FILE\n"
       "  estimate  ABC-estimate cost parameters from an edge-list file\n"
@@ -183,8 +200,10 @@ void print_usage() {
       "            incrementally (auto enables it above 16 PoPs), and\n"
       "            --affinity on|off (on) routes offspring to the worker\n"
       "            retaining their parent's routing state (work-stealing\n"
-      "            keeps threads busy); all are exact and change\n"
-      "            performance only\n";
+      "            keeps threads busy), and --dense-threshold N (512) caps\n"
+      "            the n below which dense adjacency/distance backends\n"
+      "            materialize (0 forces the matrix-free path); all are\n"
+      "            exact and change performance only\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -240,6 +259,14 @@ class CliTelemetry {
 // ---------------------------------------------------------------------------
 
 EvalEngineConfig engine_from(const CliOptions& args) {
+  // Process-wide backend switch, applied before any context or topology is
+  // built. Both thresholds move together so "matrix-free" means the whole
+  // engine: sparse adjacency AND on-demand distances.
+  if (args.has("dense-threshold")) {
+    const std::size_t threshold = args.uint("dense-threshold", 512);
+    Topology::set_dense_auto_threshold(threshold);
+    DistanceProvider::set_dense_auto_threshold(threshold);
+  }
   EvalEngineConfig engine;
   engine.cache.enabled = args.has("eval-cache") || args.has("shared-cache");
   engine.cache.shared = args.has("shared-cache");
@@ -292,6 +319,7 @@ SynthesisConfig config_from(const CliOptions& args) {
   cfg.ga.dedup = args.has("dedup");
   cfg.ga.affinity = affinity_from(args);
   cfg.overprovision = args.num("overprovision", 1.0);
+  cfg.context.gravity.topk = args.uint("traffic-topk", 0);
   cfg.engine = engine_from(args);
   // 0 = all hardware threads; any value yields bit-identical output.
   const std::size_t threads = args.uint("threads", 0);
@@ -376,6 +404,16 @@ int cmd_ensemble(const CliOptions& args) {
   } else {
     throw std::invalid_argument("--retain-runs must be on, off or auto");
   }
+  opts.reservoir = args.uint("exemplars", 0);
+  if (opts.reservoir > 0) {
+    if (opts.retain == RetainMode::kRetainAll) {
+      throw std::invalid_argument(
+          "--exemplars needs a streamed ensemble (drop --retain-runs on)");
+    }
+    // The reservoir only exists in streamed mode; make --exemplars N
+    // sufficient on its own.
+    opts.retain = RetainMode::kStreamed;
+  }
   const EnsembleResult e = generate_ensemble(synth, opts);
   auto show = [](const char* name, const ConfidenceInterval& ci) {
     std::cout << name << ": " << ci.mean << "  [" << ci.lo << ", " << ci.hi
@@ -397,6 +435,15 @@ int cmd_ensemble(const CliOptions& args) {
   show("assortativity", e.stats.assortativity);
   std::cout << "all distinct: " << (e.all_distinct ? "yes" : "no")
             << (e.pairwise_checked ? "" : " (hash-based)") << "\n";
+  const std::vector<EnsembleExemplar> exemplars = e.acc.exemplars();
+  if (!exemplars.empty()) {
+    std::cout << "exemplars (" << exemplars.size() << " of " << e.num_runs()
+              << "):";
+    for (const EnsembleExemplar& x : exemplars) {
+      std::cout << " seed=" << x.seed << " cost=" << x.best_cost;
+    }
+    std::cout << "\n";
+  }
   telemetry.finish();
   return 0;
 }
