@@ -1,5 +1,6 @@
 #include "core/synthesizer.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "cost/evaluator.h"
@@ -11,6 +12,21 @@ Synthesizer::Synthesizer(SynthesisConfig config) : config_(std::move(config)) {
   config_.ga = config_.ga.resolved();  // fail fast on bad GA settings
   if (config_.overprovision < 1.0) {
     throw std::invalid_argument("Synthesizer: overprovision must be >= 1");
+  }
+  ResilienceConfig& res = config_.engine.resilience;
+  if (res.enabled) {
+    if (!std::isfinite(res.weight) || res.weight < 0.0) {
+      throw std::invalid_argument(
+          "Synthesizer: resilience weight must be finite and >= 0");
+    }
+    if (res.scenarios == FailureScenarioSet::kDoubleSampled &&
+        res.double_samples == 0) {
+      throw std::invalid_argument(
+          "Synthesizer: double-sampled scenarios need double_samples >= 1");
+    }
+    // The failure sweep compares post-failure loads against the capacities
+    // the final Network would be provisioned with.
+    res.overprovision = config_.overprovision;
   }
 }
 
@@ -97,6 +113,7 @@ SynthesisResult Synthesizer::optimize(
   }
   result.cache = eval.cache_stats();  // includes merged GA worker caches
   result.delta = eval.delta_stats();
+  result.resilience = eval.resilience_stats();
   if (observer != nullptr) {
     RunSummary summary;
     summary.best_cost = result.ga.best_cost;
@@ -121,6 +138,24 @@ SynthesisResult Synthesizer::optimize(
                                       w.vertices_resettled});
     }
     summary.ga_steals = result.ga.steals;
+    summary.traffic_kept_mass = context.traffic.kept_mass();
+    if (config_.engine.resilience.enabled) {
+      summary.has_resilience = true;
+      const ResilienceSummary& rs = result.cost.resilience_summary;
+      summary.resilience.weight = config_.engine.resilience.weight;
+      summary.resilience.scenarios = rs.scenarios;
+      summary.resilience.disconnecting = rs.disconnecting;
+      summary.resilience.disconnected_fraction = rs.disconnected_fraction;
+      summary.resilience.mean_stretch = rs.mean_stretch;
+      summary.resilience.worst_stretch = rs.worst_stretch;
+      summary.resilience.worst_utilization = rs.worst_utilization;
+      summary.resilience.penalty = rs.penalty();
+      summary.resilience.sweeps = result.resilience.sweeps;
+      summary.resilience.delta_repairs = result.resilience.delta_repairs;
+      summary.resilience.fresh_trees = result.resilience.fresh_trees;
+      summary.resilience.vertices_resettled =
+          result.resilience.vertices_resettled;
+    }
     observer->on_run_end(summary);
   }
   return result;

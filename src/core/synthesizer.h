@@ -81,6 +81,7 @@ struct SynthesisResult {
   std::vector<HeuristicResult> heuristics;  ///< seeds, if enabled
   EvalCacheStats cache;  ///< evaluation-cache counters (zeros when disabled)
   DeltaStats delta;      ///< delta-engine counters (zeros when disabled)
+  ResilienceStats resilience;  ///< failure-sweep counters (zeros when off)
 };
 
 class Synthesizer {

@@ -44,26 +44,26 @@ CostCache::CostCache(const EvalCacheConfig& config)
     : num_sets_(cache_detail::sets_for_capacity(config.capacity, kWays)),
       table_(num_sets_ * kWays) {}
 
-std::size_t CostCache::set_base(std::uint64_t fingerprint) const {
-  // The fingerprint is already avalanched (SplitMix64-mixed edge keys), so
-  // the low bits index well.
-  return (fingerprint & (num_sets_ - 1)) * kWays;
+std::size_t CostCache::set_base(std::uint64_t key) const {
+  // The key is an already avalanched fingerprint (SplitMix64-mixed edge
+  // keys) XOR an avalanched salt, so the low bits index well.
+  return (key & (num_sets_ - 1)) * kWays;
 }
 
-CostCache::Entry* CostCache::find_entry(const Topology& g) {
-  const std::uint64_t fp = g.fingerprint();
-  Entry* base = table_.data() + set_base(fp);
+CostCache::Entry* CostCache::find_entry(const Topology& g,
+                                        std::uint64_t key) {
+  Entry* base = table_.data() + set_base(key);
   for (std::size_t w = 0; w < kWays; ++w) {
     Entry& e = base[w];
-    if (e.stamp != 0 && e.fingerprint == fp && cache_detail::matches(e, g)) {
+    if (e.stamp != 0 && e.fingerprint == key && cache_detail::matches(e, g)) {
       return &e;
     }
   }
   return nullptr;
 }
 
-const CostBreakdown* CostCache::find(const Topology& g) {
-  Entry* e = find_entry(g);
+const CostBreakdown* CostCache::find(const Topology& g, std::uint64_t salt) {
+  Entry* e = find_entry(g, g.fingerprint() ^ salt);
   if (e == nullptr) {
     ++stats_.misses;
     return nullptr;
@@ -73,11 +73,13 @@ const CostBreakdown* CostCache::find(const Topology& g) {
   return &e->value;
 }
 
-void CostCache::insert(const Topology& g, const CostBreakdown& b) {
-  Entry* victim = find_entry(g);
+void CostCache::insert(const Topology& g, const CostBreakdown& b,
+                       std::uint64_t salt) {
+  const std::uint64_t key = g.fingerprint() ^ salt;
+  Entry* victim = find_entry(g, key);
   if (victim == nullptr) {
     // Prefer an empty way; otherwise evict the set's LRU entry.
-    Entry* base = table_.data() + set_base(g.fingerprint());
+    Entry* base = table_.data() + set_base(key);
     victim = base;
     for (std::size_t w = 0; w < kWays; ++w) {
       Entry& e = base[w];
@@ -92,7 +94,7 @@ void CostCache::insert(const Topology& g, const CostBreakdown& b) {
     } else {
       ++live_;
     }
-    victim->fingerprint = g.fingerprint();
+    victim->fingerprint = key;
     victim->n = static_cast<std::uint32_t>(g.num_nodes());
     victim->m = static_cast<std::uint32_t>(g.num_edges());
     cache_detail::pack_edges(g, victim->edges);

@@ -140,11 +140,38 @@ struct DeltaStats {
   friend bool operator==(const DeltaStats&, const DeltaStats&) = default;
 };
 
+/// Counters for the resilience engine (cost/resilience.h); merged across
+/// worker clones like DeltaStats (merge_stats transfers and resets).
+struct ResilienceStats {
+  std::uint64_t sweeps = 0;         ///< candidate assessments run
+  std::uint64_t scenarios = 0;      ///< failure scenarios swept
+  std::uint64_t delta_repairs = 0;  ///< per-source trees repaired incrementally
+  std::uint64_t fresh_trees = 0;    ///< per-source trees needing a full sweep
+  std::uint64_t vertices_resettled = 0;  ///< labels recomputed incrementally
+
+  ResilienceStats& operator+=(const ResilienceStats& other) {
+    sweeps += other.sweeps;
+    scenarios += other.scenarios;
+    delta_repairs += other.delta_repairs;
+    fresh_trees += other.fresh_trees;
+    vertices_resettled += other.vertices_resettled;
+    return *this;
+  }
+
+  friend bool operator==(const ResilienceStats&,
+                         const ResilienceStats&) = default;
+};
+
 /// Evaluation-engine knobs threaded from config/CLI down to the Evaluator.
 struct EvalEngineConfig {
   EvalCacheConfig cache;
   SpAlgorithm sp_algorithm = SpAlgorithm::kAuto;
   DeltaConfig delta;
+  /// Survivability term of the objective (cost/resilience.h evaluates it).
+  /// Unlike the other engine knobs this one changes costs — resilient and
+  /// plain evaluations are therefore cached under different key salts so
+  /// the two objectives can never conflate (see Evaluator::cache_salt).
+  ResilienceConfig resilience;
 
   friend bool operator==(const EvalEngineConfig&,
                          const EvalEngineConfig&) = default;
@@ -212,12 +239,18 @@ class CostCache {
 
   /// Looks up `g`. Returns the cached breakdown after full-adjacency
   /// verification, or nullptr (counting a miss, including on fingerprint
-  /// collisions that fail verification).
-  const CostBreakdown* find(const Topology& g);
+  /// collisions that fail verification). `salt` is XORed into the lookup
+  /// key so evaluators scoring the same topologies under different
+  /// objectives (plain vs resilient) index disjoint entries: equal
+  /// topologies have equal fingerprints, so their keys differ unless the
+  /// salts match too.
+  const CostBreakdown* find(const Topology& g, std::uint64_t salt = 0);
 
-  /// Stores `b` as the breakdown for `g`, evicting the set's LRU way if
-  /// needed. Overwrites in place if `g` is already resident.
-  void insert(const Topology& g, const CostBreakdown& b);
+  /// Stores `b` as the breakdown for `g` under `salt`, evicting the set's
+  /// LRU way if needed. Overwrites in place if `g` is already resident
+  /// under the same salt.
+  void insert(const Topology& g, const CostBreakdown& b,
+              std::uint64_t salt = 0);
 
   const EvalCacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = EvalCacheStats{}; }
@@ -230,8 +263,8 @@ class CostCache {
  private:
   using Entry = cache_detail::Entry;
 
-  std::size_t set_base(std::uint64_t fingerprint) const;
-  Entry* find_entry(const Topology& g);
+  std::size_t set_base(std::uint64_t key) const;
+  Entry* find_entry(const Topology& g, std::uint64_t key);
 
   std::size_t num_sets_;
   std::vector<Entry> table_;  ///< num_sets_ * kWays ways, set-major

@@ -1,5 +1,6 @@
 #include "cost/cost_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -22,9 +23,15 @@ std::string CostParams::to_string() const {
   return os.str();
 }
 
+double ResilienceSummary::penalty() const {
+  const double overload =
+      std::min(std::max(worst_utilization - 1.0, 0.0), 10.0);
+  return disconnected_fraction + (mean_stretch - 1.0) + overload;
+}
+
 double CostBreakdown::total() const {
   if (!feasible) return std::numeric_limits<double>::infinity();
-  return existence + length + bandwidth + node;
+  return existence + length + bandwidth + node + resilience;
 }
 
 }  // namespace cold

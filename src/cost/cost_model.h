@@ -9,6 +9,7 @@
 // hub-and-spoke (k3 dominant) to cliques (k2 dominant).
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace cold {
@@ -27,13 +28,80 @@ struct CostParams {
   friend bool operator==(const CostParams&, const CostParams&) = default;
 };
 
+/// Which failure scenarios the resilience objective sweeps.
+enum class FailureScenarioSet {
+  kSingleLink,     ///< every single-link failure, lexicographic edge order
+  kDoubleSampled,  ///< all single links plus deterministically sampled
+                   ///< two-link failures (seeded by topology fingerprint)
+};
+
+/// Settings for the survivability term of the objective
+/// (`cold synth --objective resilient`). All exact: for a fixed config the
+/// resilience score of a topology is a pure function of the topology, so GA
+/// trajectories stay bit-identical across thread counts and engine knobs.
+struct ResilienceConfig {
+  bool enabled = false;  ///< off: plain cost objective, zero overhead
+  /// λ in cost + λ * penalty. weight == 0.0 with enabled == true yields
+  /// exactly the plain objective's totals (0.0 * finite penalty == 0.0).
+  double weight = 0.0;
+  FailureScenarioSet scenarios = FailureScenarioSet::kSingleLink;
+  /// Two-link scenarios drawn per candidate under kDoubleSampled (sampled
+  /// with replacement from the unordered edge pairs, SplitMix64-seeded by
+  /// the topology fingerprint — deterministic, evaluation-order-free).
+  std::size_t double_samples = 8;
+  /// Capacity factor used to provision the hypothetical links the sweep
+  /// stresses (mirrors SynthesisConfig::overprovision; the Synthesizer
+  /// keeps them in sync so post-failure utilization matches sim/failure
+  /// on the built network bit-for-bit).
+  double overprovision = 1.0;
+  /// Repair retained routing states via the delta engine instead of
+  /// running fresh per-scenario sweeps. Exact either way (the repair is
+  /// bit-identical to a fresh sweep); off exists as the bench baseline.
+  bool use_delta = true;
+
+  friend bool operator==(const ResilienceConfig&,
+                         const ResilienceConfig&) = default;
+};
+
+/// Aggregated survivability of one candidate over its failure-scenario
+/// sweep. All aggregates fold per-scenario FailureImpact values that are
+/// bit-identical to sim/failure's fresh recomputation.
+struct ResilienceSummary {
+  std::size_t scenarios = 0;     ///< scenarios swept
+  std::size_t disconnecting = 0; ///< scenarios that strand traffic
+  /// Mean over scenarios of (disconnected demand / offered demand).
+  double disconnected_fraction = 0.0;
+  /// Mean over scenarios of the demand-weighted mean stretch.
+  double mean_stretch = 1.0;
+  double worst_stretch = 1.0;      ///< max stretch over all scenarios
+  /// Max post-failure load/capacity over all scenarios; +infinity when load
+  /// appears on an unprovisioned (zero-capacity) link.
+  double worst_utilization = 0.0;
+
+  /// The scalar the weighted-sum objective charges: disconnection dominates,
+  /// stretch and overload add pressure. The utilization term is clamped to
+  /// [0, 10] so an infinite utilization (zero-capacity link carrying load)
+  /// cannot poison the objective with non-finite totals; the raw value
+  /// stays readable in worst_utilization. Always finite.
+  double penalty() const;
+
+  friend bool operator==(const ResilienceSummary&,
+                         const ResilienceSummary&) = default;
+};
+
 /// Per-component decomposition of a topology's cost.
 struct CostBreakdown {
   double existence = 0.0;  ///< k0 * |E|
   double length = 0.0;     ///< k1 * sum l_i
   double bandwidth = 0.0;  ///< k2 * sum l_i w_i
   double node = 0.0;       ///< k3 * #core nodes
+  /// λ * resilience penalty (0.0 unless the resilient objective is on).
+  double resilience = 0.0;
   bool feasible = false;   ///< false when the topology cannot carry traffic
+
+  /// The sweep aggregates behind `resilience`, embedded so cache hits (which
+  /// skip routing) still return the winner's survivability figures.
+  ResilienceSummary resilience_summary;
 
   /// Total cost; +infinity when infeasible.
   double total() const;

@@ -1,5 +1,6 @@
 #include "cost/evaluator.h"
 
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
@@ -7,6 +8,32 @@
 #include "traffic/gravity.h"
 
 namespace cold {
+
+namespace {
+
+// SplitMix64 finalizer for chaining the resilience config into a cache-key
+// salt: equal configs hash equally (clones and re-runs agree), and any
+// value-affecting difference yields an unrelated salt.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// The salt covers every config field that changes breakdown *values*;
+// use_delta is excluded on purpose — it moves time, never results, so both
+// settings may share entries.
+std::uint64_t resilience_salt(const ResilienceConfig& c) {
+  if (!c.enabled) return 0;
+  std::uint64_t s = mix64(0x52e5111e9ce0b5a7ULL);
+  s = mix64(s ^ std::bit_cast<std::uint64_t>(c.weight));
+  s = mix64(s ^ static_cast<std::uint64_t>(c.scenarios));
+  s = mix64(s ^ static_cast<std::uint64_t>(c.double_samples));
+  s = mix64(s ^ std::bit_cast<std::uint64_t>(c.overprovision));
+  return s;
+}
+
+}  // namespace
 
 Evaluator::Evaluator(Matrix<double> lengths, Matrix<double> traffic,
                      CostParams params, EvalEngineConfig engine)
@@ -50,6 +77,11 @@ void Evaluator::init_engine_state() {
     delta_store_ = std::make_unique<RoutingStateStore>(
         engine_.delta.resolved_states(n));
   }
+  if (engine_.resilience.enabled) {
+    resilience_ = std::make_unique<ResilienceEngine>(lengths_, traffic_,
+                                                     engine_.resilience);
+  }
+  cache_salt_ = resilience_salt(engine_.resilience);
 }
 
 Evaluator Evaluator::clone() const { return Evaluator(CloneTag{}, *this); }
@@ -74,6 +106,8 @@ void Evaluator::merge_stats(Evaluator& worker) {
   delta_stats_ += worker.delta_stats_;
   worker.delta_stats_ = DeltaStats{};
   merged_cache_stats_ += worker.take_cache_stats();
+  resilience_stats_ += std::exchange(worker.resilience_stats_, {});
+  if (worker.resilience_) resilience_stats_ += worker.resilience_->take_stats();
 }
 
 EvalCacheStats Evaluator::cache_stats() const {
@@ -124,7 +158,7 @@ CostBreakdown Evaluator::breakdown_impl(const Topology& g,
   ++evaluations_;
   if (shared_cache_ != nullptr) {
     CostBreakdown hit;
-    if (shared_cache_->find(g, hit)) {
+    if (shared_cache_->find(g, hit, cache_salt_)) {
       ++shared_stats_.hits;
       loads_valid_ = false;  // hit skips routing; loads_ is stale
       // The cache stores no routing state; keep any retained state for this
@@ -134,18 +168,28 @@ CostBreakdown Evaluator::breakdown_impl(const Topology& g,
     }
     ++shared_stats_.misses;
   } else if (cache_ != nullptr) {
-    if (const CostBreakdown* hit = cache_->find(g)) {
+    if (const CostBreakdown* hit = cache_->find(g, cache_salt_)) {
       loads_valid_ = false;  // hit skips routing; loads_ is stale
       if (delta_store_) delta_store_->touch(g, g.fingerprint());
       return *hit;
     }
   }
   if (delta_store_) return breakdown_delta(g, hint);
+  if (resilience_ != nullptr) {
+    // Keep the per-source trees: the failure sweep repairs them per
+    // scenario instead of recomputing the candidate's routing n times.
+    // Loads (and trees) are bit-identical to plain route_loads by contract.
+    if (!route_loads_retained(g, lengths_, traffic_, loads_,
+                              resilience_trees_, ws_, engine_.sp_algorithm)) {
+      return infeasible_breakdown(g);
+    }
+    return finish_breakdown(g, &resilience_trees_);
+  }
   if (!route_loads(g, lengths_, traffic_, loads_, ws_,
                    engine_.sp_algorithm)) {
     return infeasible_breakdown(g);  // disconnected: cannot carry traffic
   }
-  return finish_breakdown(g);
+  return finish_breakdown(g, nullptr);
 }
 
 CostBreakdown Evaluator::breakdown_delta(const Topology& g,
@@ -164,7 +208,7 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
     }
     slot.topology = g;
     delta_store_->commit(slot, g);
-    return finish_breakdown(g);
+    return finish_breakdown(g, &slot.trees);
   }
   ++delta_stats_.hits;
   const SpAlgorithm algo =
@@ -221,7 +265,7 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
   }
   slot.topology = g;
   delta_store_->commit(slot, g);
-  return finish_breakdown(g);
+  return finish_breakdown(g, &slot.trees);
 }
 
 CostBreakdown Evaluator::infeasible_breakdown(const Topology& g) {
@@ -232,7 +276,8 @@ CostBreakdown Evaluator::infeasible_breakdown(const Topology& g) {
   return b;
 }
 
-CostBreakdown Evaluator::finish_breakdown(const Topology& g) {
+CostBreakdown Evaluator::finish_breakdown(
+    const Topology& g, const std::vector<ShortestPathTree>* base_trees) {
   CostBreakdown b;
   b.feasible = true;
   loads_valid_ = true;
@@ -254,16 +299,25 @@ CostBreakdown Evaluator::finish_breakdown(const Topology& g) {
   b.length = params_.k1 * sum_len;
   b.bandwidth = params_.k2 * sum_bw_len;
   b.node = params_.k3 * static_cast<double>(g.num_core_nodes());
+  if (resilience_ != nullptr) {
+    // Sweep before the cache insert so hits return the winner's
+    // survivability figures along with its weighted term. With weight 0 the
+    // term is exactly 0.0 (the penalty is always finite), so totals — and
+    // therefore GA trajectories — match the plain objective bit-for-bit.
+    b.resilience_summary = resilience_->assess(g, base_trees, loads_);
+    b.resilience =
+        engine_.resilience.weight * b.resilience_summary.penalty();
+  }
   insert_in_cache(g, b);
   return b;
 }
 
 void Evaluator::insert_in_cache(const Topology& g, const CostBreakdown& b) {
   if (shared_cache_ != nullptr) {
-    if (shared_cache_->insert(g, b)) ++shared_stats_.evictions;
+    if (shared_cache_->insert(g, b, cache_salt_)) ++shared_stats_.evictions;
     ++shared_stats_.inserts;
   } else if (cache_ != nullptr) {
-    cache_->insert(g, b);
+    cache_->insert(g, b, cache_salt_);
   }
 }
 

@@ -27,6 +27,7 @@
 #include "cost/cost_cache.h"
 #include "cost/cost_model.h"
 #include "cost/delta_state.h"
+#include "cost/resilience.h"
 #include "net/routing.h"
 #include "util/matrix.h"
 
@@ -176,6 +177,28 @@ class Evaluator {
   /// this instance's node count. Exposed for tests.
   const RoutingStateStore* delta_store() const { return delta_store_.get(); }
 
+  /// Resilience-engine counters (merged across clones like delta_stats()):
+  /// failure-sweep assessments, scenarios swept, trees repaired vs computed
+  /// fresh. All zeros when the resilient objective is off.
+  ResilienceStats resilience_stats() const {
+    ResilienceStats s = resilience_stats_;
+    if (resilience_) s += resilience_->stats();
+    return s;
+  }
+
+  /// The resilience engine, or nullptr when the resilient objective is off.
+  /// Exposed for tests.
+  const ResilienceEngine* resilience_engine() const {
+    return resilience_.get();
+  }
+
+  /// The key salt this instance's cache operations use: 0 for the plain
+  /// objective, a hash of the resilience config otherwise — so resilient
+  /// and plain evaluations of the same topology can never conflate in a
+  /// (possibly shared) cache. use_delta is excluded: it changes timing,
+  /// never values. Exposed for tests.
+  std::uint64_t cache_salt() const { return cache_salt_; }
+
   /// The cross-worker cache, or nullptr when not in shared mode. Exposed so
   /// tests can assert clones share one instance and inspect its totals.
   const SharedCostCache* shared_cache() const { return shared_cache_.get(); }
@@ -210,7 +233,12 @@ class Evaluator {
   CostBreakdown infeasible_breakdown(const Topology& g);
 
   /// Cost terms from `loads_` for a feasibly-routed `g` + cache insert.
-  CostBreakdown finish_breakdown(const Topology& g);
+  /// `base_trees` are the candidate's retained per-source trees when the
+  /// routing path kept them (delta slots, or resilience_trees_ on the plain
+  /// path) — the resilience engine repairs per-scenario trees from them;
+  /// nullptr makes it compute its own.
+  CostBreakdown finish_breakdown(const Topology& g,
+                                 const std::vector<ShortestPathTree>* base_trees);
 
   // The context is shared across clones and never mutated after
   // construction; scratch, cache and counters are per-instance. Both
@@ -241,6 +269,16 @@ class Evaluator {
   SpUpdateWorkspace sp_ws_;
   std::vector<Edge> diff_added_;
   std::vector<Edge> diff_removed_;
+
+  // Resilience engine: per-instance scratch like the delta engine; the
+  // merged accumulator collects worker stats on merge_stats().
+  std::unique_ptr<ResilienceEngine> resilience_;  ///< null when off
+  ResilienceStats resilience_stats_;  ///< folded in from workers
+  std::uint64_t cache_salt_ = 0;
+  /// Plain-path (no delta store) retained trees when resilience is on:
+  /// route_loads_retained keeps the per-source trees here so the failure
+  /// sweep repairs them instead of recomputing the candidate's routing.
+  std::vector<ShortestPathTree> resilience_trees_;
 };
 
 }  // namespace cold

@@ -15,11 +15,11 @@ SharedCostCache::SharedCostCache(const EvalCacheConfig& config)
 
 cache_detail::Entry* SharedCostCache::find_entry(Shard& shard,
                                                  const Topology& g,
-                                                 std::uint64_t fingerprint) {
-  cache_detail::Entry* base = shard.table.data() + set_base(fingerprint);
+                                                 std::uint64_t key) {
+  cache_detail::Entry* base = shard.table.data() + set_base(key);
   for (std::size_t w = 0; w < kWays; ++w) {
     cache_detail::Entry& e = base[w];
-    if (e.stamp != 0 && e.fingerprint == fingerprint &&
+    if (e.stamp != 0 && e.fingerprint == key &&
         cache_detail::matches(e, g)) {
       return &e;
     }
@@ -27,11 +27,12 @@ cache_detail::Entry* SharedCostCache::find_entry(Shard& shard,
   return nullptr;
 }
 
-bool SharedCostCache::find(const Topology& g, CostBreakdown& out) {
-  const std::uint64_t fp = g.fingerprint();
-  Shard& shard = shard_for(fp);
+bool SharedCostCache::find(const Topology& g, CostBreakdown& out,
+                           std::uint64_t salt) {
+  const std::uint64_t key = g.fingerprint() ^ salt;
+  Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
-  cache_detail::Entry* e = find_entry(shard, g, fp);
+  cache_detail::Entry* e = find_entry(shard, g, key);
   if (e == nullptr) {
     ++shard.stats.misses;
     return false;
@@ -42,15 +43,16 @@ bool SharedCostCache::find(const Topology& g, CostBreakdown& out) {
   return true;
 }
 
-bool SharedCostCache::insert(const Topology& g, const CostBreakdown& b) {
-  const std::uint64_t fp = g.fingerprint();
-  Shard& shard = shard_for(fp);
+bool SharedCostCache::insert(const Topology& g, const CostBreakdown& b,
+                             std::uint64_t salt) {
+  const std::uint64_t key = g.fingerprint() ^ salt;
+  Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
   bool evicted = false;
-  cache_detail::Entry* victim = find_entry(shard, g, fp);
+  cache_detail::Entry* victim = find_entry(shard, g, key);
   if (victim == nullptr) {
     // Prefer an empty way; otherwise evict the set's LRU entry.
-    cache_detail::Entry* base = shard.table.data() + set_base(fp);
+    cache_detail::Entry* base = shard.table.data() + set_base(key);
     victim = base;
     for (std::size_t w = 0; w < kWays; ++w) {
       cache_detail::Entry& e = base[w];
@@ -66,7 +68,7 @@ bool SharedCostCache::insert(const Topology& g, const CostBreakdown& b) {
     } else {
       ++shard.live;
     }
-    victim->fingerprint = fp;
+    victim->fingerprint = key;
     victim->n = static_cast<std::uint32_t>(g.num_nodes());
     victim->m = static_cast<std::uint32_t>(g.num_edges());
     cache_detail::pack_edges(g, victim->edges);

@@ -46,14 +46,17 @@ class SharedCostCache {
   explicit SharedCostCache(const EvalCacheConfig& config);
 
   /// Looks up `g`; on a verified hit copies the stored breakdown into `out`
-  /// and returns true. Counts one hit or one miss on the shard.
-  bool find(const Topology& g, CostBreakdown& out);
+  /// and returns true. Counts one hit or one miss on the shard. `salt` is
+  /// XORed into the lookup key (same contract as CostCache::find) so plain
+  /// and resilient evaluations of identical topologies never conflate.
+  bool find(const Topology& g, CostBreakdown& out, std::uint64_t salt = 0);
 
-  /// Stores `b` as the breakdown for `g`, evicting the set's LRU way if
-  /// needed (overwriting in place if `g` is already resident, e.g. when two
-  /// workers missed on the same topology concurrently). Returns true iff a
-  /// live entry was evicted.
-  bool insert(const Topology& g, const CostBreakdown& b);
+  /// Stores `b` as the breakdown for `g` under `salt`, evicting the set's
+  /// LRU way if needed (overwriting in place if `g` is already resident
+  /// under the same salt, e.g. when two workers missed on the same topology
+  /// concurrently). Returns true iff a live entry was evicted.
+  bool insert(const Topology& g, const CostBreakdown& b,
+              std::uint64_t salt = 0);
 
   /// Sums the per-shard counters (locks each shard once).
   EvalCacheStats stats() const;
@@ -75,17 +78,17 @@ class SharedCostCache {
     EvalCacheStats stats;
   };
 
-  Shard& shard_for(std::uint64_t fingerprint) {
+  Shard& shard_for(std::uint64_t key) {
     // High bits pick the shard; set_base() below uses the low bits, so the
     // two indices never alias.
-    return shards_[(fingerprint >> 48) & (kShards - 1)];
+    return shards_[(key >> 48) & (kShards - 1)];
   }
-  std::size_t set_base(std::uint64_t fingerprint) const {
-    return (fingerprint & (sets_per_shard_ - 1)) * kWays;
+  std::size_t set_base(std::uint64_t key) const {
+    return (key & (sets_per_shard_ - 1)) * kWays;
   }
-  /// Returns the way storing `g` in (locked) `shard`, or nullptr.
+  /// Returns the way storing `g` under `key` in (locked) `shard`, or nullptr.
   cache_detail::Entry* find_entry(Shard& shard, const Topology& g,
-                                  std::uint64_t fingerprint);
+                                  std::uint64_t key);
 
   std::size_t sets_per_shard_;
   std::unique_ptr<Shard[]> shards_;  ///< mutexes make Shard non-movable

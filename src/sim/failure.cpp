@@ -86,6 +86,20 @@ FailureImpact simulate_link_failure(const Network& net, Edge link) {
   return assess(net, damaged, /*ignore_endpoint=*/net.num_pops());
 }
 
+FailureImpact simulate_multi_link_failure(const Network& net,
+                                          const std::vector<Edge>& links) {
+  Topology damaged = net.topology;
+  for (const Edge& link : links) {
+    // remove_edge returns false for an absent edge, which catches both
+    // never-existed links and duplicates within `links`.
+    if (!damaged.remove_edge(link.u, link.v)) {
+      throw std::invalid_argument(
+          "simulate_multi_link_failure: no such link (or duplicate)");
+    }
+  }
+  return assess(net, damaged, /*ignore_endpoint=*/net.num_pops());
+}
+
 FailureImpact simulate_pop_failure(const Network& net, NodeId pop) {
   if (pop >= net.num_pops()) {
     throw std::out_of_range("simulate_pop_failure: no such PoP");

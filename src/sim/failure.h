@@ -34,6 +34,14 @@ struct FailureImpact {
 /// compared against the *original* provisioned capacities.
 FailureImpact simulate_link_failure(const Network& net, Edge link);
 
+/// Simulates the simultaneous failure of several links (each must exist in
+/// the network; duplicates are rejected — removing an edge twice would
+/// silently assess a different scenario). Same accounting as
+/// simulate_link_failure; the reference recomputation for the resilience
+/// engine's sampled two-link scenarios (cost/resilience.h).
+FailureImpact simulate_multi_link_failure(const Network& net,
+                                          const std::vector<Edge>& links);
+
 /// Simulates the failure of a whole PoP: all its links are removed and
 /// demands sourced/sunk at it are written off (not counted as disconnected);
 /// transit through it must reroute.

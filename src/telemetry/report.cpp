@@ -68,13 +68,15 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
   // include_timing; v4 added the delta-evaluation counters; v5 added the
   // per-worker dsssp split and the affinity steal count; v6 added the
   // streamed ensemble_aggregates block; v7 added run.traffic_topk and the
-  // ensemble_exemplars reservoir block; see report.h.
-  root["version"] = 7;
+  // ensemble_exemplars reservoir block; v8 added run.traffic_kept_mass
+  // (logical) and the timing-gated result.resilience block; see report.h.
+  root["version"] = 8;
 
   JsonObject run;
   run["seed"] = static_cast<double>(report.seed);
   run["num_pops"] = report.num_pops;
   run["traffic_topk"] = report.traffic_topk;
+  run["traffic_kept_mass"] = report.traffic_kept_mass;
   root["run"] = std::move(run);
 
   JsonObject result;
@@ -106,6 +108,24 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
     }
     dsssp["workers"] = std::move(workers);
     result["dsssp"] = std::move(dsssp);
+    if (report.has_resilience) {
+      const ResilienceTelemetry& r = report.resilience;
+      JsonObject res;
+      res["weight"] = r.weight;
+      res["scenarios"] = r.scenarios;
+      res["disconnecting"] = r.disconnecting;
+      res["disconnected_fraction"] = r.disconnected_fraction;
+      res["mean_stretch"] = r.mean_stretch;
+      res["worst_stretch"] = r.worst_stretch;
+      res["worst_utilization"] = r.worst_utilization;
+      res["penalty"] = r.penalty;
+      res["sweeps"] = static_cast<double>(r.sweeps);
+      res["delta_repairs"] = static_cast<double>(r.delta_repairs);
+      res["fresh_trees"] = static_cast<double>(r.fresh_trees);
+      res["vertices_resettled"] =
+          static_cast<double>(r.vertices_resettled);
+      result["resilience"] = std::move(res);
+    }
   }
   put_wall(result, report.wall_ns, include_timing);
   root["result"] = std::move(result);
@@ -230,6 +250,9 @@ RunReport run_report_from_json(const std::string& json) {
     report.traffic_topk =
         static_cast<std::size_t>(run.field("traffic_topk").number());
   }
+  if (run.has("traffic_kept_mass")) {  // absent before v8
+    report.traffic_kept_mass = run.field("traffic_kept_mass").number();
+  }
 
   const JsonValue& result = doc.field("result");
   report.best_cost = result.field("best_cost").number();
@@ -276,6 +299,28 @@ RunReport run_report_from_json(const std::string& json) {
         report.worker_dsssp.push_back(stats);
       }
     }
+  }
+  if (result.has("resilience")) {  // v8, resilient-objective timed reports
+    const JsonValue& res = result.field("resilience");
+    ResilienceTelemetry r;
+    r.weight = res.field("weight").number();
+    r.scenarios = static_cast<std::size_t>(res.field("scenarios").number());
+    r.disconnecting =
+        static_cast<std::size_t>(res.field("disconnecting").number());
+    r.disconnected_fraction = res.field("disconnected_fraction").number();
+    r.mean_stretch = res.field("mean_stretch").number();
+    r.worst_stretch = res.field("worst_stretch").number();
+    r.worst_utilization = res.field("worst_utilization").number();
+    r.penalty = res.field("penalty").number();
+    r.sweeps = static_cast<std::uint64_t>(res.field("sweeps").number());
+    r.delta_repairs =
+        static_cast<std::uint64_t>(res.field("delta_repairs").number());
+    r.fresh_trees =
+        static_cast<std::uint64_t>(res.field("fresh_trees").number());
+    r.vertices_resettled = static_cast<std::uint64_t>(
+        res.field("vertices_resettled").number());
+    report.resilience = r;
+    report.has_resilience = true;
   }
   report.wall_ns = get_wall(result);
 
@@ -429,6 +474,9 @@ void JsonReportSink::on_run_end(const RunSummary& e) {
   report_.vertices_resettled = e.vertices_resettled;
   report_.worker_dsssp = e.worker_dsssp;
   report_.ga_steals = e.ga_steals;
+  report_.traffic_kept_mass = e.traffic_kept_mass;
+  report_.has_resilience = e.has_resilience;
+  report_.resilience = e.resilience;
 }
 
 }  // namespace cold

@@ -10,8 +10,9 @@
 //
 //   {
 //     "schema": "cold-run-report",
-//     "version": 4,
-//     "run": {"seed": u64, "num_pops": n, "traffic_topk": n},
+//     "version": 8,
+//     "run": {"seed": u64, "num_pops": n, "traffic_topk": n,
+//             "traffic_kept_mass": x},
 //     "result": {"best_cost": x, "evaluations": n,
 //                "stopped_early": bool, "stop_reason": str,
 //                ["cache": {"hits": n, "misses": n,
@@ -22,6 +23,14 @@
 //                           "steals": n,
 //                           "workers": [{"hits": n, "fallbacks": n,
 //                                        "vertices_resettled": n}, ...]}],
+//                ["resilience": {"weight": x, "scenarios": n,
+//                                "disconnecting": n,
+//                                "disconnected_fraction": x,
+//                                "mean_stretch": x, "worst_stretch": x,
+//                                "worst_utilization": x, "penalty": x,
+//                                "sweeps": n, "delta_repairs": n,
+//                                "fresh_trees": n,
+//                                "vertices_resettled": n}],
 //                ["wall_ns": n]},
 //     "phases": [{"name": str, "evaluations": n,
 //                 ["cache_hits": n, "cache_misses": n, "cache_inserts": n,
@@ -63,8 +72,14 @@
 // deterministic reservoir sample (run index, seed, best cost, network
 // size per exemplar, sorted by index), present only when a reservoir was
 // configured and populated. Both are logical content, emitted even
-// timing-free. The parser accepts all seven versions — missing
-// counters/objects read back as zero/empty; the writer always emits v7.
+// timing-free; v8 added "run.traffic_kept_mass" (the demand-mass fraction
+// the top-K truncation kept, 1.0 = exact — logical content, always
+// emitted) and the "result.resilience" block for resilient-objective runs
+// (the winner's survivability aggregates plus the run's sweep counters —
+// timing-gated like the other engine counters, since the delta/fresh split
+// varies with engine knobs while costs do not). The parser accepts all
+// eight versions — missing counters/objects read back as zero/empty/1.0;
+// the writer always emits v8.
 //
 // Round-trips through io/json: run_report_from_json(run_report_to_json(r))
 // reproduces every field (wall times included when serialized with timing).
@@ -83,6 +98,7 @@ struct RunReport {
   std::uint64_t seed = 0;
   std::size_t num_pops = 0;
   std::size_t traffic_topk = 0;  ///< gravity top-K, 0 = exact (schema v7)
+  double traffic_kept_mass = 1.0;  ///< kept demand-mass fraction (schema v8)
 
   double best_cost = 0.0;
   std::size_t evaluations = 0;
@@ -99,6 +115,8 @@ struct RunReport {
   std::uint64_t vertices_resettled = 0;
   std::vector<WorkerDeltaStats> worker_dsssp;  ///< per-worker split (v5)
   std::uint64_t ga_steals = 0;  ///< affinity-scheduler steals (v5)
+  bool has_resilience = false;  ///< resilience block present (v8)
+  ResilienceTelemetry resilience;
 
   std::vector<PhaseStats> phases;           ///< in completion order
   std::vector<HeuristicDone> heuristics;    ///< in run order

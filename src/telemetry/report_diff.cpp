@@ -85,6 +85,8 @@ ReportDiff diff_run_reports(const RunReport& a, const RunReport& b) {
   logical.field("run.seed", a.seed, b.seed);
   logical.field("run.num_pops", a.num_pops, b.num_pops);
   logical.field("run.traffic_topk", a.traffic_topk, b.traffic_topk);
+  logical.field("run.traffic_kept_mass", a.traffic_kept_mass,
+                b.traffic_kept_mass);
   logical.field("result.best_cost", a.best_cost, b.best_cost);
   logical.field("result.evaluations", a.evaluations, b.evaluations);
   logical.field("result.stopped_early", a.stopped_early, b.stopped_early);
@@ -101,6 +103,34 @@ ReportDiff diff_run_reports(const RunReport& a, const RunReport& b) {
   perf.field("result.dsssp.fallbacks", a.dsssp_fallbacks, b.dsssp_fallbacks);
   perf.field("result.dsssp.vertices_resettled", a.vertices_resettled,
              b.vertices_resettled);
+
+  // The resilience block is perf data end to end: a resilient-vs-plain pair
+  // at weight 0 must stay logically equal (identical costs), so even the
+  // block's presence only counts as perf drift.
+  perf.field("result.resilience.present", a.has_resilience, b.has_resilience);
+  if (a.has_resilience && b.has_resilience) {
+    const ResilienceTelemetry& x = a.resilience;
+    const ResilienceTelemetry& y = b.resilience;
+    perf.field("result.resilience.weight", x.weight, y.weight);
+    perf.field("result.resilience.scenarios", x.scenarios, y.scenarios);
+    perf.field("result.resilience.disconnecting", x.disconnecting,
+               y.disconnecting);
+    perf.field("result.resilience.disconnected_fraction",
+               x.disconnected_fraction, y.disconnected_fraction);
+    perf.field("result.resilience.mean_stretch", x.mean_stretch,
+               y.mean_stretch);
+    perf.field("result.resilience.worst_stretch", x.worst_stretch,
+               y.worst_stretch);
+    perf.field("result.resilience.worst_utilization", x.worst_utilization,
+               y.worst_utilization);
+    perf.field("result.resilience.penalty", x.penalty, y.penalty);
+    perf.field("result.resilience.sweeps", x.sweeps, y.sweeps);
+    perf.field("result.resilience.delta_repairs", x.delta_repairs,
+               y.delta_repairs);
+    perf.field("result.resilience.fresh_trees", x.fresh_trees, y.fresh_trees);
+    perf.field("result.resilience.vertices_resettled", x.vertices_resettled,
+               y.vertices_resettled);
+  }
 
   diff_array(logical, out.logical, "phases", a.phases, b.phases,
              [&](const std::string& p, const PhaseStats& x,

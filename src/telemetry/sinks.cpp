@@ -173,6 +173,20 @@ void ProgressSink::on_run_end(const RunSummary& e) {
     os_ << " — stopped early (" << to_string(e.stop_reason) << ")";
   }
   os_ << "\n";
+  if (e.traffic_kept_mass < 1.0) {
+    os_ << "[cold]   traffic top-k kept " << std::fixed
+        << std::setprecision(3) << (e.traffic_kept_mass * 100.0)
+        << "% of demand mass\n";
+    os_.unsetf(std::ios::fixed);
+  }
+  if (e.has_resilience) {
+    const ResilienceTelemetry& r = e.resilience;
+    os_ << "[cold]   resilience: penalty " << r.penalty << " over "
+        << r.scenarios << " scenarios (" << r.disconnecting
+        << " disconnecting), sweeps " << r.sweeps << ", delta repairs "
+        << r.delta_repairs << "/" << (r.delta_repairs + r.fresh_trees)
+        << "\n";
+  }
 }
 
 }  // namespace cold

@@ -182,6 +182,27 @@ struct WorkerDeltaStats {
   std::uint64_t vertices_resettled = 0;
 };
 
+/// Survivability aggregates of a resilient-objective run: the winning
+/// topology's ResilienceSummary plus the run's sweep counters. Mirrors the
+/// cost/resilience.h types as plain fields so the telemetry layer stays
+/// independent of cost/ headers (like EngineCounters). Performance data:
+/// which candidate wins is logical (it shows in best_cost), but the sweep
+/// counters vary with engine knobs, so the whole block is timing-gated.
+struct ResilienceTelemetry {
+  double weight = 0.0;       ///< λ of the weighted-sum objective
+  std::size_t scenarios = 0; ///< failure scenarios of the winner's sweep
+  std::size_t disconnecting = 0;
+  double disconnected_fraction = 0.0;
+  double mean_stretch = 1.0;
+  double worst_stretch = 1.0;
+  double worst_utilization = 0.0;
+  double penalty = 0.0;      ///< the winner's unweighted penalty
+  std::uint64_t sweeps = 0;        ///< candidate assessments run
+  std::uint64_t delta_repairs = 0; ///< per-source trees repaired in place
+  std::uint64_t fresh_trees = 0;   ///< per-source trees swept fully
+  std::uint64_t vertices_resettled = 0;
+};
+
 struct RunSummary {
   double best_cost = 0.0;
   std::size_t evaluations = 0;  ///< total objective evaluations in the run
@@ -203,6 +224,13 @@ struct RunSummary {
   /// Scoring items run off their preferred worker under affinity
   /// scheduling (0 when affinity never engaged). Performance data.
   std::uint64_t ga_steals = 0;
+  /// Fraction of the exact gravity demand mass the run's --traffic-topk
+  /// truncation kept (1.0 exact / no truncation). Logical content like
+  /// traffic_topk: it pins down which demands the run optimized against.
+  double traffic_kept_mass = 1.0;
+  /// Resilient-objective aggregates; meaningful only when has_resilience.
+  bool has_resilience = false;
+  ResilienceTelemetry resilience;
 };
 
 // ---------------------------------------------------------------------------

@@ -170,6 +170,7 @@ CompressedTraffic gravity_traffic(const std::vector<double>& populations,
     }
     // Renormalize so the truncated matrix offers the exact model's total.
     if (kept_total > 0.0) kept_scale = exact_total / kept_total;
+    if (exact_total > 0.0) d->kept_mass = kept_total / exact_total;
   }
 
   std::size_t nnz = 0;

@@ -112,6 +112,12 @@ class CompressedTraffic {
   /// The top-K truncation this matrix was built with; 0 means exact.
   std::size_t topk() const { return data_ != nullptr ? data_->topk : 0; }
 
+  /// Fraction of the exact gravity total retained by the top-K truncation
+  /// before renormalization; 1.0 for exact matrices. Reported per run so
+  /// --traffic-topk users can see how much demand mass the sparsification
+  /// actually kept.
+  double kept_mass() const { return data_ != nullptr ? data_->kept_mass : 1.0; }
+
   /// Content equality (shared-core fast path first).
   friend bool operator==(const CompressedTraffic& a,
                          const CompressedTraffic& b);
@@ -127,6 +133,7 @@ class CompressedTraffic {
     std::size_t n = 0;
     std::size_t topk = 0;
     double total = 0.0;
+    double kept_mass = 1.0;  ///< kept_total / exact_total under top-K
     std::vector<std::size_t> off;       ///< n + 1 row offsets
     std::vector<std::uint32_t> col;     ///< ascending within each row
     std::vector<double> val;

@@ -501,7 +501,7 @@ TEST(RunReport, EmitsV5WithCacheCountersWhenCacheEnabled) {
   EXPECT_EQ(report.cache_misses, report.cache_inserts);  // every miss inserts
 
   const std::string json = run_report_to_json(report);
-  EXPECT_EQ(parse_json(json).field("version").number(), 7.0);
+  EXPECT_EQ(parse_json(json).field("version").number(), 8.0);
   const RunReport parsed = run_report_from_json(json);
   EXPECT_EQ(parsed.cache_hits, report.cache_hits);
   EXPECT_EQ(parsed.cache_misses, report.cache_misses);
@@ -621,7 +621,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   ASSERT_NE(end, std::string::npos);
   ASSERT_EQ(json[end + 1], ',');
   json.erase(cache_pos, end + 2 - cache_pos);
-  const std::size_t ver = json.find("\"version\": 7");
+  const std::size_t ver = json.find("\"version\": 8");
   ASSERT_NE(ver, std::string::npos);
   json[ver + std::string("\"version\": ").size()] = '1';
 
@@ -634,7 +634,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   EXPECT_EQ(parsed.cache_evictions, 0u);
   // Re-serializing a v1-sourced report upgrades it to the current schema.
   EXPECT_EQ(parse_json(run_report_to_json(parsed)).field("version").number(),
-            7.0);
+            8.0);
 }
 
 TEST(RunReport, AcceptsV3ReportsWithoutDssspCounters) {
@@ -946,6 +946,130 @@ TEST(ReportDiff, SameRunDssspOnVsOffIsLogicallyEqual) {
   }
   const ReportDiff d = diff_run_reports(reports[0], reports[1]);
   EXPECT_TRUE(d.logically_equal());
+}
+
+// ---------------------------------------------------------------------------
+// Schema v8: run.traffic_kept_mass + the result.resilience block.
+// ---------------------------------------------------------------------------
+
+TEST(RunReport, TrafficKeptMassRoundTripsAsLogicalContent) {
+  SynthesisConfig cfg = small_config();
+  cfg.context.gravity.topk = 2;  // coarse truncation: mass must drop
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(3);
+
+  const RunReport& report = sink.report();
+  EXPECT_GT(report.traffic_kept_mass, 0.0);
+  EXPECT_LT(report.traffic_kept_mass, 1.0);
+
+  // Logical content: the field survives both timed and timing-free trips.
+  for (const bool timing : {true, false}) {
+    const RunReport parsed =
+        run_report_from_json(run_report_to_json(report, timing));
+    EXPECT_EQ(parsed.traffic_kept_mass, report.traffic_kept_mass)
+        << "timing=" << timing;
+  }
+
+  // An exact-traffic run records the full mass.
+  SynthesisConfig exact = small_config();
+  JsonReportSink exact_sink;
+  exact.observer = &exact_sink;
+  Synthesizer(exact).synthesize(3);
+  EXPECT_EQ(exact_sink.report().traffic_kept_mass, 1.0);
+}
+
+TEST(RunReport, ResilienceBlockRoundTripsWhenTimed) {
+  SynthesisConfig cfg = small_config();
+  cfg.engine.resilience.enabled = true;
+  cfg.engine.resilience.weight = 0.5;
+  JsonReportSink sink;
+  cfg.observer = &sink;
+  Synthesizer(cfg).synthesize(5);
+
+  const RunReport& report = sink.report();
+  ASSERT_TRUE(report.has_resilience);
+  EXPECT_EQ(report.resilience.weight, 0.5);
+  EXPECT_GT(report.resilience.scenarios, 0u);
+  EXPECT_GT(report.resilience.sweeps, 0u);
+
+  const RunReport timed = run_report_from_json(
+      run_report_to_json(report, /*include_timing=*/true));
+  ASSERT_TRUE(timed.has_resilience);
+  EXPECT_EQ(timed.resilience.weight, report.resilience.weight);
+  EXPECT_EQ(timed.resilience.scenarios, report.resilience.scenarios);
+  EXPECT_EQ(timed.resilience.disconnecting, report.resilience.disconnecting);
+  EXPECT_EQ(timed.resilience.disconnected_fraction,
+            report.resilience.disconnected_fraction);
+  EXPECT_EQ(timed.resilience.mean_stretch, report.resilience.mean_stretch);
+  EXPECT_EQ(timed.resilience.worst_stretch, report.resilience.worst_stretch);
+  EXPECT_EQ(timed.resilience.worst_utilization,
+            report.resilience.worst_utilization);
+  EXPECT_EQ(timed.resilience.penalty, report.resilience.penalty);
+  EXPECT_EQ(timed.resilience.sweeps, report.resilience.sweeps);
+  EXPECT_EQ(timed.resilience.delta_repairs, report.resilience.delta_repairs);
+  EXPECT_EQ(timed.resilience.fresh_trees, report.resilience.fresh_trees);
+  EXPECT_EQ(timed.resilience.vertices_resettled,
+            report.resilience.vertices_resettled);
+
+  // Timing-free reports drop the block like every other perf counter.
+  const std::string bare =
+      run_report_to_json(report, /*include_timing=*/false);
+  EXPECT_EQ(bare.find("resilience"), std::string::npos);
+  EXPECT_FALSE(run_report_from_json(bare).has_resilience);
+}
+
+TEST(RunReport, AcceptsV7ReportsWithoutResilienceFields) {
+  // Hand-built v7 document: no run.traffic_kept_mass, no result.resilience
+  // (v8 additions). They must parse back as 1.0 / absent.
+  const std::string json = R"({"schema": "cold-run-report", "version": 7,
+    "run": {"seed": 9, "num_pops": 6, "traffic_topk": 3},
+    "result": {"best_cost": 2.25, "evaluations": 50, "stopped_early": false,
+               "stop_reason": "none",
+               "cache": {"hits": 12, "misses": 38, "inserts": 38,
+                         "evictions": 4},
+               "dedup_skipped": 5, "wall_ns": 1000},
+    "phases": [{"name": "ga", "evaluations": 50, "wall_ns": 900}],
+    "heuristics": [],
+    "generations": [],
+    "ensemble_runs": []})";
+  const RunReport parsed = run_report_from_json(json);
+  EXPECT_EQ(parsed.traffic_topk, 3u);
+  EXPECT_EQ(parsed.traffic_kept_mass, 1.0);
+  EXPECT_FALSE(parsed.has_resilience);
+  EXPECT_EQ(parsed.resilience.scenarios, 0u);
+  // Re-serializing upgrades to v8 with the kept-mass default made explicit.
+  const std::string upgraded = run_report_to_json(parsed);
+  EXPECT_EQ(parse_json(upgraded).field("version").number(), 8.0);
+  EXPECT_EQ(parse_json(upgraded)
+                .field("run")
+                .field("traffic_kept_mass")
+                .number(),
+            1.0);
+}
+
+TEST(ReportDiff, ResilientAtZeroWeightVsPlainIsLogicallyEqual) {
+  // The nightly equivalence: a resilient-objective run with weight 0 adds
+  // an exactly-zero penalty to every candidate, so it must follow the
+  // plain objective's trajectory — the reports may differ only in perf
+  // fields (the resilience block's presence among them).
+  std::vector<RunReport> reports;
+  for (const bool resilient : {false, true}) {
+    SynthesisConfig cfg = small_config();
+    cfg.engine.resilience.enabled = resilient;
+    cfg.engine.resilience.weight = 0.0;
+    JsonReportSink sink;
+    cfg.observer = &sink;
+    Synthesizer(cfg).synthesize(4);
+    reports.push_back(sink.report());
+  }
+  const ReportDiff d = diff_run_reports(reports[0], reports[1]);
+  EXPECT_TRUE(d.logically_equal());
+  bool saw_presence = false;
+  for (const ReportDiffEntry& e : d.perf) {
+    if (e.path == "result.resilience.present") saw_presence = true;
+  }
+  EXPECT_TRUE(saw_presence);
 }
 
 }  // namespace

@@ -108,7 +108,18 @@ std::vector<OptionSpec> synth_specs() {
                         {"overprovision", true, "O (1)"},
                         {"traffic-topk", true,
                          "K (0 = exact): keep each PoP's K largest demands, "
-                         "symmetrized and renormalized"}},
+                         "symmetrized and renormalized"},
+                        {"objective", true,
+                         "cost|resilient (cost): resilient adds a weighted "
+                         "survivability penalty from delta-powered failure "
+                         "sweeps"},
+                        {"resilience-weight", true,
+                         "L (1): weight of the survivability penalty "
+                         "(resilient objective; 0 reproduces plain costs)"},
+                        {"failure-scenarios", true,
+                         "single|double-sampled (single): every single-link "
+                         "failure, plus deterministically sampled two-link "
+                         "failures"}},
                        kCostOpts,
                        kGaOpts,
                        kEngineOpts,
@@ -166,6 +177,11 @@ void print_usage() {
       "            --traffic-topk K (0 = exact: keep each PoP's K largest\n"
       "            demands, symmetrized and renormalized — approximate,\n"
       "            recorded in the run report)\n"
+      "            --objective cost|resilient (cost): resilient optimizes\n"
+      "            cost + L * survivability penalty, scored by\n"
+      "            delta-powered failure sweeps (--resilience-weight L (1),\n"
+      "            --failure-scenarios single|double-sampled (single));\n"
+      "            not available for grow\n"
       "            --out FILE (stdout)\n"
       "  ensemble  synthesize many networks, print metric CIs\n"
       "            --count N (20) --retain-runs on|off|auto (auto: retain\n"
@@ -321,6 +337,30 @@ SynthesisConfig config_from(const CliOptions& args) {
   cfg.overprovision = args.num("overprovision", 1.0);
   cfg.context.gravity.topk = args.uint("traffic-topk", 0);
   cfg.engine = engine_from(args);
+  const std::string objective = args.get("objective", "cost");
+  if (objective == "resilient") {
+    cfg.engine.resilience.enabled = true;
+    cfg.engine.resilience.weight = args.num("resilience-weight", 1.0);
+    const std::string scenarios = args.get("failure-scenarios", "single");
+    if (scenarios == "single") {
+      cfg.engine.resilience.scenarios = FailureScenarioSet::kSingleLink;
+    } else if (scenarios == "double-sampled") {
+      cfg.engine.resilience.scenarios = FailureScenarioSet::kDoubleSampled;
+    } else {
+      throw std::invalid_argument(
+          "unknown --failure-scenarios: " + scenarios +
+          " (expected single or double-sampled)");
+    }
+  } else if (objective == "cost") {
+    if (args.has("resilience-weight") || args.has("failure-scenarios")) {
+      throw std::invalid_argument(
+          "--resilience-weight/--failure-scenarios need --objective "
+          "resilient");
+    }
+  } else {
+    throw std::invalid_argument("unknown --objective: " + objective +
+                                " (expected cost or resilient)");
+  }
   // 0 = all hardware threads; any value yields bit-identical output.
   const std::size_t threads = args.uint("threads", 0);
   cfg.ga.parallel.num_threads = threads;
