@@ -35,6 +35,13 @@
 //      round-robin. Gate: the affinity delta hit rate strictly beats
 //      round-robin, with an absolute floor; per-worker hit/fallback splits
 //      go into the artifact.
+//   8. Multipath (ECMP) throughput: evaluate the n = 80 m ~ n instance with
+//      the traffic engine forced single-path vs ECMP DAG splitting, both
+//      with zero objective weights. Euclidean instances have unique
+//      shortest paths, so the ECMP costs must be bit-identical to the
+//      single-path reference; the gate floors the evals/sec ratio (ECMP
+//      pays for DAG predecessor enumeration plus the split scatter on top
+//      of every sweep).
 //
 // Every configuration is also checked for bit-identical costs (the engine's
 // exactness contract); any mismatch fails the run. Results — including a
@@ -200,6 +207,53 @@ SparseSample measure_sparse_vs_dense(std::size_t n, std::size_t reps) {
     }
   }
   s.identical = dense_cost == sparse_cost;
+  return s;
+}
+
+struct MultipathSample {
+  std::size_t pops = 0;
+  std::size_t edges = 0;
+  double single_eps = 0.0;  // evals/sec, multipath off
+  double ecmp_eps = 0.0;    // evals/sec, ECMP DAG splitting
+  bool identical = false;   // zero-weight ECMP cost == single-path cost
+};
+
+/// Times single-path vs ECMP evaluation on an m ~ n instance with zero
+/// objective weights. Random euclidean point sets make every shortest path
+/// unique, so the engine's equivalence contract applies: the ECMP sweep must
+/// reproduce the single-path costs bit for bit, and the ratio isolates the
+/// DAG-extraction + split-scatter overhead.
+MultipathSample measure_multipath(std::size_t n, std::size_t reps) {
+  ContextConfig ctx_cfg;
+  ctx_cfg.num_pops = n;
+  Rng ctx_rng(2 + n);  // same instance the sparse-vs-dense section times
+  const Context ctx = generate_context(ctx_cfg, ctx_rng);
+  const Topology g = sparse_instance(ctx, 2 + n);
+
+  MultipathSample s;
+  s.pops = n;
+  s.edges = g.num_edges();
+
+  const CostParams costs{10.0, 1.0, 4e-4, 10.0};
+  double single_cost = 0.0, ecmp_cost = 0.0;
+  for (const MultipathMode mode : {MultipathMode::kOff, MultipathMode::kEcmp}) {
+    EvalEngineConfig engine;
+    engine.multipath.mode = mode;
+    Evaluator eval(ctx.distances, ctx.traffic, costs, engine);
+    eval.cost(g);  // warm the workspace outside the timed region
+    double last = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) last = eval.cost(g);
+    const double eps = static_cast<double>(reps) / seconds_since(t0);
+    if (mode == MultipathMode::kOff) {
+      s.single_eps = eps;
+      single_cost = last;
+    } else {
+      s.ecmp_eps = eps;
+      ecmp_cost = last;
+    }
+  }
+  s.identical = single_cost == ecmp_cost;
   return s;
 }
 
@@ -515,6 +569,16 @@ int main(int argc, char** argv) {
       aff_workers, 100.0 * aff_rr.hit_rate, 100.0 * aff_on.hit_rate,
       aff_rr.identical && aff_on.identical ? "yes" : "NO");
 
+  // --- Multipath (ECMP) vs single-path throughput. -------------------------
+  const MultipathSample mp =
+      measure_multipath(80, cold::bench::trials(60, 300));
+  const double mp_ratio = mp.ecmp_eps / mp.single_eps;
+  std::printf(
+      "multipath n=%zu m=%zu  single %8.1f evals/s | ecmp %8.1f evals/s | "
+      "%.2fx  identical=%s\n",
+      mp.pops, mp.edges, mp.single_eps, mp.ecmp_eps, mp_ratio,
+      mp.identical ? "yes" : "NO");
+
   // --- Gates. --------------------------------------------------------------
   cold::bench::GateSet gates;
   gates.require_at_least("cache_speedup", speedup, 3.0);
@@ -543,6 +607,8 @@ int main(int argc, char** argv) {
   gates.require_at_least("affinity_hit_rate", aff_on.hit_rate, 0.1);
   gates.require_at_least("affinity_hit_rate_gain",
                          aff_on.hit_rate / aff_rr.hit_rate, 1.2);
+  gates.require_at_least("multipath_n80_ratio", mp_ratio, 0.35);
+  gates.require("multipath_n80_identical", mp.identical);
   std::printf("\n");
   gates.print();
 
@@ -622,6 +688,13 @@ int main(int argc, char** argv) {
       }
       std::fprintf(f, "]%s\n", s->affinity ? "},"  : ",");
     }
+    std::fprintf(f,
+                 "  \"multipath\": {\"pops\": %zu, \"edges\": %zu, "
+                 "\"evals_per_sec_single\": %.1f, "
+                 "\"evals_per_sec_ecmp\": %.1f, \"ratio\": %.3f, "
+                 "\"identical_costs\": %s},\n",
+                 mp.pops, mp.edges, mp.single_eps, mp.ecmp_eps, mp_ratio,
+                 mp.identical ? "true" : "false");
     std::fprintf(f, "  \"gates\": %s\n}\n", gates.json().c_str());
     std::fclose(f);
     std::printf("\nwrote %s\n", path.c_str());

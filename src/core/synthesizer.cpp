@@ -28,6 +28,18 @@ Synthesizer::Synthesizer(SynthesisConfig config) : config_(std::move(config)) {
     // the final Network would be provisioned with.
     res.overprovision = config_.overprovision;
   }
+  const MultipathConfig& mp = config_.engine.multipath;
+  if (res.enabled && mp.enabled()) {
+    throw std::invalid_argument(
+        "Synthesizer: the resilient objective and multipath routing are "
+        "mutually exclusive (the failure sweeps assess single-path routing)");
+  }
+  for (const double w : {mp.max_util_weight, mp.oversub_weight}) {
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument(
+          "Synthesizer: multipath objective weights must be finite and >= 0");
+    }
+  }
 }
 
 SynthesisResult Synthesizer::synthesize(std::uint64_t seed) const {
@@ -107,13 +119,19 @@ SynthesisResult Synthesizer::optimize(
   {
     PhaseTimer timer(observer, Phase::kAssembly, eval_count, engine_count);
     result.cost = eval.evaluate(result.ga.best).breakdown;
+    NetworkBuildOptions build_options;
+    build_options.overprovision = config_.overprovision;
+    // Provision capacities for the loads the objective optimized: the built
+    // network's link loads are the winner's evaluation loads bit for bit.
+    build_options.multipath = config_.engine.multipath.mode;
     result.network =
         build_network(result.ga.best, context.locations, context.populations,
-                      context.traffic, config_.overprovision);
+                      context.traffic, build_options);
   }
   result.cache = eval.cache_stats();  // includes merged GA worker caches
   result.delta = eval.delta_stats();
   result.resilience = eval.resilience_stats();
+  result.multipath = eval.multipath_stats();
   if (observer != nullptr) {
     RunSummary summary;
     summary.best_cost = result.ga.best_cost;
@@ -155,6 +173,20 @@ SynthesisResult Synthesizer::optimize(
       summary.resilience.fresh_trees = result.resilience.fresh_trees;
       summary.resilience.vertices_resettled =
           result.resilience.vertices_resettled;
+    }
+    if (config_.engine.multipath.enabled()) {
+      summary.has_multipath = true;
+      const MultipathConfig& mp = config_.engine.multipath;
+      const MultipathSummary& ms = result.cost.multipath_summary;
+      summary.multipath.mode = multipath_mode_name(mp.mode);
+      summary.multipath.max_util_weight = mp.max_util_weight;
+      summary.multipath.oversub_weight = mp.oversub_weight;
+      summary.multipath.reference_capacity = ms.reference_capacity;
+      summary.multipath.max_utilization = ms.max_utilization;
+      summary.multipath.oversubscription = ms.oversubscription;
+      summary.multipath.sweeps = result.multipath.sweeps;
+      summary.multipath.branch_points = result.multipath.branch_points;
+      summary.multipath.dag_edges = result.multipath.dag_edges;
     }
     observer->on_run_end(summary);
   }

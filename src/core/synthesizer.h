@@ -82,6 +82,7 @@ struct SynthesisResult {
   EvalCacheStats cache;  ///< evaluation-cache counters (zeros when disabled)
   DeltaStats delta;      ///< delta-engine counters (zeros when disabled)
   ResilienceStats resilience;  ///< failure-sweep counters (zeros when off)
+  MultipathStats multipath;    ///< multipath-routing counters (zeros when off)
 };
 
 class Synthesizer {

@@ -34,6 +34,7 @@
 #include "cost/cost_model.h"
 #include "graph/shortest_paths.h"
 #include "graph/topology.h"
+#include "net/multipath.h"
 
 namespace cold {
 
@@ -162,6 +163,31 @@ struct ResilienceStats {
                          const ResilienceStats&) = default;
 };
 
+/// Multipath routing settings for the evaluation engine
+/// (`cold synth --multipath off|ecmp|wcmp`). The mode changes how loads are
+/// computed (net/multipath.h), and the weights add utilization terms to the
+/// objective — so, like ResilienceConfig, an active config salts the cache
+/// key (see Evaluator::cache_salt). On unique-shortest-path topologies ECMP
+/// loads — and therefore costs at zero weights — are bit-identical to the
+/// single-path engine's.
+struct MultipathConfig {
+  MultipathMode mode = MultipathMode::kOff;
+  /// Objective weight on max_e load_e / reference_capacity. 0.0 adds an
+  /// exact 0.0 term (0.0 * finite == 0.0) — totals match the plain
+  /// objective bit for bit.
+  double max_util_weight = 0.0;
+  /// Objective weight on sum_e max(0, load_e / reference_capacity - 1).
+  double oversub_weight = 0.0;
+
+  /// True iff the engine routes over the shortest-path DAG (the weights
+  /// alone do nothing without a mode: single-path loads feed no
+  /// MultipathSummary).
+  bool enabled() const { return mode != MultipathMode::kOff; }
+
+  friend bool operator==(const MultipathConfig&,
+                         const MultipathConfig&) = default;
+};
+
 /// Evaluation-engine knobs threaded from config/CLI down to the Evaluator.
 struct EvalEngineConfig {
   EvalCacheConfig cache;
@@ -172,6 +198,10 @@ struct EvalEngineConfig {
   /// plain evaluations are therefore cached under different key salts so
   /// the two objectives can never conflate (see Evaluator::cache_salt).
   ResilienceConfig resilience;
+  /// Multipath routing mode + utilization objective terms. Mutually
+  /// exclusive with the resilient objective for now (the failure sweeps
+  /// assess single-path routing; the Evaluator rejects the combination).
+  MultipathConfig multipath;
 
   friend bool operator==(const EvalEngineConfig&,
                          const EvalEngineConfig&) = default;

@@ -31,7 +31,7 @@ double ResilienceSummary::penalty() const {
 
 double CostBreakdown::total() const {
   if (!feasible) return std::numeric_limits<double>::infinity();
-  return existence + length + bandwidth + node + resilience;
+  return existence + length + bandwidth + node + resilience + multipath;
 }
 
 }  // namespace cold

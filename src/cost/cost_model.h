@@ -89,6 +89,25 @@ struct ResilienceSummary {
                          const ResilienceSummary&) = default;
 };
 
+/// Utilization aggregates of one candidate's routed loads, computed by the
+/// evaluator when a multipath objective term is active (net/multipath.h).
+/// Pure functions of the topology for a fixed engine config, so caching and
+/// threading never change them.
+struct MultipathSummary {
+  /// Mean per-link load — the reference capacity the utilization terms are
+  /// normalized by (a topology-relative yardstick needing no absolute
+  /// capacity input). 0.0 on edgeless or zero-traffic inputs.
+  double reference_capacity = 0.0;
+  /// max_e load_e / reference_capacity (0.0 when reference_capacity is 0).
+  double max_utilization = 0.0;
+  /// sum_e max(0, load_e / reference_capacity - 1): total fractional
+  /// overload above the reference, lexicographic edge order.
+  double oversubscription = 0.0;
+
+  friend bool operator==(const MultipathSummary&,
+                         const MultipathSummary&) = default;
+};
+
 /// Per-component decomposition of a topology's cost.
 struct CostBreakdown {
   double existence = 0.0;  ///< k0 * |E|
@@ -97,11 +116,18 @@ struct CostBreakdown {
   double node = 0.0;       ///< k3 * #core nodes
   /// λ * resilience penalty (0.0 unless the resilient objective is on).
   double resilience = 0.0;
+  /// Weighted max-utilization + oversubscription terms (0.0 unless a
+  /// multipath objective weight is set).
+  double multipath = 0.0;
   bool feasible = false;   ///< false when the topology cannot carry traffic
 
   /// The sweep aggregates behind `resilience`, embedded so cache hits (which
   /// skip routing) still return the winner's survivability figures.
   ResilienceSummary resilience_summary;
+
+  /// The utilization aggregates behind `multipath`, embedded for the same
+  /// cache-hit reason.
+  MultipathSummary multipath_summary;
 
   /// Total cost; +infinity when infeasible.
   double total() const;

@@ -33,6 +33,18 @@ std::uint64_t resilience_salt(const ResilienceConfig& c) {
   return s;
 }
 
+// Same contract for the multipath config: an active mode changes loads (and
+// the weights change totals), so it must index disjoint cache entries. Off
+// salts to 0 — plain evaluations keep their historical keys.
+std::uint64_t multipath_salt(const MultipathConfig& c) {
+  if (!c.enabled()) return 0;
+  std::uint64_t s = mix64(0x9e6b1a8fd2c45e13ULL);
+  s = mix64(s ^ static_cast<std::uint64_t>(c.mode));
+  s = mix64(s ^ std::bit_cast<std::uint64_t>(c.max_util_weight));
+  s = mix64(s ^ std::bit_cast<std::uint64_t>(c.oversub_weight));
+  return s;
+}
+
 }  // namespace
 
 Evaluator::Evaluator(Matrix<double> lengths, Matrix<double> traffic,
@@ -77,11 +89,22 @@ void Evaluator::init_engine_state() {
     delta_store_ = std::make_unique<RoutingStateStore>(
         engine_.delta.resolved_states(n));
   }
+  if (engine_.resilience.enabled && engine_.multipath.enabled()) {
+    // The failure sweeps assess single-path routing; charging a multipath
+    // objective on top would mix models. Lift when the resilience engine
+    // learns to repair DAG loads (see ROADMAP follow-ons).
+    throw std::invalid_argument(
+        "Evaluator: the resilient objective and multipath routing are "
+        "mutually exclusive");
+  }
   if (engine_.resilience.enabled) {
     resilience_ = std::make_unique<ResilienceEngine>(lengths_, traffic_,
                                                      engine_.resilience);
   }
-  cache_salt_ = resilience_salt(engine_.resilience);
+  // At most one of the two salts is nonzero (mutual exclusion above), so
+  // the XOR is a plain selection, never a mix of both.
+  cache_salt_ =
+      resilience_salt(engine_.resilience) ^ multipath_salt(engine_.multipath);
 }
 
 Evaluator Evaluator::clone() const { return Evaluator(CloneTag{}, *this); }
@@ -108,6 +131,7 @@ void Evaluator::merge_stats(Evaluator& worker) {
   merged_cache_stats_ += worker.take_cache_stats();
   resilience_stats_ += std::exchange(worker.resilience_stats_, {});
   if (worker.resilience_) resilience_stats_ += worker.resilience_->take_stats();
+  multipath_stats_ += std::exchange(worker.multipath_stats_, {});
 }
 
 EvalCacheStats Evaluator::cache_stats() const {
@@ -179,17 +203,45 @@ CostBreakdown Evaluator::breakdown_impl(const Topology& g,
     // Keep the per-source trees: the failure sweep repairs them per
     // scenario instead of recomputing the candidate's routing n times.
     // Loads (and trees) are bit-identical to plain route_loads by contract.
+    // (Multipath is mutually exclusive with resilience, so this path is
+    // always single-path routing.)
     if (!route_loads_retained(g, lengths_, traffic_, loads_,
                               resilience_trees_, ws_, engine_.sp_algorithm)) {
       return infeasible_breakdown(g);
     }
     return finish_breakdown(g, &resilience_trees_);
   }
-  if (!route_loads(g, lengths_, traffic_, loads_, ws_,
-                   engine_.sp_algorithm)) {
+  if (!route_candidate(g)) {
     return infeasible_breakdown(g);  // disconnected: cannot carry traffic
   }
   return finish_breakdown(g, nullptr);
+}
+
+bool Evaluator::route_candidate(const Topology& g) {
+  // kOff forwards to route_loads verbatim, so plain runs take the exact
+  // historical path.
+  return route_loads_multipath(g, lengths_, traffic_, engine_.multipath.mode,
+                               loads_, ws_, &multipath_stats_,
+                               engine_.sp_algorithm);
+}
+
+bool Evaluator::route_candidate_retained(const Topology& g,
+                                         std::vector<ShortestPathTree>& trees) {
+  return route_loads_multipath_retained(
+      g, lengths_, traffic_, engine_.multipath.mode, loads_, trees, ws_,
+      &multipath_stats_, engine_.sp_algorithm);
+}
+
+void Evaluator::accumulate_candidate(const Topology& g,
+                                     const ShortestPathTree& tree, NodeId s) {
+  if (!engine_.multipath.enabled()) {
+    accumulate_tree_loads(tree, traffic_, s, loads_, ws_.aggregate);
+    return;
+  }
+  extract_shortest_path_dag(g, lengths_, tree, ws_.dag);
+  multipath_stats_.dag_edges += ws_.dag.pred.size();
+  accumulate_dag_loads(g, tree, ws_.dag, traffic_, s, engine_.multipath.mode,
+                       loads_, ws_.aggregate, ws_.split, &multipath_stats_);
 }
 
 CostBreakdown Evaluator::breakdown_delta(const Topology& g,
@@ -202,8 +254,7 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
     // this topology can serve as a parent later.
     ++delta_stats_.fallbacks;
     RoutingState& slot = delta_store_->begin_fill(nullptr);
-    if (!route_loads_retained(g, lengths_, traffic_, loads_, slot.trees,
-                              ws_, engine_.sp_algorithm)) {
+    if (!route_candidate_retained(g, slot.trees)) {
       return infeasible_breakdown(g);  // slot stays free
     }
     slot.topology = g;
@@ -258,11 +309,13 @@ CostBreakdown Evaluator::breakdown_delta(const Topology& g,
       if (tree.order.size() != n) {
         return infeasible_breakdown(g);  // disconnected; slot stays free
       }
-      // Aggregation is the exact route_loads code path in the exact source
-      // order, so the loads are bit-identical to a full sweep's.
-      accumulate_tree_loads(tree, traffic_, s, loads_, ws_.aggregate);
+      // Aggregation is the exact route_loads[_multipath] code path in the
+      // exact source order, so the loads are bit-identical to a full
+      // sweep's (repaired trees are bit-identical to fresh ones).
+      accumulate_candidate(g, tree, s);
     }
   }
+  if (engine_.multipath.enabled()) ++multipath_stats_.sweeps;
   slot.topology = g;
   delta_store_->commit(slot, g);
   return finish_breakdown(g, &slot.trees);
@@ -307,6 +360,31 @@ CostBreakdown Evaluator::finish_breakdown(
     b.resilience_summary = resilience_->assess(g, base_trees, loads_);
     b.resilience =
         engine_.resilience.weight * b.resilience_summary.penalty();
+  }
+  if (engine_.multipath.enabled()) {
+    // Utilization aggregates over the (already-final) per-link loads, in
+    // lexicographic edge order — deterministic left-to-right sums. With
+    // both weights 0 the term is exactly 0.0 (every aggregate is finite),
+    // so totals match a zero-weight run bit for bit.
+    MultipathSummary& s = b.multipath_summary;
+    const std::size_t m = loads_.value.size();
+    double sum = 0.0, max_load = 0.0;
+    for (std::size_t e = 0; e < m; ++e) {
+      sum += loads_.value[e];
+      max_load = std::max(max_load, loads_.value[e]);
+    }
+    if (m > 0 && sum > 0.0) {
+      s.reference_capacity = sum / static_cast<double>(m);
+      s.max_utilization = max_load / s.reference_capacity;
+      double oversub = 0.0;
+      for (std::size_t e = 0; e < m; ++e) {
+        const double u = loads_.value[e] / s.reference_capacity;
+        if (u > 1.0) oversub += u - 1.0;
+      }
+      s.oversubscription = oversub;
+    }
+    b.multipath = engine_.multipath.max_util_weight * s.max_utilization +
+                  engine_.multipath.oversub_weight * s.oversubscription;
   }
   insert_in_cache(g, b);
   return b;

@@ -192,11 +192,16 @@ class Evaluator {
     return resilience_.get();
   }
 
+  /// Multipath-engine counters (merged across clones like delta_stats()):
+  /// full multipath sweeps, branch points split, DAG predecessor links
+  /// extracted. All zeros when multipath routing is off.
+  const MultipathStats& multipath_stats() const { return multipath_stats_; }
+
   /// The key salt this instance's cache operations use: 0 for the plain
-  /// objective, a hash of the resilience config otherwise — so resilient
-  /// and plain evaluations of the same topology can never conflate in a
-  /// (possibly shared) cache. use_delta is excluded: it changes timing,
-  /// never values. Exposed for tests.
+  /// objective, a hash of the resilience or multipath config otherwise — so
+  /// evaluations under different objectives/routing modes of the same
+  /// topology can never conflate in a (possibly shared) cache. use_delta is
+  /// excluded: it changes timing, never values. Exposed for tests.
   std::uint64_t cache_salt() const { return cache_salt_; }
 
   /// The cross-worker cache, or nullptr when not in shared mode. Exposed so
@@ -231,6 +236,19 @@ class Evaluator {
 
   /// The infeasible-result tail shared by every routing path.
   CostBreakdown infeasible_breakdown(const Topology& g);
+
+  /// Full-sweep routing dispatch: single-path or multipath per
+  /// engine_.multipath (kOff forwards verbatim, so the dispatch is free).
+  bool route_candidate(const Topology& g);
+  bool route_candidate_retained(const Topology& g,
+                                std::vector<ShortestPathTree>& trees);
+
+  /// Per-source aggregation dispatch for the delta path: tree push when
+  /// multipath is off, DAG extraction + split scatter when on. Repaired
+  /// trees are bit-identical to fresh ones, so both modes compose with the
+  /// delta engine exactly.
+  void accumulate_candidate(const Topology& g, const ShortestPathTree& tree,
+                            NodeId s);
 
   /// Cost terms from `loads_` for a feasibly-routed `g` + cache insert.
   /// `base_trees` are the candidate's retained per-source trees when the
@@ -274,6 +292,8 @@ class Evaluator {
   // merged accumulator collects worker stats on merge_stats().
   std::unique_ptr<ResilienceEngine> resilience_;  ///< null when off
   ResilienceStats resilience_stats_;  ///< folded in from workers
+  // Multipath routing counters (scratch lives in ws_.dag / ws_.split).
+  MultipathStats multipath_stats_;
   std::uint64_t cache_salt_ = 0;
   /// Plain-path (no delta store) retained trees when resilience is on:
   /// route_loads_retained keeps the per-source trees here so the failure

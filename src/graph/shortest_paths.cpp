@@ -480,6 +480,39 @@ SpUpdateResult update_shortest_path_tree(const Topology& g,
   return {true, ws.dirty_list.size()};
 }
 
+void extract_shortest_path_dag(const Topology& g,
+                               const DistanceProvider& lengths,
+                               const ShortestPathTree& tree, SpDag& out) {
+  const std::size_t n = g.num_nodes();
+  if (tree.dist.size() != n) {
+    throw std::invalid_argument("extract_shortest_path_dag: size mismatch");
+  }
+  // u strictly precedes v under the composite settle key. Equal keys are
+  // impossible between distinct nodes (the id breaks every tie), so this is
+  // a total order on the reachable set.
+  auto key_less = [&](NodeId a, NodeId b) {
+    if (tree.dist[a] != tree.dist[b]) return tree.dist[a] < tree.dist[b];
+    if (tree.hops[a] != tree.hops[b]) return tree.hops[a] < tree.hops[b];
+    return a < b;
+  };
+  out.off.assign(n + 1, 0);
+  out.pred.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    out.off[v] = static_cast<std::uint32_t>(out.pred.size());
+    if (v == tree.source || tree.dist[v] == kInf) continue;
+    // neighbors(v) is sorted, so predecessors land in ascending id order.
+    for (const NodeId u : g.neighbors(v)) {
+      if (tree.dist[u] == kInf) continue;
+      // Bitwise membership test: the exact relaxation the solver performed,
+      // operands in the same order (predecessor first).
+      if (tree.dist[u] + lengths(u, v) == tree.dist[v] && key_less(u, v)) {
+        out.pred.push_back(u);
+      }
+    }
+  }
+  out.off[n] = static_cast<std::uint32_t>(out.pred.size());
+}
+
 SpAlgorithm resolve_sp_algorithm(const Topology& g, SpAlgorithm algo) {
   if (algo == SpAlgorithm::kAuto) {
     algo = select_sp_algorithm(g.num_nodes(), g.num_edges());

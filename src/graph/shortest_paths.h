@@ -155,6 +155,32 @@ void shortest_path_tree_batch(const Topology& g,
 /// engine's resettle passes share it so their pass structure matches).
 inline constexpr std::size_t kSpSourceBlock = 4;
 
+/// Shortest-path DAG of one source: for every node, all equal-cost
+/// predecessors, CSR-packed in ascending node-id order. pred[off[v]..
+/// off[v+1]) are the neighbours u of v that lie on *some* shortest path
+/// from the source to v. The tree's parent[v] is always among them; nodes
+/// with a single predecessor have exactly {parent[v]}; the source and
+/// unreachable nodes have none.
+struct SpDag {
+  std::vector<std::uint32_t> off;  ///< n+1 CSR offsets
+  std::vector<NodeId> pred;        ///< predecessors, ascending id per node
+};
+
+/// Extracts the shortest-path DAG from a settled tree. The tie rule is
+/// epsilon-free and purely bitwise: u is an equal-cost predecessor of v iff
+/// u is adjacent to v, `tree.dist[u] + lengths(u, v) == tree.dist[v]`
+/// exactly (the very comparison the solvers' relaxation performed, operands
+/// in the same order), and u precedes v under the composite
+/// (dist, hops, id) settle key. The key condition keeps the DAG acyclic
+/// even across zero-length edges: every solver relaxation strictly
+/// increases the composite key (a zero-length edge still adds a hop), so
+/// edges only ever point from smaller to larger keys. `lengths` must be the
+/// provider the tree was computed with — the equality then holds for
+/// exactly the relaxations the solver saw, with no epsilon.
+void extract_shortest_path_dag(const Topology& g,
+                               const DistanceProvider& lengths,
+                               const ShortestPathTree& tree, SpDag& out);
+
 /// Reusable scratch for update_shortest_path_tree. One workspace serves any
 /// number of sources/graphs; steady state allocates nothing.
 struct SpUpdateWorkspace {

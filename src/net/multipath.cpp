@@ -1,0 +1,188 @@
+#include "net/multipath.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace cold {
+
+namespace {
+
+// Same policy as routing.cpp's helper: build the per-sweep edge-length
+// cache only when the heap solver runs against a matrix-free provider.
+// Entries are the exact doubles lengths() returns — bit-neutral.
+const SpLengthCache* maybe_length_cache(const Topology& g,
+                                        const DistanceProvider& lengths,
+                                        SpAlgorithm algo,
+                                        RoutingWorkspace& ws) {
+  if (algo != SpAlgorithm::kSparse || lengths.has_dense()) return nullptr;
+  ws.length_cache.build(g, lengths);
+  return &ws.length_cache;
+}
+
+}  // namespace
+
+const char* multipath_mode_name(MultipathMode mode) {
+  switch (mode) {
+    case MultipathMode::kEcmp:
+      return "ecmp";
+    case MultipathMode::kWcmp:
+      return "wcmp";
+    case MultipathMode::kOff:
+      break;
+  }
+  return "off";
+}
+
+void accumulate_dag_loads(const Topology& g, const ShortestPathTree& tree,
+                          const SpDag& dag, const CompressedTraffic& traffic,
+                          NodeId s, MultipathMode mode, EdgeLoads& loads,
+                          std::vector<double>& aggregate,
+                          std::vector<double>& split, MultipathStats* stats) {
+  // Reverse settle-order walk, like accumulate_tree_loads: every DAG
+  // predecessor of a node has a strictly smaller composite key, hence an
+  // earlier settle slot, so its aggregate is complete by the time it is
+  // visited. Predecessors are scattered in ascending id order — one global
+  // deterministic order regardless of solver or thread count.
+  const std::size_t n = tree.dist.size();
+  aggregate.assign(n, 0.0);
+  const CompressedTraffic::RowSpan row = traffic.row_span(s);
+  for (std::size_t k = 0; k < row.len; ++k) {
+    aggregate[row.col[k]] = row.val[k];
+  }
+  for (std::size_t i = n; i-- > 1;) {  // skip the source (order[0])
+    const NodeId t = tree.order[i];
+    const std::uint32_t lo = dag.off[t];
+    const std::size_t k = dag.off[t + 1] - lo;
+    const double f = aggregate[t];
+    if (k == 1) {
+      // Sole predecessor — necessarily the tree parent. The add sequence is
+      // byte-for-byte accumulate_tree_loads', which is what makes ECMP
+      // bit-identical to the single-path engine on unique-shortest-path
+      // topologies.
+      const NodeId p = dag.pred[lo];
+      assert(p == tree.parent[t]);
+      loads.value[loads.index_of(p, t)] += f;
+      aggregate[p] += f;
+      continue;
+    }
+    assert(k >= 2);  // every reachable non-source node has >= 1 predecessor
+    if (stats != nullptr) ++stats->branch_points;
+    split.resize(k);
+    std::size_t r = 0;  // remainder slot: first minimum-weight predecessor
+    if (mode == MultipathMode::kWcmp) {
+      // Weights are predecessor degrees — small exact integers, so their
+      // sum is exact and the weight comparison below is deterministic.
+      double wsum = 0.0;
+      double wmin = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < k; ++j) {
+        const double w =
+            static_cast<double>(g.neighbors(dag.pred[lo + j]).size());
+        split[j] = w;
+        wsum += w;
+        if (w < wmin) {
+          wmin = w;
+          r = j;
+        }
+      }
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j != r) split[j] = (f * split[j]) / wsum;
+      }
+    } else {
+      // ECMP: all weights equal, remainder to the first predecessor.
+      const double share = f / static_cast<double>(k);
+      for (std::size_t j = 1; j < k; ++j) split[j] = share;
+    }
+    // Bitwise conservation: the remainder share is f minus the sum of the
+    // others (ascending order). The minimum weight is <= wsum/2 for k >= 2,
+    // so partial stays within a factor-4 band of f and the subtraction is
+    // exact (see the header) — partial + split[r] == f bit for bit.
+    double partial = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j != r) partial += split[j];
+    }
+    split[r] = f - partial;
+    for (std::size_t j = 0; j < k; ++j) {
+      const NodeId p = dag.pred[lo + j];
+      loads.value[loads.index_of(p, t)] += split[j];
+      aggregate[p] += split[j];
+    }
+  }
+}
+
+bool route_loads_multipath(const Topology& g, const DistanceProvider& lengths,
+                           const CompressedTraffic& traffic,
+                           MultipathMode mode, EdgeLoads& loads,
+                           RoutingWorkspace& ws, MultipathStats* stats,
+                           SpAlgorithm algo) {
+  if (mode == MultipathMode::kOff) {
+    return route_loads(g, lengths, traffic, loads, ws, algo);
+  }
+  const std::size_t n = g.num_nodes();
+  if (traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument(
+        "route_loads_multipath: traffic shape mismatch");
+  }
+  loads.build(g);
+  ws.aggregate.assign(n, 0.0);
+  algo = resolve_sp_algorithm(g, lengths, algo);
+  const SpLengthCache* cache = maybe_length_cache(g, lengths, algo, ws);
+  // Same batched block structure as route_loads: trees in lockstep blocks,
+  // DAG extraction + scatter in increasing source order.
+  const std::size_t bw = ws.block_width(n);
+  ws.block.resize(bw);
+  NodeId sources[kSpSourceBlock];
+  for (NodeId base = 0; base < n; base += bw) {
+    const std::size_t width = std::min<std::size_t>(bw, n - base);
+    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
+    shortest_path_tree_batch(g, lengths, sources, width, ws.block.data(),
+                             algo, cache);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (ws.block[b].order.size() != n) return false;  // disconnected
+      extract_shortest_path_dag(g, lengths, ws.block[b], ws.dag);
+      if (stats != nullptr) stats->dag_edges += ws.dag.pred.size();
+      accumulate_dag_loads(g, ws.block[b], ws.dag, traffic, sources[b], mode,
+                           loads, ws.aggregate, ws.split, stats);
+    }
+  }
+  if (stats != nullptr) ++stats->sweeps;
+  return true;
+}
+
+bool route_loads_multipath_retained(
+    const Topology& g, const DistanceProvider& lengths,
+    const CompressedTraffic& traffic, MultipathMode mode, EdgeLoads& loads,
+    std::vector<ShortestPathTree>& trees, RoutingWorkspace& ws,
+    MultipathStats* stats, SpAlgorithm algo) {
+  if (mode == MultipathMode::kOff) {
+    return route_loads_retained(g, lengths, traffic, loads, trees, ws, algo);
+  }
+  const std::size_t n = g.num_nodes();
+  if (traffic.rows() != n || traffic.cols() != n) {
+    throw std::invalid_argument(
+        "route_loads_multipath_retained: traffic shape mismatch");
+  }
+  loads.build(g);
+  trees.resize(n);
+  algo = resolve_sp_algorithm(g, lengths, algo);
+  const SpLengthCache* cache = maybe_length_cache(g, lengths, algo, ws);
+  const std::size_t bw = ws.block_width(n);
+  NodeId sources[kSpSourceBlock];
+  for (NodeId base = 0; base < n; base += bw) {
+    const std::size_t width = std::min<std::size_t>(bw, n - base);
+    for (std::size_t b = 0; b < width; ++b) sources[b] = base + b;
+    shortest_path_tree_batch(g, lengths, sources, width, &trees[base], algo,
+                             cache);
+    for (std::size_t b = 0; b < width; ++b) {
+      if (trees[base + b].order.size() != n) return false;  // disconnected
+      extract_shortest_path_dag(g, lengths, trees[base + b], ws.dag);
+      if (stats != nullptr) stats->dag_edges += ws.dag.pred.size();
+      accumulate_dag_loads(g, trees[base + b], ws.dag, traffic, sources[b],
+                           mode, loads, ws.aggregate, ws.split, stats);
+    }
+  }
+  if (stats != nullptr) ++stats->sweeps;
+  return true;
+}
+
+}  // namespace cold

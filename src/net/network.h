@@ -15,6 +15,7 @@
 #include "geom/distance.h"
 #include "geom/point.h"
 #include "graph/topology.h"
+#include "net/multipath.h"
 #include "traffic/gravity.h"
 #include "util/matrix.h"
 
@@ -64,6 +65,13 @@ struct NetworkBuildOptions {
   /// empty and path queries should recompute trees on demand.
   enum class Routing { kAuto, kAlways, kNever };
   Routing materialize_routing = Routing::kAuto;
+
+  /// How link loads (and therefore capacities) are computed: single
+  /// shortest path, ECMP or WCMP splitting (net/multipath.h). Must match
+  /// the objective's routing mode so the built network's capacities
+  /// provision exactly the loads synthesis optimized for. On
+  /// unique-shortest-path topologies every mode yields bit-identical loads.
+  MultipathMode multipath = MultipathMode::kOff;
 };
 
 /// Assembles a Network from a connected topology, locations and traffic:

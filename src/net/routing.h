@@ -113,6 +113,10 @@ struct RoutingWorkspace {
   /// runs, so relaxations read one slot instead of recomputing a hypot per
   /// scanned edge. Same doubles — results stay bit-identical.
   SpLengthCache length_cache;
+  /// Multipath scratch (net/multipath.h): the per-source shortest-path DAG
+  /// and the per-branch share buffer. Unused by the single-path sweeps.
+  SpDag dag;
+  std::vector<double> split;
 
   /// Effective batch width at n nodes: kSpSourceBlock trees if they fit the
   /// byte budget, else as many as fit (at least 1).

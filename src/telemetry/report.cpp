@@ -69,8 +69,9 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
   // per-worker dsssp split and the affinity steal count; v6 added the
   // streamed ensemble_aggregates block; v7 added run.traffic_topk and the
   // ensemble_exemplars reservoir block; v8 added run.traffic_kept_mass
-  // (logical) and the timing-gated result.resilience block; see report.h.
-  root["version"] = 8;
+  // (logical) and the timing-gated result.resilience block; v9 added the
+  // timing-gated result.multipath block; see report.h.
+  root["version"] = 9;
 
   JsonObject run;
   run["seed"] = static_cast<double>(report.seed);
@@ -125,6 +126,20 @@ void write_run_report_json(std::ostream& os, const RunReport& report,
       res["vertices_resettled"] =
           static_cast<double>(r.vertices_resettled);
       result["resilience"] = std::move(res);
+    }
+    if (report.has_multipath) {
+      const MultipathTelemetry& m = report.multipath;
+      JsonObject mp;
+      mp["mode"] = m.mode;
+      mp["max_util_weight"] = m.max_util_weight;
+      mp["oversub_weight"] = m.oversub_weight;
+      mp["reference_capacity"] = m.reference_capacity;
+      mp["max_utilization"] = m.max_utilization;
+      mp["oversubscription"] = m.oversubscription;
+      mp["sweeps"] = static_cast<double>(m.sweeps);
+      mp["branch_points"] = static_cast<double>(m.branch_points);
+      mp["dag_edges"] = static_cast<double>(m.dag_edges);
+      result["multipath"] = std::move(mp);
     }
   }
   put_wall(result, report.wall_ns, include_timing);
@@ -322,6 +337,22 @@ RunReport run_report_from_json(const std::string& json) {
     report.resilience = r;
     report.has_resilience = true;
   }
+  if (result.has("multipath")) {  // v9, ECMP/WCMP timed reports
+    const JsonValue& mp = result.field("multipath");
+    MultipathTelemetry m;
+    m.mode = mp.field("mode").str();
+    m.max_util_weight = mp.field("max_util_weight").number();
+    m.oversub_weight = mp.field("oversub_weight").number();
+    m.reference_capacity = mp.field("reference_capacity").number();
+    m.max_utilization = mp.field("max_utilization").number();
+    m.oversubscription = mp.field("oversubscription").number();
+    m.sweeps = static_cast<std::uint64_t>(mp.field("sweeps").number());
+    m.branch_points =
+        static_cast<std::uint64_t>(mp.field("branch_points").number());
+    m.dag_edges = static_cast<std::uint64_t>(mp.field("dag_edges").number());
+    report.multipath = std::move(m);
+    report.has_multipath = true;
+  }
   report.wall_ns = get_wall(result);
 
   for (const JsonValue& p : doc.field("phases").array()) {
@@ -477,6 +508,8 @@ void JsonReportSink::on_run_end(const RunSummary& e) {
   report_.traffic_kept_mass = e.traffic_kept_mass;
   report_.has_resilience = e.has_resilience;
   report_.resilience = e.resilience;
+  report_.has_multipath = e.has_multipath;
+  report_.multipath = e.multipath;
 }
 
 }  // namespace cold

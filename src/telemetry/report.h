@@ -10,7 +10,7 @@
 //
 //   {
 //     "schema": "cold-run-report",
-//     "version": 8,
+//     "version": 9,
 //     "run": {"seed": u64, "num_pops": n, "traffic_topk": n,
 //             "traffic_kept_mass": x},
 //     "result": {"best_cost": x, "evaluations": n,
@@ -31,6 +31,12 @@
 //                                "sweeps": n, "delta_repairs": n,
 //                                "fresh_trees": n,
 //                                "vertices_resettled": n}],
+//                ["multipath": {"mode": str, "max_util_weight": x,
+//                               "oversub_weight": x,
+//                               "reference_capacity": x,
+//                               "max_utilization": x,
+//                               "oversubscription": x, "sweeps": n,
+//                               "branch_points": n, "dag_edges": n}],
 //                ["wall_ns": n]},
 //     "phases": [{"name": str, "evaluations": n,
 //                 ["cache_hits": n, "cache_misses": n, "cache_inserts": n,
@@ -77,9 +83,11 @@
 // emitted) and the "result.resilience" block for resilient-objective runs
 // (the winner's survivability aggregates plus the run's sweep counters —
 // timing-gated like the other engine counters, since the delta/fresh split
-// varies with engine knobs while costs do not). The parser accepts all
-// eight versions — missing counters/objects read back as zero/empty/1.0;
-// the writer always emits v8.
+// varies with engine knobs while costs do not); v9 added the
+// "result.multipath" block for ECMP/WCMP runs (the winner's utilization
+// aggregates plus the run's routing counters — timing-gated for the same
+// reason). The parser accepts all nine versions — missing counters/objects
+// read back as zero/empty/1.0; the writer always emits v9.
 //
 // Round-trips through io/json: run_report_from_json(run_report_to_json(r))
 // reproduces every field (wall times included when serialized with timing).
@@ -117,6 +125,8 @@ struct RunReport {
   std::uint64_t ga_steals = 0;  ///< affinity-scheduler steals (v5)
   bool has_resilience = false;  ///< resilience block present (v8)
   ResilienceTelemetry resilience;
+  bool has_multipath = false;   ///< multipath block present (v9)
+  MultipathTelemetry multipath;
 
   std::vector<PhaseStats> phases;           ///< in completion order
   std::vector<HeuristicDone> heuristics;    ///< in run order

@@ -132,6 +132,30 @@ ReportDiff diff_run_reports(const RunReport& a, const RunReport& b) {
                y.vertices_resettled);
   }
 
+  // Same rule for the multipath block: an ECMP-vs-single-path pair on a
+  // unique-shortest-path topology must stay logically equal (identical
+  // costs and loads), so its presence and counters are all perf drift.
+  perf.field("result.multipath.present", a.has_multipath, b.has_multipath);
+  if (a.has_multipath && b.has_multipath) {
+    const MultipathTelemetry& x = a.multipath;
+    const MultipathTelemetry& y = b.multipath;
+    perf.field("result.multipath.mode", x.mode, y.mode);
+    perf.field("result.multipath.max_util_weight", x.max_util_weight,
+               y.max_util_weight);
+    perf.field("result.multipath.oversub_weight", x.oversub_weight,
+               y.oversub_weight);
+    perf.field("result.multipath.reference_capacity", x.reference_capacity,
+               y.reference_capacity);
+    perf.field("result.multipath.max_utilization", x.max_utilization,
+               y.max_utilization);
+    perf.field("result.multipath.oversubscription", x.oversubscription,
+               y.oversubscription);
+    perf.field("result.multipath.sweeps", x.sweeps, y.sweeps);
+    perf.field("result.multipath.branch_points", x.branch_points,
+               y.branch_points);
+    perf.field("result.multipath.dag_edges", x.dag_edges, y.dag_edges);
+  }
+
   diff_array(logical, out.logical, "phases", a.phases, b.phases,
              [&](const std::string& p, const PhaseStats& x,
                  const PhaseStats& y) {

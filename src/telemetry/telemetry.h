@@ -203,6 +203,23 @@ struct ResilienceTelemetry {
   std::uint64_t vertices_resettled = 0;
 };
 
+/// Multipath-routing aggregates of an ECMP/WCMP run: the winning
+/// topology's MultipathSummary plus the run's sweep counters, mirrored as
+/// plain fields like ResilienceTelemetry. Performance data for the same
+/// reason: the winner is logical (visible in best_cost), but the counters
+/// vary with engine knobs, so the whole block is timing-gated.
+struct MultipathTelemetry {
+  std::string mode;                ///< "ecmp" or "wcmp"
+  double max_util_weight = 0.0;    ///< objective weight on max utilization
+  double oversub_weight = 0.0;     ///< objective weight on oversubscription
+  double reference_capacity = 0.0; ///< mean link load of the winner
+  double max_utilization = 0.0;    ///< winner's max load / reference
+  double oversubscription = 0.0;   ///< winner's summed excess utilization
+  std::uint64_t sweeps = 0;        ///< multipath routing sweeps run
+  std::uint64_t branch_points = 0; ///< DAG nodes where flow split
+  std::uint64_t dag_edges = 0;     ///< predecessor edges across all DAGs
+};
+
 struct RunSummary {
   double best_cost = 0.0;
   std::size_t evaluations = 0;  ///< total objective evaluations in the run
@@ -231,6 +248,9 @@ struct RunSummary {
   /// Resilient-objective aggregates; meaningful only when has_resilience.
   bool has_resilience = false;
   ResilienceTelemetry resilience;
+  /// Multipath-routing aggregates; meaningful only when has_multipath.
+  bool has_multipath = false;
+  MultipathTelemetry multipath;
 };
 
 // ---------------------------------------------------------------------------

@@ -501,7 +501,7 @@ TEST(RunReport, EmitsV5WithCacheCountersWhenCacheEnabled) {
   EXPECT_EQ(report.cache_misses, report.cache_inserts);  // every miss inserts
 
   const std::string json = run_report_to_json(report);
-  EXPECT_EQ(parse_json(json).field("version").number(), 8.0);
+  EXPECT_EQ(parse_json(json).field("version").number(), 9.0);
   const RunReport parsed = run_report_from_json(json);
   EXPECT_EQ(parsed.cache_hits, report.cache_hits);
   EXPECT_EQ(parsed.cache_misses, report.cache_misses);
@@ -621,7 +621,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   ASSERT_NE(end, std::string::npos);
   ASSERT_EQ(json[end + 1], ',');
   json.erase(cache_pos, end + 2 - cache_pos);
-  const std::size_t ver = json.find("\"version\": 8");
+  const std::size_t ver = json.find("\"version\": 9");
   ASSERT_NE(ver, std::string::npos);
   json[ver + std::string("\"version\": ").size()] = '1';
 
@@ -634,7 +634,7 @@ TEST(RunReport, AcceptsV1ReportsWithoutCacheObject) {
   EXPECT_EQ(parsed.cache_evictions, 0u);
   // Re-serializing a v1-sourced report upgrades it to the current schema.
   EXPECT_EQ(parse_json(run_report_to_json(parsed)).field("version").number(),
-            8.0);
+            9.0);
 }
 
 TEST(RunReport, AcceptsV3ReportsWithoutDssspCounters) {
@@ -1038,9 +1038,9 @@ TEST(RunReport, AcceptsV7ReportsWithoutResilienceFields) {
   EXPECT_EQ(parsed.traffic_kept_mass, 1.0);
   EXPECT_FALSE(parsed.has_resilience);
   EXPECT_EQ(parsed.resilience.scenarios, 0u);
-  // Re-serializing upgrades to v8 with the kept-mass default made explicit.
+  // Re-serializing upgrades to v9 with the kept-mass default made explicit.
   const std::string upgraded = run_report_to_json(parsed);
-  EXPECT_EQ(parse_json(upgraded).field("version").number(), 8.0);
+  EXPECT_EQ(parse_json(upgraded).field("version").number(), 9.0);
   EXPECT_EQ(parse_json(upgraded)
                 .field("run")
                 .field("traffic_kept_mass")

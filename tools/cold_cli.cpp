@@ -6,6 +6,8 @@
 //                 [--max-evals N] [--eval-cache] [--eval-cache-size N]
 //                 [--shared-cache] [--dedup] [--dijkstra auto|dense|sparse]
 //                 [--dsssp on|off|auto] [--affinity on|off]
+//                 [--multipath off|ecmp|wcmp] [--max-util-weight X]
+//                 [--oversub-weight X]
 //   cold ensemble [--count N] [--retain-runs on|off|auto] [--exemplars N]
 //                 + synth options
 //   cold metrics  --in FILE [--format text|json] [--out FILE]
@@ -119,7 +121,17 @@ std::vector<OptionSpec> synth_specs() {
                         {"failure-scenarios", true,
                          "single|double-sampled (single): every single-link "
                          "failure, plus deterministically sampled two-link "
-                         "failures"}},
+                         "failures"},
+                        {"multipath", true,
+                         "off|ecmp|wcmp (off): split demands across all "
+                         "equal-cost shortest paths (wcmp weights branches "
+                         "by downstream degree)"},
+                        {"max-util-weight", true,
+                         "X (0): objective weight on max link utilization "
+                         "(needs --multipath ecmp|wcmp)"},
+                        {"oversub-weight", true,
+                         "X (0): objective weight on summed link "
+                         "oversubscription (needs --multipath ecmp|wcmp)"}},
                        kCostOpts,
                        kGaOpts,
                        kEngineOpts,
@@ -182,6 +194,13 @@ void print_usage() {
       "            delta-powered failure sweeps (--resilience-weight L (1),\n"
       "            --failure-scenarios single|double-sampled (single));\n"
       "            not available for grow\n"
+      "            --multipath off|ecmp|wcmp (off): split each demand across\n"
+      "            all equal-cost shortest paths instead of one tree path\n"
+      "            (wcmp weights branches by downstream degree); exact on\n"
+      "            unique-shortest-path topologies (bit-identical networks);\n"
+      "            --max-util-weight X (0) and --oversub-weight X (0) add\n"
+      "            utilization terms to the objective; mutually exclusive\n"
+      "            with --objective resilient; not available for grow\n"
       "            --out FILE (stdout)\n"
       "  ensemble  synthesize many networks, print metric CIs\n"
       "            --count N (20) --retain-runs on|off|auto (auto: retain\n"
@@ -360,6 +379,24 @@ SynthesisConfig config_from(const CliOptions& args) {
   } else {
     throw std::invalid_argument("unknown --objective: " + objective +
                                 " (expected cost or resilient)");
+  }
+  const std::string multipath = args.get("multipath", "off");
+  if (multipath == "ecmp") {
+    cfg.engine.multipath.mode = MultipathMode::kEcmp;
+  } else if (multipath == "wcmp") {
+    cfg.engine.multipath.mode = MultipathMode::kWcmp;
+  } else if (multipath == "off") {
+    if (args.has("max-util-weight") || args.has("oversub-weight")) {
+      throw std::invalid_argument(
+          "--max-util-weight/--oversub-weight need --multipath ecmp|wcmp");
+    }
+  } else {
+    throw std::invalid_argument("unknown --multipath: " + multipath +
+                                " (expected off, ecmp or wcmp)");
+  }
+  if (cfg.engine.multipath.enabled()) {
+    cfg.engine.multipath.max_util_weight = args.num("max-util-weight", 0.0);
+    cfg.engine.multipath.oversub_weight = args.num("oversub-weight", 0.0);
   }
   // 0 = all hardware threads; any value yields bit-identical output.
   const std::size_t threads = args.uint("threads", 0);
